@@ -1,0 +1,1 @@
+"""pytest-benchmark suites regenerating the paper's figures."""

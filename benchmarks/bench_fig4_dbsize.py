@@ -1,0 +1,71 @@
+"""Figure 4: scalability with respect to database size.
+
+Paper sweep: N in {250K, 500K, 750K, 1M} anti-correlated tuples, 3
+numeric + 2 nominal dimensions, cardinality 20, order-3 preferences.
+Benchmark sweep: N in {500, 1000, 2000} with cardinality 8 (pure-Python
+budget); the CLI harness runs larger scaled sweeps.
+
+Expected shape (paper Figure 4): query time SFS-D >> SFS-A > IPO Tree,
+all growing with N; preprocessing IPO Tree > IPO Tree-k > SFS-A;
+storage SFS-D (base data) and IPO Tree largest; |SKY(R)|/|D| slowly
+decreasing in N.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_panels, synthetic_bundle
+
+SIZES = [500, 1000, 2000]
+
+
+def _bundle(n):
+    return synthetic_bundle(num_points=n, cardinality=8, ipo_k=4, order=3)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_query_ipo_tree(benchmark, n):
+    bundle = _bundle(n)
+    attach_panels(benchmark, bundle)
+    benchmark(bundle.tree.query, bundle.preference())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_query_ipo_tree_k(benchmark, n):
+    bundle = _bundle(n)
+    benchmark(bundle.tree_k.query, bundle.popular_preference())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_query_sfs_a(benchmark, n):
+    bundle = _bundle(n)
+    benchmark(bundle.adaptive.query, bundle.preference())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_query_sfs_d(benchmark, n):
+    bundle = _bundle(n)
+    benchmark(bundle.direct.query, bundle.preference())
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_preprocess_ipo_tree(benchmark, n):
+    from repro.ipo.tree import IPOTree
+
+    bundle = _bundle(n)
+    benchmark.pedantic(
+        lambda: IPOTree.build(bundle.dataset, bundle.template, engine="mdc"),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_preprocess_sfs_a(benchmark, n):
+    from repro.adaptive.adaptive_sfs import AdaptiveSFS
+
+    bundle = _bundle(n)
+    benchmark.pedantic(
+        lambda: AdaptiveSFS(bundle.dataset, bundle.template),
+        rounds=1,
+        iterations=1,
+    )

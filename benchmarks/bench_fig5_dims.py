@@ -1,0 +1,71 @@
+"""Figure 5: scalability with respect to dimensionality.
+
+Paper sweep: total dimensions 4-7 with 3 numeric fixed (m' = 1..4
+nominal), cardinality 20.  Benchmark sweep: m' = 1..3 at cardinality 4
+(the full tree has (c+1)^m' nodes, so the m'=4 paper point is CLI-only).
+
+Expected shape: everything grows with m' - |SKY(R)|/|D| because higher
+dimensionality makes dominance rarer, IPO preprocessing/storage because
+the tree fans out, query times because skylines get bigger.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_panels, synthetic_bundle
+
+NOMINALS = [1, 2, 3]
+
+
+def _bundle(m):
+    return synthetic_bundle(
+        num_points=800, num_nominal=m, cardinality=4, ipo_k=3, order=2
+    )
+
+
+@pytest.mark.parametrize("m", NOMINALS)
+def bench_query_ipo_tree(benchmark, m):
+    bundle = _bundle(m)
+    attach_panels(benchmark, bundle)
+    benchmark(bundle.tree.query, bundle.preference())
+
+
+@pytest.mark.parametrize("m", NOMINALS)
+def bench_query_ipo_tree_k(benchmark, m):
+    bundle = _bundle(m)
+    benchmark(bundle.tree_k.query, bundle.popular_preference())
+
+
+@pytest.mark.parametrize("m", NOMINALS)
+def bench_query_sfs_a(benchmark, m):
+    bundle = _bundle(m)
+    benchmark(bundle.adaptive.query, bundle.preference())
+
+
+@pytest.mark.parametrize("m", NOMINALS)
+def bench_query_sfs_d(benchmark, m):
+    bundle = _bundle(m)
+    benchmark(bundle.direct.query, bundle.preference())
+
+
+@pytest.mark.parametrize("m", NOMINALS)
+def bench_preprocess_ipo_tree(benchmark, m):
+    from repro.ipo.tree import IPOTree
+
+    bundle = _bundle(m)
+    benchmark.pedantic(
+        lambda: IPOTree.build(bundle.dataset, bundle.template, engine="mdc"),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("m", NOMINALS)
+def bench_preprocess_sfs_a(benchmark, m):
+    from repro.adaptive.adaptive_sfs import AdaptiveSFS
+
+    bundle = _bundle(m)
+    benchmark.pedantic(
+        lambda: AdaptiveSFS(bundle.dataset, bundle.template),
+        rounds=1,
+        iterations=1,
+    )

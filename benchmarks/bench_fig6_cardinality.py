@@ -1,0 +1,78 @@
+"""Figure 6: effect of the cardinality of the nominal attributes.
+
+Paper sweep: cardinality 10-40 at 500K tuples, IPO Tree-10 fixed at 10
+values.  Benchmark sweep: cardinality {4, 8, 12} at 800 tuples with
+IPO Tree-k fixed at 4 values.
+
+Expected shape: tree node count is O((c+1)^m'), so IPO preprocessing /
+storage grow steeply with c while IPO Tree-k's stay flat; |SKY(R)|/|D|
+grows (rarer value collisions -> less dominance);
+|AFFECT(R)|/|SKY(R)| falls (each listed value matches fewer points),
+dampening SFS-A's query growth.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_panels, synthetic_bundle
+
+CARDINALITIES = [4, 8, 12]
+
+
+def _bundle(c):
+    return synthetic_bundle(
+        num_points=800, cardinality=c, ipo_k=4, order=3
+    )
+
+
+@pytest.mark.parametrize("c", CARDINALITIES)
+def bench_query_ipo_tree(benchmark, c):
+    bundle = _bundle(c)
+    attach_panels(benchmark, bundle)
+    benchmark(bundle.tree.query, bundle.preference())
+
+
+@pytest.mark.parametrize("c", CARDINALITIES)
+def bench_query_ipo_tree_k(benchmark, c):
+    bundle = _bundle(c)
+    benchmark(bundle.tree_k.query, bundle.popular_preference())
+
+
+@pytest.mark.parametrize("c", CARDINALITIES)
+def bench_query_sfs_a(benchmark, c):
+    bundle = _bundle(c)
+    benchmark(bundle.adaptive.query, bundle.preference())
+
+
+@pytest.mark.parametrize("c", CARDINALITIES)
+def bench_query_sfs_d(benchmark, c):
+    bundle = _bundle(c)
+    benchmark(bundle.direct.query, bundle.preference())
+
+
+@pytest.mark.parametrize("c", CARDINALITIES)
+def bench_preprocess_ipo_tree(benchmark, c):
+    from repro.ipo.tree import IPOTree
+
+    bundle = _bundle(c)
+    benchmark.pedantic(
+        lambda: IPOTree.build(bundle.dataset, bundle.template, engine="mdc"),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("c", CARDINALITIES)
+def bench_preprocess_ipo_tree_k(benchmark, c):
+    from repro.ipo.tree import IPOTree
+
+    bundle = _bundle(c)
+    benchmark.pedantic(
+        lambda: IPOTree.build(
+            bundle.dataset,
+            bundle.template,
+            engine="mdc",
+            values_per_attribute=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )

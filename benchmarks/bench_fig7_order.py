@@ -1,0 +1,48 @@
+"""Figure 7: effect of the order of the implicit preference.
+
+Paper sweep: order x in {1, 2, 3, 4} at 500K tuples, cardinality 20.
+Benchmark sweep: same orders at 1000 tuples, cardinality 8.
+
+Expected shape: IPO Tree query time *grows* with x (O(x^m') set
+operations); SFS-A and SFS-D drop slightly (refined skylines shrink);
+preprocessing and storage are untouched by x;
+|AFFECT(R)|/|SKY(R)| grows with x (more listed values hit more
+points).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_panels, synthetic_bundle
+
+ORDERS = [1, 2, 3, 4]
+
+
+def _bundle(x):
+    return synthetic_bundle(
+        num_points=1000, cardinality=8, ipo_k=4, order=x
+    )
+
+
+@pytest.mark.parametrize("x", ORDERS)
+def bench_query_ipo_tree(benchmark, x):
+    bundle = _bundle(x)
+    attach_panels(benchmark, bundle)
+    benchmark(bundle.tree.query, bundle.preference())
+
+
+@pytest.mark.parametrize("x", ORDERS)
+def bench_query_ipo_tree_k(benchmark, x):
+    bundle = _bundle(x)
+    benchmark(bundle.tree_k.query, bundle.popular_preference())
+
+
+@pytest.mark.parametrize("x", ORDERS)
+def bench_query_sfs_a(benchmark, x):
+    bundle = _bundle(x)
+    benchmark(bundle.adaptive.query, bundle.preference())
+
+
+@pytest.mark.parametrize("x", ORDERS)
+def bench_query_sfs_d(benchmark, x):
+    bundle = _bundle(x)
+    benchmark(bundle.direct.query, bundle.preference())

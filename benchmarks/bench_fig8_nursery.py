@@ -1,0 +1,59 @@
+"""Figure 8: the real data set (Nursery), preference order 0-3.
+
+Runs at the paper's exact scale: the full 12,960-row Nursery relation
+(regenerated deterministically), 6 totally ordered + 2 nominal
+attributes of cardinality 4, orders 0-3 where order 0 is "no special
+preference".
+
+Expected shape (paper Figure 8): IPO Tree queries in the micro-second
+range, SFS-A slightly above, SFS-D orders of magnitude slower; query
+time of IPO grows with the order while SFS-D's drops after order 0.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_panels, nursery_bundle
+
+ORDERS = [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("x", ORDERS)
+def bench_query_ipo_tree(benchmark, x):
+    bundle = nursery_bundle(x)
+    attach_panels(benchmark, bundle)
+    benchmark(bundle.tree.query, bundle.preference())
+
+
+@pytest.mark.parametrize("x", ORDERS)
+def bench_query_sfs_a(benchmark, x):
+    bundle = nursery_bundle(x)
+    benchmark(bundle.adaptive.query, bundle.preference())
+
+
+@pytest.mark.parametrize("x", ORDERS)
+def bench_query_sfs_d(benchmark, x):
+    bundle = nursery_bundle(x)
+    benchmark(bundle.direct.query, bundle.preference())
+
+
+def bench_preprocess_ipo_tree(benchmark):
+    from repro.core.preferences import Preference
+    from repro.ipo.tree import IPOTree
+
+    bundle = nursery_bundle(3)
+    benchmark.pedantic(
+        lambda: IPOTree.build(bundle.dataset, Preference.empty()),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def bench_preprocess_sfs_a(benchmark):
+    from repro.adaptive.adaptive_sfs import AdaptiveSFS
+
+    bundle = nursery_bundle(3)
+    benchmark.pedantic(
+        lambda: AdaptiveSFS(bundle.dataset),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Incremental maintenance: a live catalogue under churn (Section 4.3).
+
+The IPO-tree materialises per-preference results, so data changes force
+a rebuild; Adaptive SFS was designed to absorb updates in place.  This
+example simulates a booking site where packages appear and sell out
+continuously while customers keep querying:
+
+* inserts/deletes stream into an :class:`AdaptiveSFS` index,
+* every batch, a fresh index is built from scratch and compared - the
+  incremental state must match exactly,
+* query latency is contrasted with the cost of rebuilding an IPO-tree
+  on every batch (what a materialisation-only deployment would pay).
+
+Run:  python examples/incremental_updates.py
+"""
+
+import random
+import time
+
+from repro import AdaptiveSFS, IPOTree
+from repro.datagen import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+    generate_preferences,
+)
+
+BATCHES = 8
+OPS_PER_BATCH = 50
+
+
+def fresh_row(step: int):
+    """One new random package (same schema as the catalogue)."""
+    return generate(
+        SyntheticConfig(
+            num_points=1, num_numeric=3, num_nominal=2, cardinality=8,
+            seed=50_000 + step,
+        )
+    ).row(0)
+
+
+def main() -> None:
+    rng = random.Random(11)
+    catalogue = generate(
+        SyntheticConfig(
+            num_points=1200, num_numeric=3, num_nominal=2, cardinality=8,
+            seed=4,
+        )
+    )
+    template = frequent_value_template(catalogue)
+    index = AdaptiveSFS(catalogue, template)
+    live = list(range(index.num_points))
+    queries = generate_preferences(
+        catalogue, order=3, count=5, template=template, seed=2
+    )
+
+    print(f"catalogue: {len(catalogue)} packages; template {template}")
+    print(f"initial skyline: {len(index.skyline_ids)} members\n")
+    print(f"{'batch':>5} {'ops':>4} {'update':>9} {'query':>9} "
+          f"{'ipo rebuild':>12} {'skyline':>8}  verified")
+
+    step = 0
+    for batch in range(BATCHES):
+        start = time.perf_counter()
+        for _ in range(OPS_PER_BATCH):
+            step += 1
+            if rng.random() < 0.45 and live:
+                victim = live.pop(rng.randrange(len(live)))
+                index.delete(victim)
+            else:
+                live.append(index.insert(fresh_row(step)))
+        update_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for pref in queries:
+            index.query(pref)
+        query_time = (time.perf_counter() - start) / len(queries)
+
+        # What a pure-materialisation deployment would pay per batch:
+        # rebuild the IPO-tree over the surviving rows.
+        survivors = [index.row(i) for i in live]
+        from repro.core.dataset import Dataset
+
+        snapshot = Dataset(catalogue.schema, survivors)
+        start = time.perf_counter()
+        tree = IPOTree.build(snapshot, frequent_value_template(snapshot))
+        rebuild_time = time.perf_counter() - start
+
+        # Verify the incremental state against a from-scratch rebuild.
+        incremental = set(index.skyline_ids)
+        checker = AdaptiveSFS(
+            Dataset(catalogue.schema, survivors), template
+        )
+        relabel = {pos: old for pos, old in enumerate(live)}
+        rebuilt = {relabel[i] for i in checker.skyline_ids}
+        verified = "ok" if rebuilt == incremental else "MISMATCH"
+
+        print(
+            f"{batch:>5} {OPS_PER_BATCH:>4} "
+            f"{1e3 * update_time:>7.1f}ms "
+            f"{1e3 * query_time:>7.2f}ms "
+            f"{rebuild_time:>10.2f}s "
+            f"{len(incremental):>8}  {verified}"
+        )
+
+    print("\ntakeaway: SFS-A absorbs each 50-op batch in milliseconds while "
+          "a materialised IPO-tree pays a full rebuild (the paper's "
+          "'more appropriate for more static datasets').")
+
+
+if __name__ == "__main__":
+    main()

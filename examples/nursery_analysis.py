@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Real-data walkthrough: the Nursery dataset (Section 5.2 of the paper).
+
+Nursery ranks 12,960 nursery-school applications over 8 attributes.
+Six are totally ordered (an application with `usual` parents and
+`convenient` housing is universally easier than one with `great_pret`
+and `critical`), but two are genuinely *nominal*:
+
+* ``form`` of the family (complete / completed / incomplete / foster),
+* number of ``children`` (1 / 2 / 3 / more) - as the paper notes, "it
+  is not clear whether a family with one child is 'better' than a
+  family with two children".
+
+Different social workers weigh those differently; each weighting is an
+implicit preference and yields a different skyline of "most favourable
+applications".  This example regenerates the dataset exactly (it is the
+full cartesian product of its domains - no download needed), builds the
+indexes, and contrasts several case-workers' skylines, reproducing the
+Figure 8 measurement loop at order 0-3.
+
+Run:  python examples/nursery_analysis.py
+"""
+
+import time
+
+from repro import AdaptiveSFS, IPOTree, Preference, SFSDirect
+from repro.datagen import generate_preferences, nursery_dataset
+
+
+def main() -> None:
+    data = nursery_dataset()
+    print(f"Nursery: {len(data)} applications, {len(data.schema)} attributes")
+    print(f"nominal attributes: {data.schema.nominal_names}")
+
+    start = time.perf_counter()
+    tree = IPOTree.build(data)
+    print(f"\nIPO-tree: {tree.node_count()} nodes in "
+          f"{time.perf_counter() - start:.2f}s; base skyline "
+          f"{len(tree.skyline_ids)} applications "
+          f"({100 * len(tree.skyline_ids) / len(data):.2f}% of the data)")
+    adaptive = AdaptiveSFS(data)
+    direct = SFSDirect(data)
+
+    # --- three case-workers, three value systems ------------------------
+    workers = {
+        "traditionalist": Preference(
+            {"form": "complete < completed < *", "children": "2 < 1 < *"}
+        ),
+        "foster-first": Preference(
+            {"form": "foster < *", "children": "more < 3 < *"}
+        ),
+        "single-child": Preference({"children": "1 < *"}),
+    }
+    print("\nper-case-worker skylines:")
+    for who, pref in workers.items():
+        ids = tree.query(pref)
+        assert ids == adaptive.query(pref)  # both indexes agree
+        sample = ", ".join(
+            "/".join(map(str, data.row(i)[2:4])) for i in ids[:4]
+        )
+        print(f"  {who:<15} {len(ids):3d} applications "
+              f"(form/children of first: {sample})")
+
+    # --- Figure 8's measurement loop ------------------------------------
+    print("\nFigure 8 loop - average query latency over 25 random "
+          "preferences per order:")
+    print(f"  {'order':>5}  {'IPO Tree':>10}  {'SFS-A':>10}  {'SFS-D':>10}")
+    for order in (0, 1, 2, 3):
+        prefs = generate_preferences(data, order, 25, seed=order)
+        timings = {}
+        for name, fn in (("ipo", tree.query), ("sfs-a", adaptive.query),
+                         ("sfs-d", direct.query)):
+            start = time.perf_counter()
+            for pref in prefs:
+                fn(pref)
+            timings[name] = (time.perf_counter() - start) / len(prefs)
+        print(
+            f"  {order:>5}  {1e6 * timings['ipo']:>8.0f}us  "
+            f"{1e6 * timings['sfs-a']:>8.0f}us  "
+            f"{1e3 * timings['sfs-d']:>8.1f}ms"
+        )
+    print("\n(shape check vs the paper: IPO grows with the order, SFS-D is "
+          "orders of magnitude slower throughout)")
+
+
+if __name__ == "__main__":
+    main()

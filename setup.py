@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The container this reproduction targets has no network and no ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot
+build their editable wheel.  ``python setup.py develop`` provides the
+equivalent editable install using only setuptools; all metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro - skyline querying with variable user preferences on nominal attributes.
+
+A production-quality Python reproduction of
+
+    Wong, Fu, Pei, Ho, Wong, Liu.
+    "Efficient Skyline Querying with Variable User Preferences on
+    Nominal Attributes."
+
+Public API highlights
+---------------------
+* :func:`repro.skyline` - one-shot skyline for any implicit preference.
+* :class:`repro.IPOTree` - the partial-materialisation index (Section 3).
+* :class:`repro.AdaptiveSFS` - the progressive, incrementally
+  maintainable index (Section 4).
+* :class:`repro.SFSDirect` - the SFS-D baseline.
+* :class:`repro.HybridIndex` - IPO-Tree-k for popular values with
+  Adaptive SFS fallback (the paper's Section 5.3 recommendation).
+* :mod:`repro.datagen` - the paper's synthetic workloads (Borzsonyi
+  numeric distributions + Zipfian nominal values) and the Nursery
+  dataset, regenerated exactly.
+* :mod:`repro.bench` - the harness regenerating every figure of the
+  evaluation section.
+"""
+
+from repro.adaptive import AdaptiveSFS
+from repro.algorithms import SFSDirect
+from repro.core import (
+    AttributeKind,
+    AttributeSpec,
+    Dataset,
+    ImplicitPreference,
+    PartialOrder,
+    Preference,
+    RankTable,
+    Schema,
+    SkylineResult,
+    nominal,
+    numeric_max,
+    numeric_min,
+    ordinal,
+    read_csv,
+    skyline,
+    write_csv,
+)
+from repro.hybrid import HybridIndex
+from repro.ipo import IPOTree
+from repro.materialize import FullMaterialization
+from repro.mdc import MDCFilter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSFS",
+    "AttributeKind",
+    "AttributeSpec",
+    "Dataset",
+    "FullMaterialization",
+    "HybridIndex",
+    "IPOTree",
+    "MDCFilter",
+    "ImplicitPreference",
+    "PartialOrder",
+    "Preference",
+    "RankTable",
+    "SFSDirect",
+    "Schema",
+    "SkylineResult",
+    "nominal",
+    "numeric_max",
+    "numeric_min",
+    "ordinal",
+    "read_csv",
+    "skyline",
+    "write_csv",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Adaptive SFS: the progressive, maintainable index of Section 4."""
+
+from repro.adaptive.adaptive_sfs import AdaptiveSFS
+from repro.adaptive.sorted_skyline import SortedSkylineList
+
+__all__ = ["AdaptiveSFS", "SortedSkylineList"]

@@ -1,0 +1,55 @@
+"""Block-Nested-Loop (BNL) skyline [Borzsonyi, Kossmann, Stocker, ICDE'01].
+
+BNL keeps a *window* of candidate skyline points and streams the input
+through it:
+
+* if an input point is dominated by a window point it is discarded,
+* window points dominated by the input point are evicted,
+* otherwise the input point joins the window.
+
+With an in-memory window (no disk spill - datasets here fit in RAM) the
+window at end-of-stream *is* the skyline.  The worst case is quadratic
+but typical behaviour is far better because window points are strong
+dominators.
+
+Correctness for partial orders: BNL relies only on dominance being
+transitive and irreflexive, both guaranteed by the strict-partial-order
+semantics of :class:`~repro.core.dominance.RankTable`, so it is sound
+for implicit preferences on nominal attributes (unlike sort-based
+methods, it does not even need a monotone score).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.dominance import RankTable
+
+
+def bnl_skyline(
+    rows: Sequence[tuple],
+    ids: Sequence[int],
+    table: RankTable,
+) -> List[int]:
+    """Skyline ids of ``ids`` using an unbounded in-memory window."""
+    dominates = table.dominates
+    window: List[int] = []
+    for i in ids:
+        p = rows[i]
+        dominated = False
+        survivors: List[int] = []
+        for j in window:
+            q = rows[j]
+            if dominates(q, p):
+                dominated = True
+                # Everything already in the window is pairwise
+                # non-dominated, so no later window point can be
+                # dominated by p either way once p is discarded.
+                survivors.extend(window[len(survivors):])
+                break
+            if not dominates(p, q):
+                survivors.append(j)
+        window = survivors
+        if not dominated:
+            window.append(i)
+    return window

@@ -1,0 +1,39 @@
+"""Brute-force skyline: the quadratic all-pairs reference algorithm.
+
+This is the ground truth every other algorithm is tested against.  It
+makes no assumptions beyond the dominance relation being a strict
+partial order, so it is correct for any preference, template or data
+distribution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.dominance import RankTable
+
+
+def bruteforce_skyline(
+    rows: Sequence[tuple],
+    ids: Sequence[int],
+    table: RankTable,
+) -> List[int]:
+    """Ids of all points in ``ids`` not dominated by another point.
+
+    ``rows`` is indexed by point id (canonical encoding); ``ids`` selects
+    the points under consideration.  Output preserves the order of
+    ``ids``.
+    """
+    dominates = table.dominates
+    id_list = list(ids)
+    out: List[int] = []
+    for i in id_list:
+        p = rows[i]
+        dominated = False
+        for j in id_list:
+            if j != i and dominates(rows[j], p):
+                dominated = True
+                break
+        if not dominated:
+            out.append(i)
+    return out

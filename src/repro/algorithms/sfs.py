@@ -1,0 +1,66 @@
+"""Sort-First Skyline (SFS) [Chomicki, Godfrey, Gryz, Liang, ICDE'03].
+
+SFS presorts the input by a *monotone* preference function ``f`` - if
+``p`` dominates ``q`` then ``f(p) < f(q)`` - and then streams the sorted
+points through a skyline list ``L``:
+
+* a point dominated by some point of ``L`` is discarded,
+* otherwise it is appended to ``L``.
+
+Because of the monotone sort, no later point can dominate an earlier
+one, so (a) points in ``L`` are final the moment they are inserted -
+the algorithm is **progressive** - and (b) no eviction pass is needed
+(contrast BNL).
+
+This module implements SFS generically over a
+:class:`~repro.core.dominance.RankTable`, whose :meth:`score` is exactly
+the paper's ``f(p) = sum_i r(p.Di)`` (Section 4.1/4.2) and is monotone
+for any implicit preference.  Ties in ``f`` are left in input order;
+tied points can never dominate each other (monotonicity is strict), so
+any tie order is correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.core.dominance import RankTable
+
+
+def sort_by_score(
+    rows: Sequence[tuple],
+    ids: Sequence[int],
+    table: RankTable,
+) -> List[int]:
+    """Ids sorted by ascending preference score ``f`` (the presort step)."""
+    score = table.score
+    return sorted(ids, key=lambda i: score(rows[i]))
+
+
+def sfs_scan(
+    rows: Sequence[tuple],
+    sorted_ids: Sequence[int],
+    table: RankTable,
+) -> Iterator[int]:
+    """The skyline-extraction scan over presorted ids.
+
+    Yields skyline ids progressively (each yielded id is definitely in
+    the skyline at the moment it is yielded).
+    """
+    dominates = table.dominates
+    window: List[tuple] = []
+    for i in sorted_ids:
+        p = rows[i]
+        if any(dominates(q, p) for q in window):
+            continue
+        window.append(p)
+        yield i
+
+
+def sfs_skyline(
+    rows: Sequence[tuple],
+    ids: Sequence[int],
+    table: RankTable,
+) -> List[int]:
+    """Complete SFS: presort by ``f`` then scan."""
+    return list(sfs_scan(rows, sort_by_score(rows, ids, table), table))

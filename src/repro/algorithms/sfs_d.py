@@ -1,0 +1,56 @@
+"""SFS-D: the paper's baseline - plain SFS over the *whole dataset*.
+
+Section 5 compares the proposed indexes against ``SFS-D``, "the original
+SFS algorithm returning SKY(R~') with respect to implicit preference R~'
+for dataset D".  SFS-D uses no precomputation whatsoever: for every
+query it re-sorts all ``N`` points by the query's preference score and
+scans.  Its per-query cost is ``O(N log N + N n)``, which is what makes
+it hopeless for online response and motivates IPO-trees / Adaptive SFS.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.algorithms.sfs import sfs_skyline
+from repro.core.dataset import Dataset
+from repro.core.dominance import RankTable
+from repro.core.preferences import Preference
+
+
+class SFSDirect:
+    """Query-at-a-time skyline evaluation with zero preprocessing.
+
+    Stateless apart from dataset/template references; exists as a class
+    so it exposes the same ``query()`` protocol as the real indexes and
+    can be swapped into the benchmark harness.
+
+    Examples
+    --------
+    >>> # doctest setup omitted; see tests/test_sfs_d.py
+    """
+
+    name = "SFS-D"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        template: Optional[Preference] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.template = template if template is not None else Preference.empty()
+
+    def query(self, preference: Optional[Preference] = None) -> List[int]:
+        """Skyline ids for ``preference`` (merged over the template)."""
+        table = RankTable.compile(
+            self.dataset.schema, preference, template=self.template
+        )
+        return sorted(
+            sfs_skyline(
+                self.dataset.canonical_rows, self.dataset.ids, table
+            )
+        )
+
+    def storage_bytes(self) -> int:
+        """Extra storage used by the method (none - reads base data)."""
+        return 0

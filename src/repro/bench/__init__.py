@@ -1,0 +1,31 @@
+"""Benchmark harness regenerating the paper's evaluation figures."""
+
+from repro.bench.experiments import (
+    FIGURES,
+    FigureSpec,
+    RunSpec,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.bench.report import render_figure, render_series
+from repro.bench.runner import METHODS, RunResult, run_figure, run_spec
+
+__all__ = [
+    "FIGURES",
+    "METHODS",
+    "FigureSpec",
+    "RunResult",
+    "RunSpec",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "render_figure",
+    "render_series",
+    "run_figure",
+    "run_spec",
+]

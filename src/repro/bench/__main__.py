@@ -1,0 +1,115 @@
+"""Command-line entry point of the benchmark harness.
+
+Regenerates the paper's figures as text tables::
+
+    python -m repro.bench --figure 4           # scaled Figure 4
+    python -m repro.bench --figure all         # every figure
+    python -m repro.bench --figure 8 --queries 100
+    python -m repro.bench --figure 4 --scale paper --no-sfs-d
+
+Results print to stdout; ``--series FILE`` additionally writes the
+machine-readable series for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.bench.experiments import FIGURES, SCALES
+from repro.bench.report import render_figure, render_series
+from repro.bench.runner import RunResult, run_figure
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the figures of Wong et al.'s evaluation.",
+    )
+    parser.add_argument(
+        "--figure",
+        choices=sorted(FIGURES) + ["all"],
+        default="all",
+        help="which figure to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="scaled",
+        help="parameterisation: laptop 'scaled' (default) or 'paper'",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="random implicit preferences per sweep point "
+        "(default: 20 scaled / 100 paper)",
+    )
+    parser.add_argument(
+        "--no-sfs-d",
+        action="store_true",
+        help="skip the SFS-D baseline (it dominates wall-clock time)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip cross-checking that all methods agree per query",
+    )
+    parser.add_argument(
+        "--series",
+        type=str,
+        default=None,
+        help="also write tab-separated series to this file",
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="render ASCII log-scale charts of panel (b) after each figure",
+    )
+    parser.add_argument(
+        "--check-shapes",
+        action="store_true",
+        help="verify the paper's qualitative claims against the measured "
+        "sweeps and print a verdict per claim",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    wanted = sorted(FIGURES) if args.figure == "all" else [args.figure]
+
+    all_results: List[RunResult] = []
+    for fig_id in wanted:
+        figure = FIGURES[fig_id](args.scale, args.queries)
+        print(f"running {figure.figure} ({figure.title}) ...", file=sys.stderr)
+        results = run_figure(
+            figure,
+            verify=not args.no_verify,
+            include_sfs_d=not args.no_sfs_d,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        )
+        all_results.extend(results)
+        print(render_figure(figure.title, figure.x_label, results))
+        if args.charts:
+            from repro.bench.charts import chart_query_times
+
+            print()
+            print(chart_query_times(results, title=f"{figure.figure} query time"))
+        if args.check_shapes:
+            from repro.bench.paper_reference import check_figure, render_verdicts
+
+            print(f"\npaper shape check ({figure.figure}):")
+            print(render_verdicts(check_figure(figure.figure, results)))
+        print()
+
+    if args.series:
+        with open(args.series, "w") as handle:
+            handle.write(render_series(all_results) + "\n")
+        print(f"series written to {args.series}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

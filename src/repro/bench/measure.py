@@ -1,0 +1,45 @@
+"""Measurement primitives for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Tuple
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` once, returning ``(result, wall seconds)``."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+@contextmanager
+def stopwatch() -> Iterator[List[float]]:
+    """Context manager appending the elapsed seconds to the yielded list.
+
+    >>> with stopwatch() as elapsed:
+    ...     _ = sum(range(10))
+    >>> len(elapsed)
+    1
+    """
+    box: List[float] = []
+    started = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box.append(time.perf_counter() - started)
+
+
+def mean(values: List[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty list."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def dataset_bytes(num_points: int, num_dims: int) -> int:
+    """Analytic base-data footprint: 4 bytes per attribute value.
+
+    Used as the storage figure of SFS-D, which "does not use extra
+    storage but reads the data directly from the dataset" (Section 5).
+    """
+    return 4 * num_points * num_dims

@@ -1,0 +1,169 @@
+"""Rendering of benchmark results as the paper's four panels.
+
+Each figure of the paper has panels (a) preprocessing time, (b) query
+time, (c) storage, (d) proportions.  :func:`render_figure` prints the
+same series as aligned ASCII tables, one row per sweep point, so the
+shape comparison with the published plots is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.bench.runner import METHODS, RunResult
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds != seconds:  # NaN: measurement skipped
+        return "-"
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _format_bytes(count: int) -> str:
+    if count >= 1 << 20:
+        return f"{count / (1 << 20):.2f}MB"
+    if count >= 1 << 10:
+        return f"{count / (1 << 10):.1f}KB"
+    return f"{count}B"
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def render_figure(
+    title: str, x_label: str, results: List[RunResult]
+) -> str:
+    """The four panels of one figure as text."""
+    sections = [f"== {title} =="]
+
+    sections.append("\n(a) preprocessing time")
+    sections.append(
+        _table(
+            [x_label, "IPO Tree", "IPO Tree-k", "SFS-A"],
+            (
+                [
+                    r.spec.x,
+                    _format_seconds(r.preprocessing_seconds["IPO Tree"]),
+                    _format_seconds(r.preprocessing_seconds["IPO Tree-k"]),
+                    _format_seconds(r.preprocessing_seconds["SFS-A"]),
+                ]
+                for r in results
+            ),
+        )
+    )
+
+    sections.append("\n(b) query time (avg over random implicit preferences)")
+    sections.append(
+        _table(
+            [x_label, *METHODS],
+            (
+                [r.spec.x]
+                + [_format_seconds(r.query_seconds[m]) for m in METHODS]
+                for r in results
+            ),
+        )
+    )
+
+    sections.append("\n(c) storage")
+    sections.append(
+        _table(
+            [x_label, *METHODS],
+            (
+                [r.spec.x]
+                + [_format_bytes(r.storage_bytes[m]) for m in METHODS]
+                for r in results
+            ),
+        )
+    )
+
+    sections.append("\n(d) proportions")
+    sections.append(
+        _table(
+            [
+                x_label,
+                "|SKY(R)|/|D|",
+                "|AFFECT(R)|/|SKY(R)|",
+                "|SKY(R')|/|SKY(R)|",
+            ],
+            (
+                [
+                    r.spec.x,
+                    f"{100 * r.sky_ratio:.1f}%",
+                    f"{100 * r.affect_ratio:.1f}%",
+                    f"{100 * r.refined_sky_ratio:.1f}%",
+                ]
+                for r in results
+            ),
+        )
+    )
+
+    extras = []
+    fallbacks = sum(r.ipo_k_fallbacks for r in results)
+    if fallbacks:
+        extras.append(
+            f"IPO Tree-k routed {fallbacks} queries to SFS-A "
+            "(unpopular values)."
+        )
+    sizes = ", ".join(
+        f"{r.spec.x}: n={r.skyline_size}/{r.num_points}" for r in results
+    )
+    extras.append(f"template skyline sizes - {sizes}")
+    sections.append("\n" + "\n".join(extras))
+    return "\n".join(sections)
+
+
+def render_series(results: List[RunResult]) -> str:
+    """Machine-readable series (tab-separated) for external plotting."""
+    lines = [
+        "\t".join(
+            [
+                "figure",
+                "x",
+                "metric",
+                "method",
+                "value",
+            ]
+        )
+    ]
+    for r in results:
+        for method in METHODS:
+            lines.append(
+                f"{r.spec.figure}\t{r.spec.x}\tpreprocessing_s\t{method}\t"
+                f"{r.preprocessing_seconds[method]:.6f}"
+            )
+            lines.append(
+                f"{r.spec.figure}\t{r.spec.x}\tquery_s\t{method}\t"
+                f"{r.query_seconds[method]:.6f}"
+            )
+            lines.append(
+                f"{r.spec.figure}\t{r.spec.x}\tstorage_bytes\t{method}\t"
+                f"{r.storage_bytes[method]}"
+            )
+        lines.append(
+            f"{r.spec.figure}\t{r.spec.x}\tsky_ratio\t-\t{r.sky_ratio:.6f}"
+        )
+        lines.append(
+            f"{r.spec.figure}\t{r.spec.x}\taffect_ratio\t-\t"
+            f"{r.affect_ratio:.6f}"
+        )
+        lines.append(
+            f"{r.spec.figure}\t{r.spec.x}\trefined_sky_ratio\t-\t"
+            f"{r.refined_sky_ratio:.6f}"
+        )
+    return "\n".join(lines)

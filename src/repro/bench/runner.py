@@ -1,0 +1,186 @@
+"""Benchmark runner: executes a :class:`RunSpec` and collects the four
+panels of every figure of the paper.
+
+Per sweep point the runner measures, exactly as Section 5 lists:
+
+1. preprocessing time of ``IPO Tree``, ``IPO Tree-k`` and ``SFS-A``
+   (SFS-D needs none),
+2. average query time of all four methods over ``query_count`` random
+   implicit preferences,
+3. storage (analytic model - ids at 4 bytes - since Python object
+   overhead would drown the structural signal the paper plots),
+4. the three proportions ``|SKY(R)|/|D|``, ``|AFFECT(R)|/|SKY(R)|``
+   and ``|SKY(R')|/|SKY(R)|``.
+
+It also cross-checks, on every query, that all methods return the same
+skyline - the harness doubles as an integration test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.adaptive.adaptive_sfs import AdaptiveSFS
+from repro.algorithms.sfs_d import SFSDirect
+from repro.bench.experiments import FigureSpec, RunSpec
+from repro.bench.measure import dataset_bytes, mean, timed
+from repro.core.preferences import Preference
+from repro.datagen.queries import generate_preferences
+from repro.exceptions import ReproError, UnsupportedQueryError
+from repro.ipo.tree import IPOTree
+
+METHODS = ("IPO Tree", "IPO Tree-k", "SFS-A", "SFS-D")
+
+
+@dataclass
+class RunResult:
+    """All measurements of one sweep point."""
+
+    spec: RunSpec
+    num_points: int
+    skyline_size: int
+    preprocessing_seconds: Dict[str, float] = field(default_factory=dict)
+    query_seconds: Dict[str, float] = field(default_factory=dict)
+    storage_bytes: Dict[str, int] = field(default_factory=dict)
+    sky_ratio: float = 0.0
+    affect_ratio: float = 0.0
+    refined_sky_ratio: float = 0.0
+    ipo_k_fallbacks: int = 0
+    mismatches: int = 0
+
+
+def run_spec(
+    spec: RunSpec,
+    *,
+    verify: bool = True,
+    include_sfs_d: bool = True,
+) -> RunResult:
+    """Execute one sweep point and return its measurements.
+
+    ``include_sfs_d=False`` skips the no-index baseline, which dominates
+    wall-clock time at larger scales.
+    """
+    dataset = spec.dataset_builder()
+    template = spec.template_builder(dataset)
+
+    ipo_tree, ipo_seconds = timed(
+        lambda: IPOTree.build(dataset, template, engine="mdc")
+    )
+    ipo_tree_k, ipo_k_seconds = timed(
+        lambda: IPOTree.build(
+            dataset,
+            template,
+            engine="mdc",
+            values_per_attribute=spec.ipo_k,
+        )
+    )
+    adaptive, adaptive_seconds = timed(lambda: AdaptiveSFS(dataset, template))
+    direct = SFSDirect(dataset, template)
+
+    result = RunResult(
+        spec=spec,
+        num_points=len(dataset),
+        skyline_size=len(ipo_tree.skyline_ids),
+    )
+    result.preprocessing_seconds = {
+        "IPO Tree": ipo_seconds,
+        "IPO Tree-k": ipo_k_seconds,
+        "SFS-A": adaptive_seconds,
+        "SFS-D": 0.0,
+    }
+    result.storage_bytes = {
+        "IPO Tree": ipo_tree.storage_bytes(),
+        "IPO Tree-k": ipo_tree_k.storage_bytes(),
+        "SFS-A": adaptive.storage_bytes(),
+        "SFS-D": dataset_bytes(len(dataset), len(dataset.schema)),
+    }
+
+    preferences = generate_preferences(
+        dataset,
+        spec.order,
+        spec.query_count,
+        template=template,
+        seed=spec.seed + 17,
+    )
+
+    times: Dict[str, List[float]] = {name: [] for name in METHODS}
+    affect_ratios: List[float] = []
+    refined_ratios: List[float] = []
+    skyline_size = max(1, len(ipo_tree.skyline_ids))
+
+    for preference in preferences:
+        ipo_answer, seconds = timed(lambda p=preference: ipo_tree.query(p))
+        times["IPO Tree"].append(seconds)
+
+        try:
+            k_answer, seconds = timed(
+                lambda p=preference: ipo_tree_k.query(p)
+            )
+            times["IPO Tree-k"].append(seconds)
+        except UnsupportedQueryError:
+            # Unpopular value: the paper routes these to SFS-A.
+            k_answer, seconds = timed(
+                lambda p=preference: adaptive.query(p)
+            )
+            times["IPO Tree-k"].append(seconds)
+            result.ipo_k_fallbacks += 1
+
+        sfs_a_answer, seconds = timed(
+            lambda p=preference: adaptive.query(p)
+        )
+        times["SFS-A"].append(seconds)
+
+        if include_sfs_d:
+            sfs_d_answer, seconds = timed(
+                lambda p=preference: direct.query(p)
+            )
+            times["SFS-D"].append(seconds)
+        else:
+            sfs_d_answer = sfs_a_answer
+
+        if verify:
+            answers = {
+                tuple(sorted(ipo_answer)),
+                tuple(sorted(k_answer)),
+                tuple(sorted(sfs_a_answer)),
+                tuple(sorted(sfs_d_answer)),
+            }
+            if len(answers) != 1:
+                result.mismatches += 1
+
+        affect_ratios.append(
+            adaptive.affect_count(preference) / skyline_size
+        )
+        refined_ratios.append(len(sfs_a_answer) / skyline_size)
+
+    result.query_seconds = {name: mean(values) for name, values in times.items()}
+    if not include_sfs_d:
+        result.query_seconds["SFS-D"] = float("nan")
+    result.sky_ratio = len(ipo_tree.skyline_ids) / max(1, len(dataset))
+    result.affect_ratio = mean(affect_ratios)
+    result.refined_sky_ratio = mean(refined_ratios)
+    if result.mismatches:
+        raise ReproError(
+            f"{result.mismatches} of {len(preferences)} queries returned "
+            f"inconsistent skylines across methods in {spec.describe()}"
+        )
+    return result
+
+
+def run_figure(
+    figure: FigureSpec,
+    *,
+    verify: bool = True,
+    include_sfs_d: bool = True,
+    progress=None,
+) -> List[RunResult]:
+    """Execute every sweep point of a figure."""
+    results = []
+    for spec in figure.runs:
+        if progress is not None:
+            progress(spec.describe())
+        results.append(
+            run_spec(spec, verify=verify, include_sfs_d=include_sfs_d)
+        )
+    return results

@@ -1,0 +1,36 @@
+"""Core data model: attributes, orders, preferences, datasets, dominance."""
+
+from repro.core.attributes import (
+    AttributeKind,
+    AttributeSpec,
+    Schema,
+    nominal,
+    numeric_max,
+    numeric_min,
+    ordinal,
+)
+from repro.core.dataset import Dataset
+from repro.core.dominance import RankTable
+from repro.core.io import read_csv, write_csv
+from repro.core.orders import PartialOrder
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.core.skyline import SkylineResult, skyline
+
+__all__ = [
+    "AttributeKind",
+    "AttributeSpec",
+    "Dataset",
+    "ImplicitPreference",
+    "PartialOrder",
+    "Preference",
+    "RankTable",
+    "Schema",
+    "SkylineResult",
+    "nominal",
+    "numeric_max",
+    "numeric_min",
+    "ordinal",
+    "read_csv",
+    "skyline",
+    "write_csv",
+]

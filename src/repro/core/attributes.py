@@ -1,0 +1,274 @@
+"""Attribute and schema definitions.
+
+The paper's data model (Section 2) has points in an m-dimensional space
+``S = D1 x ... x Dm`` where every dimension carries either a fixed total
+order (numeric attributes such as *Price* or *Hotel-class*) or no
+predefined order at all (*nominal* attributes such as *Hotel-group*),
+on which each user supplies her own implicit preference.
+
+This module provides:
+
+* :class:`AttributeKind` - the four supported dimension flavours,
+* :class:`AttributeSpec` - one dimension (name, kind, optional domain),
+* :class:`Schema` - an ordered collection of attribute specs with lookup
+  helpers used throughout the library.
+
+Ordinal attributes (categorical with a fixed, universally agreed total
+order, e.g. the Nursery dataset's ``health`` in ``recommended < priority
+< not_recom``) are supported as first-class citizens: they behave like
+numeric dimensions whose value is the position in the declared order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+
+
+class AttributeKind(enum.Enum):
+    """The flavour of a dimension.
+
+    * ``NUMERIC_MIN`` - totally ordered, smaller values preferred (Price).
+    * ``NUMERIC_MAX`` - totally ordered, larger values preferred
+      (Hotel-class).
+    * ``ORDINAL`` - categorical with a fixed total order declared in the
+      spec's ``domain`` (best value first).
+    * ``NOMINAL`` - categorical with *no* predefined order; users express
+      implicit preferences over its values at query time.
+    """
+
+    NUMERIC_MIN = "numeric_min"
+    NUMERIC_MAX = "numeric_max"
+    ORDINAL = "ordinal"
+    NOMINAL = "nominal"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for dimensions carrying a universal total order."""
+        return self is not AttributeKind.NOMINAL
+
+    @property
+    def is_nominal(self) -> bool:
+        """True for dimensions whose order varies per user."""
+        return self is AttributeKind.NOMINAL
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Specification of a single dimension.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    kind:
+        The :class:`AttributeKind` of the dimension.
+    domain:
+        For ``ORDINAL``: the full ordered domain, *best value first*.
+        For ``NOMINAL``: the full domain (order irrelevant, kept for
+        deterministic value-id assignment).  Must be ``None`` for numeric
+        kinds.
+    """
+
+    name: str
+    kind: AttributeKind
+    domain: Optional[Tuple[object, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+        if self.kind.is_numeric and self.kind is not AttributeKind.ORDINAL:
+            if self.domain is not None:
+                raise SchemaError(
+                    f"numeric attribute {self.name!r} must not declare a domain"
+                )
+        else:
+            if self.domain is None:
+                raise SchemaError(
+                    f"{self.kind.value} attribute {self.name!r} requires a domain"
+                )
+            domain = tuple(self.domain)
+            if len(domain) == 0:
+                raise SchemaError(
+                    f"attribute {self.name!r} has an empty domain"
+                )
+            if len(set(domain)) != len(domain):
+                raise SchemaError(
+                    f"attribute {self.name!r} has duplicate domain values"
+                )
+            object.__setattr__(self, "domain", domain)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values; only defined for domain-ed kinds."""
+        if self.domain is None:
+            raise SchemaError(
+                f"cardinality undefined for numeric attribute {self.name!r}"
+            )
+        return len(self.domain)
+
+    def canonical_value(self, value: object) -> float:
+        """Map ``value`` to a float where *smaller is always better*.
+
+        ``NUMERIC_MIN`` passes the value through, ``NUMERIC_MAX`` negates
+        it and ``ORDINAL`` uses the position in the declared order.  Not
+        defined for nominal attributes (their ordering is query-supplied).
+        """
+        if self.kind is AttributeKind.NUMERIC_MIN:
+            return float(value)  # type: ignore[arg-type]
+        if self.kind is AttributeKind.NUMERIC_MAX:
+            return -float(value)  # type: ignore[arg-type]
+        if self.kind is AttributeKind.ORDINAL:
+            try:
+                return float(self.domain.index(value))  # type: ignore[union-attr]
+            except ValueError:
+                raise SchemaError(
+                    f"value {value!r} not in domain of ordinal "
+                    f"attribute {self.name!r}"
+                ) from None
+        raise SchemaError(
+            f"canonical_value undefined for nominal attribute {self.name!r}"
+        )
+
+
+def numeric_min(name: str) -> AttributeSpec:
+    """Convenience constructor: numeric, smaller preferred (e.g. Price)."""
+    return AttributeSpec(name, AttributeKind.NUMERIC_MIN)
+
+
+def numeric_max(name: str) -> AttributeSpec:
+    """Convenience constructor: numeric, larger preferred (Hotel-class)."""
+    return AttributeSpec(name, AttributeKind.NUMERIC_MAX)
+
+
+def ordinal(name: str, domain: Sequence[object]) -> AttributeSpec:
+    """Convenience constructor: fixed total order, best value first."""
+    return AttributeSpec(name, AttributeKind.ORDINAL, tuple(domain))
+
+
+def nominal(name: str, domain: Sequence[object]) -> AttributeSpec:
+    """Convenience constructor: nominal attribute with the given domain."""
+    return AttributeSpec(name, AttributeKind.NOMINAL, tuple(domain))
+
+
+class Schema:
+    """An ordered collection of :class:`AttributeSpec` objects.
+
+    The schema fixes dimension indices: dimension ``i`` of every data
+    point corresponds to ``schema[i]``.  Names must be unique.
+
+    Examples
+    --------
+    >>> from repro.core.attributes import Schema, numeric_min, numeric_max, nominal
+    >>> schema = Schema([
+    ...     numeric_min("Price"),
+    ...     numeric_max("Hotel-class"),
+    ...     nominal("Hotel-group", ["T", "H", "M"]),
+    ... ])
+    >>> schema.nominal_indices
+    (2,)
+    """
+
+    __slots__ = ("_specs", "_by_name")
+
+    def __init__(self, specs: Iterable[AttributeSpec]) -> None:
+        self._specs: Tuple[AttributeSpec, ...] = tuple(specs)
+        if not self._specs:
+            raise SchemaError("a schema needs at least one attribute")
+        self._by_name: Dict[str, int] = {}
+        for i, spec in enumerate(self._specs):
+            if not isinstance(spec, AttributeSpec):
+                raise SchemaError(f"schema entry {i} is not an AttributeSpec")
+            if spec.name in self._by_name:
+                raise SchemaError(f"duplicate attribute name {spec.name!r}")
+            self._by_name[spec.name] = i
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self._specs)
+
+    def __getitem__(self, index: int) -> AttributeSpec:
+        return self._specs[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    def __repr__(self) -> str:
+        names = ", ".join(
+            f"{spec.name}:{spec.kind.value}" for spec in self._specs
+        )
+        return f"Schema({names})"
+
+    # -- lookups ------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """All attribute names, in dimension order."""
+        return tuple(spec.name for spec in self._specs)
+
+    def index_of(self, name: str) -> int:
+        """Dimension index of the attribute called ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def spec(self, name: str) -> AttributeSpec:
+        """The :class:`AttributeSpec` of the attribute called ``name``."""
+        return self._specs[self.index_of(name)]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    @property
+    def numeric_indices(self) -> Tuple[int, ...]:
+        """Indices of all universally ordered dimensions."""
+        return tuple(
+            i for i, spec in enumerate(self._specs) if spec.kind.is_numeric
+        )
+
+    @property
+    def nominal_indices(self) -> Tuple[int, ...]:
+        """Indices of all nominal dimensions (in dimension order)."""
+        return tuple(
+            i for i, spec in enumerate(self._specs) if spec.kind.is_nominal
+        )
+
+    @property
+    def nominal_names(self) -> Tuple[str, ...]:
+        """Names of all nominal dimensions (in dimension order)."""
+        return tuple(self._specs[i].name for i in self.nominal_indices)
+
+    @property
+    def num_nominal(self) -> int:
+        """``m'`` in the paper: the number of nominal dimensions."""
+        return len(self.nominal_indices)
+
+    def validate_row(self, row: Sequence[object]) -> None:
+        """Raise :class:`SchemaError` unless ``row`` fits this schema."""
+        if len(row) != len(self._specs):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self._specs)}"
+            )
+        for value, spec in zip(row, self._specs):
+            if spec.kind in (AttributeKind.NUMERIC_MIN, AttributeKind.NUMERIC_MAX):
+                if not isinstance(value, (int, float)):
+                    raise SchemaError(
+                        f"attribute {spec.name!r} expects a number, "
+                        f"got {value!r}"
+                    )
+            else:
+                if value not in spec.domain:  # type: ignore[operator]
+                    raise SchemaError(
+                        f"value {value!r} not in domain of {spec.name!r}"
+                    )

@@ -1,0 +1,232 @@
+"""Dataset container with canonical encoding for fast dominance tests.
+
+A :class:`Dataset` couples a :class:`~repro.core.attributes.Schema` with
+a list of rows and maintains, besides the raw values, a *canonical*
+encoding per row:
+
+* universally ordered dimensions (numeric / ordinal) become floats where
+  **smaller is better** (max-dimensions are negated, ordinal dimensions
+  use their position in the declared order),
+* nominal dimensions become small integer *value ids* - the position of
+  the value inside the attribute's declared domain.
+
+The canonical encoding is what every algorithm in this library operates
+on; raw values are kept for presentation.  Value ids are stable across
+datasets sharing a schema (they depend only on the domain declaration),
+which lets rank tables be compiled from the schema alone.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.attributes import AttributeKind, Schema
+from repro.exceptions import DatasetError, SchemaError
+
+Row = Tuple[object, ...]
+CanonicalRow = Tuple[object, ...]
+
+
+class Dataset:
+    """An immutable collection of rows under a fixed schema.
+
+    Examples
+    --------
+    >>> from repro.core.attributes import Schema, numeric_min, numeric_max, nominal
+    >>> schema = Schema([
+    ...     numeric_min("Price"),
+    ...     numeric_max("Hotel-class"),
+    ...     nominal("Hotel-group", ["T", "H", "M"]),
+    ... ])
+    >>> data = Dataset(schema, [(1600, 4, "T"), (3000, 5, "H")])
+    >>> len(data)
+    2
+    >>> data.canonical(0)
+    (1600.0, -4.0, 0)
+    """
+
+    __slots__ = ("_schema", "_raw", "_canon", "_counts")
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[object]]) -> None:
+        self._schema = schema
+        raw: List[Row] = []
+        canon: List[CanonicalRow] = []
+        encoders = _build_encoders(schema)
+        for row in rows:
+            row_t = tuple(row)
+            if len(row_t) != len(schema):
+                raise DatasetError(
+                    f"row {row_t!r} has {len(row_t)} values, "
+                    f"schema has {len(schema)}"
+                )
+            try:
+                canon.append(
+                    tuple(enc(value) for enc, value in zip(encoders, row_t))
+                )
+            except SchemaError as exc:
+                raise DatasetError(f"bad row {row_t!r}: {exc}") from exc
+            raw.append(row_t)
+        self._raw: Tuple[Row, ...] = tuple(raw)
+        self._canon: Tuple[CanonicalRow, ...] = tuple(canon)
+        self._counts: Optional[Dict[str, Counter]] = None
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls, schema: Schema, records: Iterable[Mapping[str, object]]
+    ) -> "Dataset":
+        """Build from mappings keyed by attribute name."""
+        names = schema.names
+        rows = []
+        for record in records:
+            try:
+                rows.append(tuple(record[name] for name in names))
+            except KeyError as exc:
+                raise DatasetError(
+                    f"record is missing attribute {exc.args[0]!r}"
+                ) from exc
+        return cls(schema, rows)
+
+    # -- container protocol -----------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """The schema shared by all rows."""
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._raw)
+
+    def __getitem__(self, point_id: int) -> Row:
+        return self.row(point_id)
+
+    def __repr__(self) -> str:
+        return f"Dataset({len(self._raw)} rows, {self._schema!r})"
+
+    @property
+    def ids(self) -> range:
+        """All point ids (row positions)."""
+        return range(len(self._raw))
+
+    # -- row access -------------------------------------------------------------
+    def row(self, point_id: int) -> Row:
+        """The raw values of point ``point_id``."""
+        try:
+            return self._raw[point_id]
+        except IndexError:
+            raise DatasetError(f"no point with id {point_id}") from None
+
+    def canonical(self, point_id: int) -> CanonicalRow:
+        """The canonical encoding of point ``point_id``."""
+        try:
+            return self._canon[point_id]
+        except IndexError:
+            raise DatasetError(f"no point with id {point_id}") from None
+
+    @property
+    def canonical_rows(self) -> Tuple[CanonicalRow, ...]:
+        """All canonical rows, indexed by point id."""
+        return self._canon
+
+    def value(self, point_id: int, attribute: str) -> object:
+        """Raw value of one attribute of one point."""
+        return self.row(point_id)[self._schema.index_of(attribute)]
+
+    # -- vocabulary helpers -----------------------------------------------------
+    def value_id(self, attribute: str, value: object) -> int:
+        """The canonical integer id of a nominal/ordinal value."""
+        spec = self._schema.spec(attribute)
+        if spec.domain is None:
+            raise DatasetError(
+                f"attribute {attribute!r} has no finite domain"
+            )
+        try:
+            return spec.domain.index(value)
+        except ValueError:
+            raise DatasetError(
+                f"value {value!r} not in domain of {attribute!r}"
+            ) from None
+
+    def value_of_id(self, attribute: str, value_id: int) -> object:
+        """Inverse of :meth:`value_id`."""
+        spec = self._schema.spec(attribute)
+        if spec.domain is None:
+            raise DatasetError(
+                f"attribute {attribute!r} has no finite domain"
+            )
+        try:
+            return spec.domain[value_id]
+        except IndexError:
+            raise DatasetError(
+                f"no value id {value_id} in domain of {attribute!r}"
+            ) from None
+
+    def cardinality(self, attribute: str) -> int:
+        """Domain size of a nominal/ordinal attribute."""
+        return self._schema.spec(attribute).cardinality
+
+    # -- statistics --------------------------------------------------------------
+    def value_counts(self, attribute: str) -> Counter:
+        """Occurrence counts of the raw values of one nominal attribute.
+
+        Used to pick "popular" values for IPO-Tree-k and for the paper's
+        default template (most frequent value preferred).
+        """
+        if self._counts is None:
+            self._counts = {}
+        if attribute not in self._counts:
+            idx = self._schema.index_of(attribute)
+            self._counts[attribute] = Counter(row[idx] for row in self._raw)
+        return self._counts[attribute]
+
+    def most_frequent(self, attribute: str, k: int = 1) -> List[object]:
+        """The ``k`` most frequent values of one nominal attribute.
+
+        Ties broken by domain order for determinism.  Domain values that
+        never occur still participate (with count zero) so the result
+        always has ``min(k, cardinality)`` entries.
+        """
+        spec = self._schema.spec(attribute)
+        if spec.domain is None:
+            raise DatasetError(
+                f"attribute {attribute!r} has no finite domain"
+            )
+        counts = self.value_counts(attribute)
+        ranked = sorted(
+            spec.domain,
+            key=lambda v: (-counts.get(v, 0), spec.domain.index(v)),
+        )
+        return list(ranked[: max(0, k)])
+
+    # -- derivation ---------------------------------------------------------------
+    def subset(self, point_ids: Iterable[int]) -> "Dataset":
+        """A new dataset holding only the given points (ids re-assigned)."""
+        return Dataset(self._schema, [self.row(i) for i in point_ids])
+
+    def extended(self, rows: Iterable[Sequence[object]]) -> "Dataset":
+        """A new dataset with extra rows appended (ids of old rows kept)."""
+        return Dataset(self._schema, list(self._raw) + [tuple(r) for r in rows])
+
+
+def _build_encoders(schema: Schema):
+    """One canonicalising callable per dimension of ``schema``."""
+    encoders = []
+    for spec in schema:
+        if spec.kind is AttributeKind.NOMINAL:
+            domain_index = {v: i for i, v in enumerate(spec.domain)}  # type: ignore[arg-type]
+
+            def encode_nominal(value, _index=domain_index, _spec=spec):
+                try:
+                    return _index[value]
+                except KeyError:
+                    raise SchemaError(
+                        f"value {value!r} not in domain of {_spec.name!r}"
+                    ) from None
+
+            encoders.append(encode_nominal)
+        else:
+            encoders.append(spec.canonical_value)
+    return encoders

@@ -1,0 +1,117 @@
+"""CSV import/export for datasets.
+
+Real deployments load their catalogues from files; this module gives
+:class:`~repro.core.dataset.Dataset` a schema-driven CSV path:
+
+* :func:`read_csv` parses values according to the schema (numeric
+  dimensions through ``float`` - with integral floats collapsed back to
+  ``int`` so round-trips are faithful - domain-ed dimensions verbatim),
+* :func:`write_csv` emits a header row plus one row per point.
+
+Only the attributes named by the schema are read; extra CSV columns are
+ignored, missing ones raise :class:`~repro.exceptions.DatasetError`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.core.attributes import AttributeKind, Schema
+from repro.core.dataset import Dataset
+from repro.exceptions import DatasetError
+
+PathOrText = Union[str, Path]
+
+
+def read_csv(
+    schema: Schema,
+    source: Union[PathOrText, io.TextIOBase],
+    *,
+    delimiter: str = ",",
+) -> Dataset:
+    """Load a dataset from a CSV file (or open text handle).
+
+    The first row must be a header naming at least every schema
+    attribute (order irrelevant, extras ignored).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return read_csv(schema, handle, delimiter=delimiter)
+
+    reader = csv.reader(source, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise DatasetError("CSV input is empty (no header row)") from None
+    header = [column.strip() for column in header]
+
+    column_of = {}
+    for spec in schema:
+        try:
+            column_of[spec.name] = header.index(spec.name)
+        except ValueError:
+            raise DatasetError(
+                f"CSV header is missing attribute {spec.name!r} "
+                f"(found {header!r})"
+            ) from None
+
+    parsers = [_parser_for(spec) for spec in schema]
+    rows: List[tuple] = []
+    for line_number, record in enumerate(reader, start=2):
+        if not record or all(cell.strip() == "" for cell in record):
+            continue  # tolerate blank lines
+        try:
+            rows.append(
+                tuple(
+                    parse(record[column_of[spec.name]].strip())
+                    for spec, parse in zip(schema, parsers)
+                )
+            )
+        except (IndexError, ValueError) as exc:
+            raise DatasetError(
+                f"CSV line {line_number}: cannot parse {record!r}: {exc}"
+            ) from exc
+    return Dataset(schema, rows)
+
+
+def write_csv(
+    dataset: Dataset,
+    target: Union[PathOrText, io.TextIOBase],
+    *,
+    delimiter: str = ",",
+) -> None:
+    """Write ``dataset`` (header + raw rows) as CSV."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", newline="") as handle:
+            write_csv(dataset, handle, delimiter=delimiter)
+            return
+    writer = csv.writer(target, delimiter=delimiter)
+    writer.writerow(dataset.schema.names)
+    for row in dataset:
+        writer.writerow(row)
+
+
+def _parser_for(spec):
+    if spec.kind in (AttributeKind.NUMERIC_MIN, AttributeKind.NUMERIC_MAX):
+
+        def parse_number(text: str):
+            value = float(text)
+            # Keep integers as integers so write->read round-trips.
+            return int(value) if value.is_integer() else value
+
+        return parse_number
+
+    domain_by_str = {str(v): v for v in spec.domain}
+
+    def parse_domain(text: str, _lookup=domain_by_str, _spec=spec):
+        try:
+            return _lookup[text]
+        except KeyError:
+            raise ValueError(
+                f"value {text!r} not in domain of {_spec.name!r}"
+            ) from None
+
+    return parse_domain

@@ -1,0 +1,198 @@
+"""Strict partial orders over attribute values.
+
+Section 2 of the paper models a user's preference on one attribute as a
+partial order.  The paper writes a partial order as the relation
+``R = {(u, v) | u < v}`` (we store the *strict* part only; reflexive pairs
+carry no information).  This module implements that model:
+
+* :class:`PartialOrder` - an immutable strict partial order given by its
+  set of pairs, with transitive closure, refinement test (``R subseteq
+  R'``, Property 1), conflict-freeness (Definition 1) and chain/total
+  order helpers.
+
+The dominance relation itself is *not* evaluated through these objects -
+the hot path uses compiled rank tables (:mod:`repro.core.dominance`).
+``PartialOrder`` is the semantic ground truth used for validation, for
+Minimal Disqualifying Conditions and for the property-based tests that
+pin the fast path to the formal definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
+
+from repro.exceptions import ConflictError, PreferenceError
+
+Pair = Tuple[object, object]
+
+
+def transitive_closure(pairs: Iterable[Pair]) -> FrozenSet[Pair]:
+    """Return the transitive closure of a set of strict-order pairs.
+
+    Uses a simple worklist propagation; the orders handled here are tiny
+    (attribute domains, not datasets), so asymptotics are irrelevant.
+    """
+    successors: Dict[object, Set[object]] = {}
+    for u, v in pairs:
+        successors.setdefault(u, set()).add(v)
+
+    closed: Set[Pair] = set()
+    for start in list(successors):
+        # Depth-first reachability from ``start``.
+        stack = list(successors.get(start, ()))
+        seen: Set[object] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            closed.add((start, node))
+            stack.extend(successors.get(node, ()))
+    return frozenset(closed)
+
+
+class PartialOrder:
+    """An immutable strict partial order ``u < v`` over hashable values.
+
+    The constructor takes any iterable of pairs, closes it transitively
+    and validates irreflexivity and asymmetry, i.e. that the input really
+    describes a strict partial order.
+
+    Examples
+    --------
+    >>> r = PartialOrder([("T", "M"), ("M", "H")])
+    >>> r.better("T", "H")          # via transitivity
+    True
+    >>> r.refines(PartialOrder([("T", "M")]))
+    True
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Iterable[Pair] = ()) -> None:
+        closed = transitive_closure(pairs)
+        for u, v in closed:
+            if u == v:
+                raise PreferenceError(
+                    f"reflexive pair ({u!r}, {v!r}) in strict partial order"
+                )
+            if (v, u) in closed:
+                raise PreferenceError(
+                    f"cycle detected: both {u!r} < {v!r} and {v!r} < {u!r}"
+                )
+        self._pairs: FrozenSet[Pair] = closed
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_chain(cls, chain: Iterable[object]) -> "PartialOrder":
+        """Total order over the listed values: first element is best."""
+        values = list(chain)
+        pairs = [
+            (values[i], values[j])
+            for i in range(len(values))
+            for j in range(i + 1, len(values))
+        ]
+        return cls(pairs)
+
+    @classmethod
+    def empty(cls) -> "PartialOrder":
+        """The empty order (every pair of values incomparable)."""
+        return cls(())
+
+    # -- basic protocol ---------------------------------------------------
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        """The transitively closed set of strict pairs ``(u, v)``."""
+        return self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialOrder):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{u!r}<{v!r}" for u, v in sorted(self._pairs, key=repr)
+        )
+        return f"PartialOrder({{{inner}}})"
+
+    # -- order queries ------------------------------------------------------
+    def better(self, u: object, v: object) -> bool:
+        """True iff ``u`` is strictly preferred to ``v`` (``u < v``)."""
+        return (u, v) in self._pairs
+
+    def better_or_equal(self, u: object, v: object) -> bool:
+        """True iff ``u == v`` or ``u`` is strictly preferred to ``v``."""
+        return u == v or (u, v) in self._pairs
+
+    def comparable(self, u: object, v: object) -> bool:
+        """True iff the two values are ordered either way (or equal)."""
+        return u == v or (u, v) in self._pairs or (v, u) in self._pairs
+
+    def values(self) -> FrozenSet[object]:
+        """All values mentioned by at least one pair."""
+        out: Set[object] = set()
+        for u, v in self._pairs:
+            out.add(u)
+            out.add(v)
+        return frozenset(out)
+
+    def is_total_over(self, domain: Iterable[object]) -> bool:
+        """True iff every two distinct domain values are comparable."""
+        values = list(domain)
+        for i, u in enumerate(values):
+            for v in values[i + 1 :]:
+                if not self.comparable(u, v):
+                    return False
+        return True
+
+    # -- relations between orders (Section 2 of the paper) -----------------
+    def refines(self, other: "PartialOrder") -> bool:
+        """True iff ``self`` is a refinement of ``other`` (``other ⊆ self``).
+
+        ``R'`` refines ``R`` when every pair of ``R`` is also in ``R'``.
+        A stronger order is a refinement that is not equal.
+        """
+        return other._pairs <= self._pairs
+
+    def stronger_than(self, other: "PartialOrder") -> bool:
+        """True iff ``self`` refines ``other`` and differs from it."""
+        return self.refines(other) and self._pairs != other._pairs
+
+    def conflict_free(self, other: "PartialOrder") -> bool:
+        """Definition 1: no pair ordered one way here, the other way there."""
+        for u, v in self._pairs:
+            if (v, u) in other._pairs:
+                return False
+        return True
+
+    def union(self, other: "PartialOrder") -> "PartialOrder":
+        """Combined order; raises :class:`ConflictError` on conflicts.
+
+        The union is closed transitively, so even *indirect* cycles
+        introduced by combining two individually valid orders are caught.
+        """
+        if not self.conflict_free(other):
+            raise ConflictError("orders are not conflict-free")
+        try:
+            return PartialOrder(self._pairs | other._pairs)
+        except PreferenceError as exc:
+            raise ConflictError(
+                f"union of orders is cyclic after closure: {exc}"
+            ) from exc
+
+    def minus(self, other: "PartialOrder") -> FrozenSet[Pair]:
+        """Pairs present here but absent from ``other`` (not closed)."""
+        return self._pairs - other._pairs

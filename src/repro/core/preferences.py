@@ -1,0 +1,406 @@
+"""Implicit preferences on nominal attributes.
+
+Definition 2 of the paper: an *implicit preference* on a nominal
+attribute with domain ``{v1, ..., vk}`` is written
+
+    ``v1 < v2 < ... < vx < *``
+
+and is equivalent to the partial order ``{(vi, vj) | i < j, i in [1, x],
+j in [1, k]}`` - the listed values are totally ordered among themselves
+and each beats every *unlisted* value, while unlisted values remain
+mutually incomparable.  ``x`` is the *order* of the preference.
+
+This module provides:
+
+* :class:`ImplicitPreference` - one attribute's preference (the chain of
+  listed values), with parsing from/formatting to the paper's ``<``/``≺``
+  notation, expansion into a :class:`~repro.core.orders.PartialOrder`,
+  refinement and conflict tests, and rank maps used by the fast path.
+* :class:`Preference` - the multi-dimensional object ``R~ = (R~1, ...,
+  R~m')`` mapping nominal attribute names to implicit preferences.
+
+Templates (Section 2) are ordinary :class:`Preference` objects; a query
+preference must *refine* its template, which for implicit preferences
+means the template's chain is a prefix of the query's chain on every
+dimension.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.core.attributes import Schema
+from repro.core.orders import Pair, PartialOrder
+from repro.exceptions import ConflictError, PreferenceError, RefinementError
+
+# Accept both the ASCII and the typographic separator used in the paper.
+_SEPARATOR = re.compile(r"\s*(?:<|≺)\s*")
+_STAR = "*"
+
+
+class ImplicitPreference:
+    """An implicit preference ``v1 < ... < vx < *`` on one attribute.
+
+    The empty preference (``x == 0``, written ``*`` or ``φ``) is allowed
+    and means "no special preference": all values are incomparable.
+
+    Examples
+    --------
+    >>> p = ImplicitPreference.parse("T < M < *")
+    >>> p.choices
+    ('T', 'M')
+    >>> p.order
+    2
+    >>> str(p)
+    'T < M < *'
+    """
+
+    __slots__ = ("_choices",)
+
+    def __init__(self, choices: Iterable[object] = ()) -> None:
+        chain = tuple(choices)
+        if len(set(chain)) != len(chain):
+            raise PreferenceError(
+                f"implicit preference lists a value twice: {chain!r}"
+            )
+        self._choices: Tuple[object, ...] = chain
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "ImplicitPreference":
+        """Parse the paper notation, e.g. ``"T < M < *"`` or ``"H≺M≺*"``.
+
+        A bare ``"*"`` (or empty string, or ``"φ"``) denotes the empty
+        preference.  The trailing ``*`` is optional: ``"T < M"`` is read
+        as ``"T < M < *"``.
+        """
+        text = text.strip()
+        if text in ("", _STAR, "φ", "phi"):
+            return cls(())
+        tokens = [tok for tok in _SEPARATOR.split(text) if tok != ""]
+        if tokens and tokens[-1] == _STAR:
+            tokens = tokens[:-1]
+        if _STAR in tokens:
+            raise PreferenceError(
+                f"'*' may only appear last in an implicit preference: {text!r}"
+            )
+        if not tokens:
+            raise PreferenceError(f"cannot parse implicit preference {text!r}")
+        return cls(tokens)
+
+    # -- basic protocol ------------------------------------------------------
+    @property
+    def choices(self) -> Tuple[object, ...]:
+        """The listed values, best first."""
+        return self._choices
+
+    @property
+    def order(self) -> int:
+        """``x``, the number of listed values (Definition 2)."""
+        return len(self._choices)
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the "no special preference" case."""
+        return not self._choices
+
+    def __bool__(self) -> bool:
+        return bool(self._choices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ImplicitPreference):
+            return NotImplemented
+        return self._choices == other._choices
+
+    def __hash__(self) -> int:
+        return hash(self._choices)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._choices)
+
+    def __contains__(self, value: object) -> bool:
+        """Paper wording: "a value vj is said to be *in* R~i"."""
+        return value in self._choices
+
+    def __str__(self) -> str:
+        if not self._choices:
+            return _STAR
+        return " < ".join(str(v) for v in self._choices) + " < *"
+
+    def __repr__(self) -> str:
+        return f"ImplicitPreference({list(self._choices)!r})"
+
+    def entry(self, j: int) -> object:
+        """The j-th entry (1-based, as in Algorithm 1 line 9)."""
+        if not 1 <= j <= len(self._choices):
+            raise PreferenceError(
+                f"entry index {j} out of range 1..{len(self._choices)}"
+            )
+        return self._choices[j - 1]
+
+    # -- semantics ----------------------------------------------------------
+    def validate_against(self, domain: Sequence[object]) -> None:
+        """Raise unless every listed value belongs to ``domain``."""
+        domain_set = set(domain)
+        for v in self._choices:
+            if v not in domain_set:
+                raise PreferenceError(
+                    f"preference value {v!r} not in attribute domain"
+                )
+
+    def to_partial_order(self, domain: Sequence[object]) -> PartialOrder:
+        """Expand into the equivalent partial order ``P(R~i)``.
+
+        Definition 2: ``{(vi, vj) | i < j and i in [1, x] and j in [1, k]}``
+        where ``v_{x+1} .. v_k`` are the unlisted domain values.
+        """
+        self.validate_against(domain)
+        listed = self._choices
+        unlisted = [v for v in domain if v not in set(listed)]
+        pairs = []
+        for i, u in enumerate(listed):
+            for w in listed[i + 1 :]:
+                pairs.append((u, w))
+            for w in unlisted:
+                pairs.append((u, w))
+        return PartialOrder(pairs)
+
+    def pair_set(self, domain: Sequence[object]) -> FrozenSet[Pair]:
+        """``P(R~i)`` as a raw pair set (same content as the partial order)."""
+        return self.to_partial_order(domain).pairs
+
+    def rank_map(self, domain: Sequence[object]) -> Dict[object, int]:
+        """Rank every domain value per Section 4.2.
+
+        Listed values get ranks ``1..x`` and every unlisted value gets the
+        default rank ``c`` (the attribute cardinality), so that
+        ``r(u) < r(v)`` iff ``u < v`` is derivable from the preference.
+        Distinct values sharing the default rank are *incomparable*, which
+        the dominance engine handles by comparing raw values on rank ties.
+        """
+        self.validate_against(domain)
+        cardinality = len(domain)
+        ranks = {v: cardinality for v in domain}
+        for i, v in enumerate(self._choices):
+            ranks[v] = i + 1
+        return ranks
+
+    # -- relations between implicit preferences -----------------------------
+    def refines(self, other: "ImplicitPreference") -> bool:
+        """True iff this preference refines ``other``.
+
+        For implicit preferences, ``P(other) ⊆ P(self)`` holds exactly
+        when ``other``'s chain is a prefix of this chain.  (Any listed
+        value of ``other`` beats *all* other values, so it must keep its
+        exact position in any refinement.)
+        """
+        k = other.order
+        return self._choices[:k] == other._choices
+
+    def conflict_free(self, other: "ImplicitPreference") -> bool:
+        """Definition 1 specialised to two implicit preferences.
+
+        Two implicit preferences on the same attribute are conflict-free
+        iff one chain is a prefix of the other: the moment they first
+        disagree, say at position ``i`` with values ``u != w``, one
+        contains ``(u, w)`` and the other ``(w, u)``.
+        """
+        return self.refines(other) or other.refines(self)
+
+    def extended_with(self, value: object) -> "ImplicitPreference":
+        """The refinement ``v1 < ... < vx < value < *`` (Theorem 2's R~''')."""
+        if value in self._choices:
+            raise PreferenceError(f"value {value!r} already listed")
+        return ImplicitPreference(self._choices + (value,))
+
+    def prefix(self, length: int) -> "ImplicitPreference":
+        """The first ``length`` listed values as a lower-order preference."""
+        if length < 0 or length > len(self._choices):
+            raise PreferenceError(
+                f"prefix length {length} out of range 0..{len(self._choices)}"
+            )
+        return ImplicitPreference(self._choices[:length])
+
+
+class Preference:
+    """A multi-dimensional implicit preference ``R~ = (R~1, ..., R~m')``.
+
+    Maps nominal attribute *names* to :class:`ImplicitPreference`
+    objects.  Attributes not mentioned carry the empty preference.
+    Instances are immutable and hashable so they can key caches.
+
+    Examples
+    --------
+    >>> pref = Preference({"Hotel-group": "M < H < *", "Airline": "G < *"})
+    >>> pref["Hotel-group"].choices
+    ('M', 'H')
+    >>> pref.order
+    2
+    """
+
+    __slots__ = ("_prefs",)
+
+    def __init__(
+        self,
+        prefs: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        normalised: Dict[str, ImplicitPreference] = {}
+        for name, raw in (prefs or {}).items():
+            pref = _coerce(raw)
+            if not pref.is_empty:
+                normalised[name] = pref
+        self._prefs: Dict[str, ImplicitPreference] = normalised
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Preference":
+        """Parse ``"Hotel-group: M < H < *; Airline: G < *"``."""
+        prefs: Dict[str, object] = {}
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if ":" not in clause:
+                raise PreferenceError(
+                    f"expected 'attribute: chain' clause, got {clause!r}"
+                )
+            name, chain = clause.split(":", 1)
+            prefs[name.strip()] = ImplicitPreference.parse(chain)
+        return cls(prefs)
+
+    @classmethod
+    def empty(cls) -> "Preference":
+        """The preference with no constraints on any attribute."""
+        return cls({})
+
+    # -- basic protocol -------------------------------------------------------
+    def __getitem__(self, name: str) -> ImplicitPreference:
+        """Per-attribute preference; empty if the attribute is unmentioned."""
+        return self._prefs.get(name, ImplicitPreference())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._prefs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Preference):
+            return NotImplemented
+        return self._prefs == other._prefs
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._prefs.items()))
+
+    def __bool__(self) -> bool:
+        return bool(self._prefs)
+
+    def __str__(self) -> str:
+        if not self._prefs:
+            return "(no preference)"
+        return "; ".join(
+            f"{name}: {pref}" for name, pref in sorted(self._prefs.items())
+        )
+
+    def __repr__(self) -> str:
+        return f"Preference({{{', '.join(f'{k!r}: {str(v)!r}' for k, v in sorted(self._prefs.items()))}}})"
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Names of attributes with a non-empty preference, sorted."""
+        return tuple(sorted(self._prefs))
+
+    @property
+    def order(self) -> int:
+        """``order(R~) = max_i order(R~i)`` (0 when fully empty)."""
+        if not self._prefs:
+            return 0
+        return max(p.order for p in self._prefs.values())
+
+    def items(self) -> Iterator[Tuple[str, ImplicitPreference]]:
+        """(name, preference) pairs for non-empty dimensions, sorted."""
+        return iter(sorted(self._prefs.items()))
+
+    # -- semantics -----------------------------------------------------------
+    def validate_against(self, schema: Schema) -> None:
+        """Raise unless every mentioned attribute is nominal in ``schema``
+        and every listed value belongs to the attribute's domain."""
+        for name, pref in self._prefs.items():
+            if name not in schema:
+                raise PreferenceError(f"unknown attribute {name!r}")
+            spec = schema.spec(name)
+            if not spec.kind.is_nominal:
+                raise PreferenceError(
+                    f"attribute {name!r} is {spec.kind.value}, not nominal; "
+                    "implicit preferences only apply to nominal attributes"
+                )
+            pref.validate_against(spec.domain)  # type: ignore[arg-type]
+
+    def pair_sets(self, schema: Schema) -> Dict[str, FrozenSet[Pair]]:
+        """``P(R~)`` split per attribute: name -> pair set."""
+        self.validate_against(schema)
+        return {
+            name: pref.pair_set(schema.spec(name).domain)  # type: ignore[arg-type]
+            for name, pref in self._prefs.items()
+        }
+
+    # -- relations --------------------------------------------------------------
+    def refines(self, other: "Preference") -> bool:
+        """True iff this preference refines ``other`` on every dimension."""
+        for name, base in other._prefs.items():
+            if not self[name].refines(base):
+                return False
+        return True
+
+    def conflict_free(self, other: "Preference") -> bool:
+        """Definition 1 lifted to all dimensions."""
+        names = set(self._prefs) | set(other._prefs)
+        return all(self[n].conflict_free(other[n]) for n in names)
+
+    def merged_over(self, template: "Preference") -> "Preference":
+        """Combine a query preference with its template.
+
+        Dimensions the query leaves empty inherit the template's chain;
+        dimensions the query mentions must refine the template there.
+        Raises :class:`RefinementError` otherwise (Theorem 1 only licenses
+        answering refinements from the template skyline).
+        """
+        merged: Dict[str, ImplicitPreference] = dict(template._prefs)
+        for name, pref in self._prefs.items():
+            base = template[name]
+            if not pref.refines(base):
+                raise RefinementError(
+                    f"preference on {name!r} ({pref}) does not refine the "
+                    f"template ({base})"
+                )
+            merged[name] = pref
+        return Preference(merged)
+
+    def restricted_to(self, names: Iterable[str]) -> "Preference":
+        """Keep only the preferences on the listed attribute names."""
+        keep = set(names)
+        return Preference(
+            {n: p for n, p in self._prefs.items() if n in keep}
+        )
+
+    def with_dimension(
+        self, name: str, pref: "ImplicitPreference"
+    ) -> "Preference":
+        """A copy with the preference on ``name`` replaced by ``pref``."""
+        out = dict(self._prefs)
+        if pref.is_empty:
+            out.pop(name, None)
+        else:
+            out[name] = pref
+        return Preference(out)
+
+
+def _coerce(raw: object) -> ImplicitPreference:
+    """Accept ImplicitPreference | str | iterable-of-values."""
+    if isinstance(raw, ImplicitPreference):
+        return raw
+    if isinstance(raw, str):
+        return ImplicitPreference.parse(raw)
+    if isinstance(raw, (list, tuple)):
+        return ImplicitPreference(raw)
+    raise PreferenceError(
+        f"cannot interpret {raw!r} as an implicit preference"
+    )

@@ -1,0 +1,38 @@
+"""Workload generation: the paper's synthetic and real datasets."""
+
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+    synthetic_schema,
+)
+from repro.datagen.nominal import ZipfSampler, zipf_column
+from repro.datagen.numeric import DISTRIBUTIONS, numeric_matrix
+from repro.datagen.nursery import (
+    NOMINAL_ATTRIBUTES,
+    NURSERY_DOMAINS,
+    NUM_INSTANCES,
+    nursery_dataset,
+    nursery_rows,
+    nursery_schema,
+)
+from repro.datagen.queries import generate_preference, generate_preferences
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "NOMINAL_ATTRIBUTES",
+    "NURSERY_DOMAINS",
+    "NUM_INSTANCES",
+    "SyntheticConfig",
+    "ZipfSampler",
+    "frequent_value_template",
+    "generate",
+    "generate_preference",
+    "generate_preferences",
+    "numeric_matrix",
+    "nursery_dataset",
+    "nursery_rows",
+    "nursery_schema",
+    "synthetic_schema",
+    "zipf_column",
+]

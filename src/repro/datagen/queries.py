@@ -1,0 +1,158 @@
+"""Random implicit-preference workloads.
+
+The paper's measurement protocol (Section 5): "in each experiment, we
+randomly generated 100 implicit preferences, and the average query time
+is reported", with "the order of R~'_i for each nominal attribute Di is
+x" when the experiment sets the preference order to ``x``.
+
+A generated preference must *refine* the template the indexes were
+built with (Theorem 1), so every chain starts with the template's
+values and is extended with distinct extra values up to length ``x``.
+Extra values are drawn either
+
+* ``"frequency"``-weighted (default) - sampled proportionally to their
+  occurrence counts, modelling users asking about values that exist in
+  the catalogue (and matching the Zipfian data generation, which is
+  what keeps *IPO Tree-10* useful: popular values dominate queries), or
+* ``"uniform"`` - every non-template value equally likely.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.exceptions import PreferenceError
+
+WEIGHTINGS = ("frequency", "uniform")
+
+
+def popular_values_from_history(
+    history: Sequence[Preference],
+    schema,
+    *,
+    k: int,
+) -> Dict[str, List[object]]:
+    """The ``k`` most-queried values per nominal attribute.
+
+    Section 3.1: "The tree size can be further controlled if we know
+    the query pattern (e.g., from a history of user queries)."  Feed
+    the result to :meth:`IPOTree.build`'s ``values_per_attribute`` to
+    materialise exactly the values users actually ask about.
+
+    Values never seen in the history are appended in domain order until
+    ``k`` values are reached, so a cold-start history still yields a
+    usable tree.
+    """
+    from collections import Counter
+
+    counts: Dict[str, Counter] = {
+        name: Counter() for name in schema.nominal_names
+    }
+    for pref in history:
+        for name in schema.nominal_names:
+            for value in pref[name].choices:
+                counts[name][value] += 1
+    out: Dict[str, List[object]] = {}
+    for name in schema.nominal_names:
+        domain = schema.spec(name).domain
+        ranked = sorted(
+            domain,
+            key=lambda v: (-counts[name].get(v, 0), domain.index(v)),
+        )
+        out[name] = list(ranked[: max(1, k)])
+    return out
+
+
+def generate_preference(
+    dataset: Dataset,
+    order: int,
+    *,
+    template: Optional[Preference] = None,
+    rng: Optional[random.Random] = None,
+    weighting: str = "frequency",
+) -> Preference:
+    """One random order-``x`` implicit preference refining ``template``.
+
+    Every nominal attribute receives a chain of exactly
+    ``min(order, cardinality)`` values; ``order=0`` returns the template
+    itself (the "no special preference" query of Figure 8).
+    """
+    if weighting not in WEIGHTINGS:
+        raise PreferenceError(
+            f"unknown weighting {weighting!r}; choose one of {WEIGHTINGS}"
+        )
+    if order < 0:
+        raise PreferenceError("preference order must be non-negative")
+    rng = rng if rng is not None else random.Random()
+    template = template if template is not None else Preference.empty()
+    template.validate_against(dataset.schema)
+
+    prefs: Dict[str, ImplicitPreference] = {}
+    for name in dataset.schema.nominal_names:
+        base = list(template[name].choices)
+        target = min(order, dataset.cardinality(name))
+        if target < len(base):
+            raise PreferenceError(
+                f"order {order} is below the template's order "
+                f"{len(base)} on attribute {name!r}"
+            )
+        chain = base + _draw_extensions(
+            dataset, name, base, target - len(base), rng, weighting
+        )
+        if chain:
+            prefs[name] = ImplicitPreference(tuple(chain))
+    return Preference(prefs)
+
+
+def generate_preferences(
+    dataset: Dataset,
+    order: int,
+    count: int,
+    *,
+    template: Optional[Preference] = None,
+    seed: int = 0,
+    weighting: str = "frequency",
+) -> List[Preference]:
+    """A deterministic batch of random preferences (the 100-query runs)."""
+    rng = random.Random(seed)
+    return [
+        generate_preference(
+            dataset,
+            order,
+            template=template,
+            rng=rng,
+            weighting=weighting,
+        )
+        for _ in range(count)
+    ]
+
+
+def _draw_extensions(
+    dataset: Dataset,
+    attribute: str,
+    exclude: Sequence[object],
+    how_many: int,
+    rng: random.Random,
+    weighting: str,
+) -> List[object]:
+    """Distinct non-excluded values of ``attribute``."""
+    spec = dataset.schema.spec(attribute)
+    pool = [v for v in spec.domain if v not in set(exclude)]  # type: ignore[union-attr]
+    if how_many > len(pool):
+        how_many = len(pool)
+    if how_many <= 0:
+        return []
+    if weighting == "uniform":
+        return rng.sample(pool, how_many)
+    counts = dataset.value_counts(attribute)
+    chosen: List[object] = []
+    candidates = list(pool)
+    for _ in range(how_many):
+        # +1 smoothing keeps zero-count domain values drawable.
+        weights = [counts.get(v, 0) + 1 for v in candidates]
+        pick = rng.choices(range(len(candidates)), weights=weights, k=1)[0]
+        chosen.append(candidates.pop(pick))
+    return chosen

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while still being able to distinguish the
+individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or a row/value is inconsistent with the schema."""
+
+
+class DatasetError(ReproError):
+    """A dataset operation failed (bad row shape, unknown value, bad id)."""
+
+
+class PreferenceError(ReproError):
+    """A preference is malformed or incompatible with a schema."""
+
+
+class ConflictError(PreferenceError):
+    """Two orders are not conflict-free (Definition 1 of the paper).
+
+    Raised when combining partial orders that contain both ``(u, v)`` and
+    ``(v, u)`` for some pair of distinct values ``u`` and ``v``.
+    """
+
+
+class RefinementError(PreferenceError):
+    """A query preference does not refine the index template (Theorem 1).
+
+    Both the IPO-tree and the Adaptive SFS index only retain enough state to
+    answer queries whose preference is a refinement of the template the index
+    was built for.  Anything else would silently return wrong skylines, so we
+    raise instead.
+    """
+
+
+class IndexError_(ReproError):
+    """An index structure was used in an unsupported way.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class UnsupportedQueryError(IndexError_):
+    """The index cannot answer this query (e.g. IPO-Tree-k missing a value)."""

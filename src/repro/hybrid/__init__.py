@@ -1,0 +1,5 @@
+"""Hybrid deployment: IPO Tree-k with Adaptive SFS fallback."""
+
+from repro.hybrid.hybrid import HybridIndex, RoutingStats
+
+__all__ = ["HybridIndex", "RoutingStats"]

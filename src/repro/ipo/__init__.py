@@ -1,0 +1,22 @@
+"""IPO-tree: the partial-materialisation index of Section 3."""
+
+from repro.ipo.node import IPONode
+from repro.ipo.stats import (
+    TreeAnalysis,
+    analyze,
+    full_tree_node_count,
+    naive_materialization_count,
+    paper_upper_bound,
+)
+from repro.ipo.tree import IPOTree, TreeStats
+
+__all__ = [
+    "IPONode",
+    "IPOTree",
+    "TreeAnalysis",
+    "TreeStats",
+    "analyze",
+    "full_tree_node_count",
+    "naive_materialization_count",
+    "paper_upper_bound",
+]

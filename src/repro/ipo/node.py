@@ -1,0 +1,73 @@
+"""IPO-tree nodes.
+
+An IPO-tree (implicit preference order tree, Section 3.1 of the paper)
+of depth ``m' + 1`` stores, for every combination of first-order
+preferences ``v < *`` over the ``m'`` nominal dimensions (with ``φ`` =
+"no preference" as an extra choice per dimension), the set ``A`` of
+root-skyline points disqualified by that combination.
+
+A node at depth ``d`` (root = depth 0) fixes the choices for the first
+``d`` nominal dimensions; its children enumerate the choices for
+nominal dimension number ``d``.  Following Figure 2 of the paper, ``A``
+is stored *cumulatively*: relative to the root skyline ``S``, for the
+node's full path preference (e.g. node 6 of Figure 2, path
+``T < *, G < *``, has ``A = {d, e, f}``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+
+
+class IPONode:
+    """One node of an IPO-tree.
+
+    Attributes
+    ----------
+    label:
+        ``(dimension index, value id)`` of the first-order preference
+        this node adds, or ``None`` for the root and for φ nodes.
+    disqualified:
+        Cumulative set ``A`` of root-skyline point ids disqualified by
+        the path preference ending at this node.  Empty for the root.
+    mask:
+        The same set as a bit mask over root-skyline positions, filled
+        in only when the tree uses the bitmap payload.
+    children:
+        ``value id -> IPONode`` for the next nominal dimension.
+    phi_child:
+        The ``φ`` ("no extra preference") child for the next nominal
+        dimension; ``None`` at the leaves.
+    """
+
+    __slots__ = ("label", "disqualified", "mask", "children", "phi_child")
+
+    def __init__(
+        self,
+        label: Optional[Tuple[int, int]],
+        disqualified: FrozenSet[int],
+    ) -> None:
+        self.label = label
+        self.disqualified = disqualified
+        self.mask: Optional[int] = None
+        self.children: Dict[int, "IPONode"] = {}
+        self.phi_child: Optional["IPONode"] = None
+
+    def __repr__(self) -> str:
+        tag = "root/phi" if self.label is None else f"D{self.label[0]}={self.label[1]}"
+        return (
+            f"IPONode({tag}, |A|={len(self.disqualified)}, "
+            f"children={len(self.children)}{'+phi' if self.phi_child else ''})"
+        )
+
+    def walk(self) -> Iterator["IPONode"]:
+        """Depth-first traversal of the subtree rooted here."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+        if self.phi_child is not None:
+            yield from self.phi_child.walk()
+
+    def subtree_size(self) -> int:
+        """Number of nodes in this subtree (including self)."""
+        return sum(1 for _ in self.walk())

@@ -1,0 +1,192 @@
+"""IPO-tree query evaluation: Algorithms 1 and 2 of the paper.
+
+The evaluators below work in *complement space*: instead of passing
+survivor sets ``X = S - A`` around (Algorithm 1 as printed), they pass
+accumulated disqualified sets, which the paper itself recommends under
+"Implementation" in Section 3.2:
+
+    if ``A(R~')`` and ``A(R~'')`` are the sets of disqualified points,
+    and ``B`` is the set of points in ``A(R~'')`` with ``Di`` values in
+    ``{v1, ..., v_{x-1}}``, the accumulated set for ``R~'''`` is
+    ``A(R~') ∪ (A(R~'') - B)``.
+
+This is the exact complement of Theorem 2's
+``SKY(R~''') = (SKY(R~') ∩ SKY(R~'')) ∪ PSKY(R~')`` and is verified
+against it by the property tests.
+
+Note on the printed pseudocode: Algorithm 1 line 14 calls
+``merge(d + 1, Q, R~')`` while ``merge`` consumes the entries of
+dimension ``d`` - the dimension that was split at lines 8-13.  We merge
+on the split dimension, which reproduces the worked Example 1
+(queries QA-QD) exactly; see tests/test_paper_examples.py.
+
+Two payloads:
+
+* :func:`evaluate_sets` - ``A`` sets as Python sets,
+* :func:`evaluate_bitmap` - ``A`` sets as integer bit masks over the
+  root-skyline positions, with per-value inverted masks replacing the
+  ``PSKY`` membership scan (the paper's bitmap + inverted list variant).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Set, Tuple
+
+from repro.exceptions import UnsupportedQueryError
+from repro.ipo.node import IPONode
+
+
+def evaluate_sets(tree, chains: Sequence[Tuple[int, ...]]) -> Set[int]:
+    """Accumulated disqualified ids for the query ``chains``.
+
+    ``chains[depth]`` holds the value-id chain of the query's implicit
+    preference on the ``depth``-th nominal dimension (empty tuple = no
+    preference; the template chain was already merged in by the caller).
+    """
+    return _eval_sets(tree, 0, tree.root, set(), chains)
+
+
+def _eval_sets(
+    tree,
+    depth: int,
+    node: IPONode,
+    disqualified: Set[int],
+    chains: Sequence[Tuple[int, ...]],
+) -> Set[int]:
+    if depth == len(tree.nominal_dims):
+        return disqualified
+    chain = chains[depth]
+    if not chain:
+        # Algorithm 1 lines 3-5: follow the phi child, no new
+        # disqualifications at this level.
+        return _eval_sets(tree, depth + 1, node.phi_child, disqualified, chains)
+
+    # Lines 7-13: one sub-query per chain entry, each seeded with the
+    # child's cumulative A.
+    sub_results = []
+    for vid in chain:
+        child = _child(node, vid, tree, depth)
+        sub_results.append(
+            _eval_sets(
+                tree,
+                depth + 1,
+                child,
+                disqualified | child.disqualified,
+                chains,
+            )
+        )
+
+    # Algorithm 2 on the split dimension, in complement space:
+    # A''' = A' ∪ (A'' − B),  B = {p ∈ A'' : p.D_d ∈ {v1..v_{i-1}}}.
+    dim = tree.nominal_dims[depth]
+    rows = tree.dataset.canonical_rows
+    merged = sub_results[0]
+    for i in range(1, len(chain)):
+        prefix = set(chain[:i])
+        merged = merged | {
+            p for p in sub_results[i] if rows[p][dim] not in prefix
+        }
+    return merged
+
+
+def evaluate_bitmap(tree, chains: Sequence[Tuple[int, ...]]) -> int:
+    """Accumulated disqualified *bit mask* for the query ``chains``."""
+    return _eval_bitmap(tree, 0, tree.root, 0, chains)
+
+
+def _eval_bitmap(
+    tree,
+    depth: int,
+    node: IPONode,
+    disqualified: int,
+    chains: Sequence[Tuple[int, ...]],
+) -> int:
+    if depth == len(tree.nominal_dims):
+        return disqualified
+    chain = chains[depth]
+    if not chain:
+        return _eval_bitmap(
+            tree, depth + 1, node.phi_child, disqualified, chains
+        )
+
+    sub_results = []
+    for vid in chain:
+        child = _child(node, vid, tree, depth)
+        mask = child.mask if child.mask is not None else 0
+        sub_results.append(
+            _eval_bitmap(tree, depth + 1, child, disqualified | mask, chains)
+        )
+
+    value_masks = tree.value_masks()[depth]
+    merged = sub_results[0]
+    prefix_mask = 0
+    for i in range(1, len(chain)):
+        prefix_mask |= value_masks.get(chain[i - 1], 0)
+        merged |= sub_results[i] & ~prefix_mask
+    return merged
+
+
+def evaluate_survivors(tree, chains: Sequence[Tuple[int, ...]]) -> Set[int]:
+    """Literal transcription of Algorithms 1 and 2 (survivor space).
+
+    Passes survivor sets ``X = S - A`` around exactly as the printed
+    pseudocode does (``query`` lines 1-15, ``merge`` lines 1-7), with
+    the single documented correction that the merge operates on the
+    dimension that was split.  Kept as the executable reference for the
+    complement-space evaluators above; the test-suite pins all three to
+    each other and to brute force.
+    """
+    return _eval_survivors(tree, 0, tree.root, set(tree.skyline_ids), chains)
+
+
+def _eval_survivors(
+    tree,
+    depth: int,
+    node: IPONode,
+    survivors: Set[int],
+    chains: Sequence[Tuple[int, ...]],
+) -> Set[int]:
+    x = survivors  # Algorithm 1 line 1: X <- S
+    if depth == len(tree.nominal_dims):
+        return x
+    chain = chains[depth]
+    if not chain:
+        # Lines 3-5: the phi child, same candidate set.
+        return _eval_survivors(
+            tree, depth + 1, node.phi_child, survivors, chains
+        )
+    # Lines 7-13: one sub-query per entry, seeded with S - A.
+    queue = []
+    for vid in chain:
+        child = _child(node, vid, tree, depth)
+        queue.append(
+            _eval_survivors(
+                tree,
+                depth + 1,
+                child,
+                survivors - child.disqualified,
+                chains,
+            )
+        )
+    # Algorithm 2 on the split dimension.
+    dim = tree.nominal_dims[depth]
+    rows = tree.dataset.canonical_rows
+    x = queue[0]
+    for i in range(2, len(chain) + 1):
+        y = queue[i - 1]
+        prefix = set(chain[: i - 1])  # entries 1 .. i-1
+        z = {p for p in x if rows[p][dim] in prefix}  # PSKY
+        x = (x & y) | z
+    return x
+
+
+def _child(node: IPONode, vid: int, tree, depth: int) -> IPONode:
+    try:
+        return node.children[vid]
+    except KeyError:
+        dim = tree.nominal_dims[depth]
+        spec = tree.dataset.schema[dim]
+        raise UnsupportedQueryError(
+            f"no IPO-tree node for value id {vid} "
+            f"({spec.domain[vid]!r}) of attribute {spec.name!r}"
+        ) from None

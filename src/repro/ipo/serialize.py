@@ -1,0 +1,142 @@
+"""Serialisation of built IPO-trees.
+
+The IPO-tree is the expensive-to-build, cheap-to-query index of the
+pair, so the natural deployment builds it offline and ships it to query
+servers.  This module provides a stable JSON-compatible representation:
+
+* :func:`tree_to_dict` / :func:`tree_from_dict` - in-memory round trip,
+* :func:`save_tree` / :func:`load_tree` - JSON files.
+
+The *dataset is not embedded* (it can be arbitrarily large and usually
+lives in the catalogue store already); loading requires a dataset whose
+schema matches the one the tree was built against, and the schema
+fingerprint is verified on load.  Payload masks for the bitmap variant
+are reconstructed rather than stored - they derive deterministically
+from the sets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.attributes import Schema
+from repro.core.dataset import Dataset
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.exceptions import IndexError_
+from repro.ipo.node import IPONode
+from repro.ipo.tree import IPOTree, TreeStats
+
+FORMAT_VERSION = 1
+
+
+def schema_fingerprint(schema: Schema) -> List[List[object]]:
+    """A JSON-friendly structural description of a schema."""
+    return [
+        [spec.name, spec.kind.value, list(spec.domain) if spec.domain else None]
+        for spec in schema
+    ]
+
+
+def preference_to_dict(preference: Preference) -> Dict[str, List[object]]:
+    """JSON-friendly form of a preference: attribute -> chain."""
+    return {name: list(pref.choices) for name, pref in preference.items()}
+
+
+def preference_from_dict(data: Dict[str, List[object]]) -> Preference:
+    """Inverse of :func:`preference_to_dict`."""
+    return Preference(
+        {name: ImplicitPreference(tuple(chain)) for name, chain in data.items()}
+    )
+
+
+def tree_to_dict(tree: IPOTree) -> dict:
+    """Serialise a built tree (without its dataset)."""
+
+    def node_to_dict(node: IPONode) -> dict:
+        return {
+            "label": list(node.label) if node.label else None,
+            "disqualified": sorted(node.disqualified),
+            "children": {
+                str(vid): node_to_dict(child)
+                for vid, child in sorted(node.children.items())
+            },
+            "phi": node_to_dict(node.phi_child) if node.phi_child else None,
+        }
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "schema": schema_fingerprint(tree.dataset.schema),
+        "template": preference_to_dict(tree.template),
+        "payload": tree.payload,
+        "skyline_ids": list(tree.skyline_ids),
+        "candidates": [list(c) for c in tree.candidates],
+        "stats": {
+            "engine": tree.stats.engine,
+            "payload": tree.stats.payload,
+            "node_count": tree.stats.node_count,
+            "skyline_size": tree.stats.skyline_size,
+            "build_seconds": tree.stats.build_seconds,
+            "storage_bytes": tree.stats.storage_bytes,
+        },
+        "root": node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(dataset: Dataset, data: dict) -> IPOTree:
+    """Reconstruct a tree over ``dataset`` from its serialised form.
+
+    Raises :class:`IndexError_` when the format version or the schema
+    does not match - querying a tree against different data silently
+    returns wrong skylines, so mismatches are fatal.
+    """
+    if data.get("format_version") != FORMAT_VERSION:
+        raise IndexError_(
+            f"unsupported IPO-tree format {data.get('format_version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    if data["schema"] != schema_fingerprint(dataset.schema):
+        raise IndexError_(
+            "serialised tree was built against a different schema"
+        )
+
+    def node_from_dict(payload: dict) -> IPONode:
+        label = payload["label"]
+        node = IPONode(
+            tuple(label) if label else None,
+            frozenset(payload["disqualified"]),
+        )
+        node.children = {
+            int(vid): node_from_dict(child)
+            for vid, child in payload["children"].items()
+        }
+        node.phi_child = (
+            node_from_dict(payload["phi"]) if payload["phi"] else None
+        )
+        return node
+
+    stats = TreeStats(**data["stats"])
+    tree = IPOTree(
+        dataset=dataset,
+        template=preference_from_dict(data["template"]),
+        nominal_dims=dataset.schema.nominal_indices,
+        candidates=tuple(tuple(c) for c in data["candidates"]),
+        skyline_ids=tuple(data["skyline_ids"]),
+        root=node_from_dict(data["root"]),
+        payload=data["payload"],
+        stats=stats,
+    )
+    return tree
+
+
+def save_tree(tree: IPOTree, path: Union[str, Path]) -> None:
+    """Write a built tree to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(tree_to_dict(tree), handle)
+
+
+def load_tree(dataset: Dataset, path: Union[str, Path]) -> IPOTree:
+    """Load a tree from a JSON file, bound to ``dataset``."""
+    with open(path) as handle:
+        return tree_from_dict(dataset, json.load(handle))

@@ -1,0 +1,445 @@
+"""IPO-tree construction and the public :class:`IPOTree` index.
+
+Section 3 of the paper.  The tree materialises, per combination of
+first-order preferences over the nominal dimensions, the set of
+root-skyline points that combination disqualifies; queries of any order
+are then answered via the merging property (Theorem 2) without touching
+the base data.
+
+Two construction engines are provided:
+
+* ``"direct"`` - runs a skyline computation (over the root skyline
+  ``S``, not the full dataset) per node.  Simple, used as ground truth.
+* ``"mdc"`` - the paper's approach: compute the minimal disqualifying
+  conditions of every root-skyline point once, then evaluate each node's
+  ``A`` by containment tests only (Section 3.1, "Implementation").
+
+``IPO Tree-k`` (the paper's *IPO Tree-10*) restricts each dimension's
+children to the ``k`` most frequent values; queries touching other
+values raise :class:`~repro.exceptions.UnsupportedQueryError` so that a
+hybrid deployment can fall back to Adaptive SFS (Section 5.3).
+
+Template semantics
+------------------
+The root stores ``SKY(R)`` for the template ``R``.  A node labelled
+``v < *`` *overrides* the template's chain on its dimension (needed
+because Theorem 2 decomposes a chain ``v1 < ... < vx < *`` into the
+standalone first-order preferences ``vi < *``, which are not themselves
+refinements of the template); unlabelled dimensions keep the template's
+chain.  Since answered queries must refine the template, all results
+are subsets of ``S`` and cumulative ``A`` sets relative to ``S``
+suffice - see DESIGN.md for the full argument.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.algorithms.sfs import sfs_skyline
+from repro.core.dataset import Dataset
+from repro.core.dominance import RankTable
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.exceptions import PreferenceError, UnsupportedQueryError
+from repro.ipo.node import IPONode
+from repro.ipo.query import evaluate_bitmap, evaluate_sets, evaluate_survivors
+from repro.mdc.mdc import (
+    DisqualifyingCondition,
+    compute_mdcs,
+    template_positions,
+)
+
+#: Analytic storage model: bytes per stored point id (paper counts 4-byte
+#: ids) and fixed per-node overhead (label + two pointers' worth).
+_BYTES_PER_ID = 4
+_BYTES_PER_NODE = 16
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Construction statistics reported by :meth:`IPOTree.build`."""
+
+    engine: str
+    payload: str
+    node_count: int
+    skyline_size: int
+    build_seconds: float
+    storage_bytes: int
+
+
+class IPOTree:
+    """The partial-materialisation index of Section 3.
+
+    Build with :meth:`build`; query with :meth:`query`.
+
+    Examples
+    --------
+    >>> from repro.core.attributes import Schema, numeric_min, numeric_max, nominal
+    >>> from repro.core.dataset import Dataset
+    >>> from repro.core.preferences import Preference
+    >>> schema = Schema([numeric_min("Price"), numeric_max("Class"),
+    ...                  nominal("Group", ["T", "H", "M"]),
+    ...                  nominal("Airline", ["G", "R", "W"])])
+    >>> data = Dataset(schema, [
+    ...     (1600, 4, "T", "G"), (2400, 1, "T", "G"), (3000, 5, "H", "G"),
+    ...     (3600, 4, "H", "R"), (2400, 2, "M", "R"), (3000, 3, "M", "W")])
+    >>> tree = IPOTree.build(data)
+    >>> sorted(tree.skyline_ids)          # S at the root (a, c, d, e, f)
+    [0, 2, 3, 4, 5]
+    >>> tree.query(Preference({"Group": "M < *", "Airline": "G < *"}))
+    [0, 2, 4, 5]
+    """
+
+    name = "IPO Tree"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        template: Preference,
+        nominal_dims: Tuple[int, ...],
+        candidates: Tuple[Tuple[int, ...], ...],
+        skyline_ids: Tuple[int, ...],
+        root: IPONode,
+        payload: str,
+        stats: TreeStats,
+    ) -> None:
+        self.dataset = dataset
+        self.template = template
+        self.nominal_dims = nominal_dims
+        self.candidates = candidates
+        self.skyline_ids = skyline_ids
+        self.root = root
+        self.payload = payload
+        self.stats = stats
+        # Bitmap support structures (filled lazily for the set payload).
+        self._positions: Dict[int, int] = {
+            point_id: pos for pos, point_id in enumerate(skyline_ids)
+        }
+        self._value_masks: Optional[List[Dict[int, int]]] = None
+        if payload == "bitmap":
+            self._attach_masks()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: Dataset,
+        template: Optional[Preference] = None,
+        *,
+        engine: str = "mdc",
+        payload: str = "set",
+        values_per_attribute: Union[None, int, Mapping[str, int]] = None,
+    ) -> "IPOTree":
+        """Construct the IPO-tree for ``dataset`` under ``template``.
+
+        Parameters
+        ----------
+        engine:
+            ``"mdc"`` (paper's construction, default) or ``"direct"``.
+        payload:
+            ``"set"`` stores each ``A`` as a frozenset of ids;
+            ``"bitmap"`` additionally packs them into integer bit masks
+            and answers queries with bitwise operations (the paper's
+            "another efficient implementation").
+        values_per_attribute:
+            ``None`` for the full tree; an int ``k`` (or mapping
+            ``attribute name -> k``) builds *IPO Tree-k* over the ``k``
+            most frequent values per nominal attribute.  A mapping may
+            also give an explicit list of values per attribute (e.g.
+            from :func:`repro.datagen.queries.popular_values_from_history`).
+            Template values are always kept so template refinements
+            stay answerable.
+        """
+        if engine not in ("mdc", "direct"):
+            raise PreferenceError(f"unknown construction engine {engine!r}")
+        if payload not in ("set", "bitmap"):
+            raise PreferenceError(f"unknown payload {payload!r}")
+        template = template if template is not None else Preference.empty()
+        template.validate_against(dataset.schema)
+
+        started = time.perf_counter()
+        schema = dataset.schema
+        nominal_dims = schema.nominal_indices
+
+        template_table = RankTable.compile(schema, None, template)
+        skyline_ids = tuple(
+            sorted(
+                sfs_skyline(dataset.canonical_rows, dataset.ids, template_table)
+            )
+        )
+
+        candidates = _candidate_values(dataset, template, values_per_attribute)
+
+        if engine == "mdc":
+            builder = _MDCBuilder(dataset, template, nominal_dims, skyline_ids)
+        else:
+            builder = _DirectBuilder(dataset, template, nominal_dims, skyline_ids)
+        root = IPONode(None, frozenset())
+        _grow(root, 0, {}, nominal_dims, candidates, builder)
+
+        node_count = root.subtree_size()
+        elapsed = time.perf_counter() - started
+        storage = _storage_bytes(root, payload, len(skyline_ids))
+        stats = TreeStats(
+            engine=engine,
+            payload=payload,
+            node_count=node_count,
+            skyline_size=len(skyline_ids),
+            build_seconds=elapsed,
+            storage_bytes=storage,
+        )
+        return cls(
+            dataset,
+            template,
+            nominal_dims,
+            candidates,
+            skyline_ids,
+            root,
+            payload,
+            stats,
+        )
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, preference: Optional[Preference] = None) -> List[int]:
+        """Skyline ids for ``preference`` (Algorithm 1 + Theorem 2).
+
+        The preference must refine the template; dimensions it leaves
+        empty inherit the template's chain.  Raises
+        :class:`UnsupportedQueryError` when the query names a value the
+        tree has no node for (possible with IPO Tree-k).
+        """
+        chains = self._query_chains(preference)
+        if self.payload == "bitmap":
+            mask = evaluate_bitmap(self, chains)
+            return [
+                point_id
+                for pos, point_id in enumerate(self.skyline_ids)
+                if not (mask >> pos) & 1
+            ]
+        disqualified = evaluate_sets(self, chains)
+        return [p for p in self.skyline_ids if p not in disqualified]
+
+    def query_survivors(
+        self, preference: Optional[Preference] = None
+    ) -> List[int]:
+        """Answer via the literal Algorithm 1/2 transcription.
+
+        Same result as :meth:`query`; exists as the executable
+        reference for the paper's printed pseudocode (survivor sets
+        instead of accumulated disqualified sets).
+        """
+        chains = self._query_chains(preference)
+        return sorted(evaluate_survivors(self, chains))
+
+    def _query_chains(
+        self, preference: Optional[Preference]
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Translate a preference into per-dimension value-id chains.
+
+        Merges over the template (validating refinement) and checks that
+        every chain value has a materialised node.
+        """
+        pref = preference if preference is not None else Preference.empty()
+        merged = pref.merged_over(self.template)
+        merged.validate_against(self.dataset.schema)
+        chains: List[Tuple[int, ...]] = []
+        for depth, dim in enumerate(self.nominal_dims):
+            spec = self.dataset.schema[dim]
+            chain = merged[spec.name]
+            vids = tuple(
+                spec.domain.index(value) for value in chain.choices  # type: ignore[union-attr]
+            )
+            available = set(self.candidates[depth])
+            missing = [v for v in vids if v not in available]
+            if missing:
+                names = [spec.domain[v] for v in missing]  # type: ignore[index]
+                raise UnsupportedQueryError(
+                    f"IPO tree has no nodes for values {names!r} of "
+                    f"attribute {spec.name!r} (built with restricted "
+                    "values; route this query to Adaptive SFS)"
+                )
+            chains.append(vids)
+        return tuple(chains)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def node_count(self) -> int:
+        """Total number of tree nodes (the paper's ``O(c^m')`` figure)."""
+        return self.stats.node_count
+
+    def storage_bytes(self) -> int:
+        """Analytic storage footprint of the materialised tree."""
+        return self.stats.storage_bytes
+
+    def value_masks(self) -> List[Dict[int, int]]:
+        """Per-depth inverted bit masks: value id -> mask over S positions.
+
+        Used by the bitmap evaluator to compute ``PSKY`` lookups with a
+        single OR; built lazily.
+        """
+        if self._value_masks is None:
+            rows = self.dataset.canonical_rows
+            masks: List[Dict[int, int]] = []
+            for dim in self.nominal_dims:
+                per_value: Dict[int, int] = {}
+                for pos, point_id in enumerate(self.skyline_ids):
+                    vid = rows[point_id][dim]
+                    per_value[vid] = per_value.get(vid, 0) | (1 << pos)
+                masks.append(per_value)
+            self._value_masks = masks
+        return self._value_masks
+
+    def _attach_masks(self) -> None:
+        """Fill every node's ``mask`` from its frozenset payload."""
+        positions = self._positions
+        for node in self.root.walk():
+            mask = 0
+            for point_id in node.disqualified:
+                mask |= 1 << positions[point_id]
+            node.mask = mask
+
+
+# ----------------------------------------------------------------------
+# construction helpers
+# ----------------------------------------------------------------------
+class _DirectBuilder:
+    """Disqualified sets via a skyline run over ``S`` per node."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        template: Preference,
+        nominal_dims: Tuple[int, ...],
+        skyline_ids: Tuple[int, ...],
+    ) -> None:
+        self._dataset = dataset
+        self._template = template
+        self._skyline_ids = skyline_ids
+        self._skyline_set = frozenset(skyline_ids)
+
+    def disqualified(self, labels: Mapping[int, int]) -> frozenset:
+        schema = self._dataset.schema
+        pref = self._template
+        for dim, vid in labels.items():
+            spec = schema[dim]
+            pref = pref.with_dimension(
+                spec.name, ImplicitPreference((spec.domain[vid],))  # type: ignore[index]
+            )
+        table = RankTable.compile(schema, pref)
+        surviving = sfs_skyline(
+            self._dataset.canonical_rows, self._skyline_ids, table
+        )
+        return frozenset(self._skyline_set - set(surviving))
+
+
+class _MDCBuilder:
+    """Disqualified sets via minimal disqualifying conditions (paper)."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        template: Preference,
+        nominal_dims: Tuple[int, ...],
+        skyline_ids: Tuple[int, ...],
+    ) -> None:
+        self._rows = dataset.canonical_rows
+        self._skyline_ids = skyline_ids
+        self._mdcs: Dict[int, List[DisqualifyingCondition]] = compute_mdcs(
+            dataset, skyline_ids
+        )
+        self._template_positions = template_positions(template, dataset.schema)
+
+    def disqualified(self, labels: Mapping[int, int]) -> frozenset:
+        out = set()
+        rows = self._rows
+        positions = self._template_positions
+        for point_id in self._skyline_ids:
+            loser = rows[point_id]
+            for condition in self._mdcs[point_id]:
+                if condition.satisfied_by(labels, positions, loser):
+                    out.add(point_id)
+                    break
+        return frozenset(out)
+
+
+def _grow(
+    node: IPONode,
+    depth: int,
+    labels: Dict[int, int],
+    nominal_dims: Tuple[int, ...],
+    candidates: Tuple[Tuple[int, ...], ...],
+    builder,
+) -> None:
+    """Recursively create the children of ``node`` for dimension ``depth``."""
+    if depth == len(nominal_dims):
+        return
+    dim = nominal_dims[depth]
+    for vid in candidates[depth]:
+        labels[dim] = vid
+        child = IPONode((dim, vid), builder.disqualified(labels))
+        node.children[vid] = child
+        _grow(child, depth + 1, labels, nominal_dims, candidates, builder)
+        del labels[dim]
+    phi = IPONode(None, node.disqualified)
+    node.phi_child = phi
+    _grow(phi, depth + 1, labels, nominal_dims, candidates, builder)
+
+
+def _candidate_values(
+    dataset: Dataset,
+    template: Preference,
+    values_per_attribute: Union[None, int, Mapping[str, int]],
+) -> Tuple[Tuple[int, ...], ...]:
+    """Value ids materialised per nominal dimension (IPO Tree-k support)."""
+    schema = dataset.schema
+    out: List[Tuple[int, ...]] = []
+    for dim in schema.nominal_indices:
+        spec = schema[dim]
+        domain = spec.domain
+        if values_per_attribute is None:
+            keep: Sequence[object] = domain  # type: ignore[assignment]
+        else:
+            if isinstance(values_per_attribute, int):
+                wanted: object = values_per_attribute
+            else:
+                wanted = values_per_attribute.get(spec.name, len(domain))  # type: ignore[union-attr]
+            if isinstance(wanted, int):
+                if wanted <= 0:
+                    raise PreferenceError(
+                        f"values_per_attribute must be positive, got {wanted}"
+                    )
+                keep = dataset.most_frequent(spec.name, wanted)
+            else:
+                # Explicit value list (e.g. mined from a query history).
+                keep = list(wanted)
+                for value in keep:
+                    if value not in domain:  # type: ignore[operator]
+                        raise PreferenceError(
+                            f"value {value!r} not in domain of {spec.name!r}"
+                        )
+            # Template values must stay materialised: every legal query
+            # chain starts with them.
+            for value in template[spec.name].choices:
+                if value not in keep:
+                    keep = list(keep) + [value]
+        out.append(tuple(domain.index(v) for v in keep))  # type: ignore[union-attr]
+    return tuple(out)
+
+
+def _storage_bytes(root: IPONode, payload: str, skyline_size: int) -> int:
+    """Analytic storage of the tree (see module constants)."""
+    total = 0
+    mask_bytes = (skyline_size + 7) // 8
+    for node in root.walk():
+        total += _BYTES_PER_NODE
+        if payload == "bitmap":
+            total += mask_bytes
+        else:
+            total += _BYTES_PER_ID * len(node.disqualified)
+    return total

@@ -1,0 +1,13 @@
+"""Full materialisation of all preference skylines (naive baseline)."""
+
+from repro.materialize.full import (
+    FullMaterialization,
+    preferences_per_attribute,
+    total_combinations,
+)
+
+__all__ = [
+    "FullMaterialization",
+    "preferences_per_attribute",
+    "total_combinations",
+]

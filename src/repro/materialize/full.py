@@ -1,0 +1,179 @@
+"""Full materialisation: the naive baseline Section 3 dismisses.
+
+    "a naive approach is to materialize the skylines for all possible
+    preferences.  However, ... this approach is very costly in storage
+    and preprocessing.  Our study in [21] shows that, even with an
+    index and with compression by removing redundancies in shared
+    skylines, the cost is still prohibitive."
+
+:class:`FullMaterialization` implements exactly that baseline so the
+claim can be measured rather than taken on faith: it enumerates every
+implicit preference up to a maximum order per nominal attribute,
+computes each skyline once, and interns identical result sets (the
+"compression by removing redundancies" of [21]).
+
+The preference count per attribute with cardinality ``c`` and maximum
+order ``x`` is ``sum_{j=0..x} c! / (c-j)!`` (ordered selections of j
+listed values), and the combination count is the product over the
+nominal attributes - the ``O((c * c!)^m')`` explosion quoted by the
+paper.  Constructors guard against accidentally requesting an
+enumeration larger than ``max_entries``.
+
+Queries are O(1) dictionary lookups, which is the one redeeming quality
+the baseline has; the benchmark ablation contrasts its preprocessing /
+storage against the IPO-tree's.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.algorithms.sfs import sfs_skyline
+from repro.core.dataset import Dataset
+from repro.core.dominance import RankTable
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.exceptions import IndexError_, UnsupportedQueryError
+
+
+def preferences_per_attribute(cardinality: int, max_order: int) -> int:
+    """Number of implicit preferences of order <= ``max_order``.
+
+    Ordered selections of ``j`` distinct values for ``j = 0..max_order``.
+    """
+    max_order = min(max_order, cardinality)
+    return sum(
+        math.perm(cardinality, j) for j in range(max_order + 1)
+    )
+
+
+def total_combinations(
+    cardinalities: List[int], max_order: int
+) -> int:
+    """Materialised entries for a full enumeration across attributes."""
+    total = 1
+    for c in cardinalities:
+        total *= preferences_per_attribute(c, max_order)
+    return total
+
+
+class FullMaterialization:
+    """Materialises ``SKY(R~')`` for every preference up to ``max_order``.
+
+    Parameters
+    ----------
+    dataset:
+        The data.
+    max_order:
+        Maximum per-attribute preference order to enumerate.
+    max_entries:
+        Safety valve: building more than this many entries raises
+        :class:`IndexError_` instead of melting the machine.  The
+        default (200_000) already dwarfs any IPO-tree.
+
+    Examples
+    --------
+    >>> # doctest setup omitted; see tests/test_materialize.py
+    """
+
+    name = "Full-Mat"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        max_order: int = 2,
+        *,
+        max_entries: int = 200_000,
+    ) -> None:
+        if max_order < 0:
+            raise IndexError_("max_order must be non-negative")
+        self.dataset = dataset
+        self.max_order = max_order
+        schema = dataset.schema
+        cardinalities = [
+            schema[d].cardinality for d in schema.nominal_indices
+        ]
+        self.num_entries_expected = total_combinations(
+            cardinalities, max_order
+        )
+        if self.num_entries_expected > max_entries:
+            raise IndexError_(
+                f"full materialisation would build "
+                f"{self.num_entries_expected} entries "
+                f"(> max_entries={max_entries}); this explosion is the "
+                "point - use an IPOTree instead"
+            )
+
+        started = time.perf_counter()
+        self._table: Dict[Tuple[Tuple[object, ...], ...], Tuple[int, ...]] = {}
+        # Interning pool: identical skylines share one tuple ([21]'s
+        # redundancy compression).
+        pool: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        rows = dataset.canonical_rows
+        for chains in self._enumerate_chains():
+            pref = self._preference_for(chains)
+            table = RankTable.compile(schema, pref)
+            result = tuple(sorted(sfs_skyline(rows, dataset.ids, table)))
+            self._table[chains] = pool.setdefault(result, result)
+        self.unique_skylines = len(pool)
+        self.preprocessing_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    def _enumerate_chains(
+        self,
+    ) -> Iterator[Tuple[Tuple[object, ...], ...]]:
+        """Every combination of per-attribute chains up to max_order."""
+        schema = self.dataset.schema
+        per_attr: List[List[Tuple[object, ...]]] = []
+        for dim in schema.nominal_indices:
+            domain = schema[dim].domain
+            chains: List[Tuple[object, ...]] = []
+            limit = min(self.max_order, len(domain))  # type: ignore[arg-type]
+            for j in range(limit + 1):
+                chains.extend(itertools.permutations(domain, j))  # type: ignore[arg-type]
+            per_attr.append(chains)
+        return itertools.product(*per_attr)
+
+    def _preference_for(
+        self, chains: Tuple[Tuple[object, ...], ...]
+    ) -> Preference:
+        schema = self.dataset.schema
+        return Preference(
+            {
+                schema[dim].name: ImplicitPreference(chain)
+                for dim, chain in zip(schema.nominal_indices, chains)
+                if chain
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def query(self, preference: Optional[Preference] = None) -> List[int]:
+        """O(1) lookup of a materialised skyline."""
+        pref = preference if preference is not None else Preference.empty()
+        pref.validate_against(self.dataset.schema)
+        schema = self.dataset.schema
+        key = tuple(
+            pref[schema[dim].name].choices
+            for dim in schema.nominal_indices
+        )
+        try:
+            return list(self._table[key])
+        except KeyError:
+            raise UnsupportedQueryError(
+                f"preference order exceeds the materialised maximum "
+                f"({self.max_order}); not enumerated"
+            ) from None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Number of materialised (preference -> skyline) entries."""
+        return len(self._table)
+
+    def storage_bytes(self) -> int:
+        """Analytic storage: 4 bytes per id in each *unique* skyline,
+        plus an 8-byte table slot per enumerated preference."""
+        unique = {id(v): len(v) for v in self._table.values()}
+        return 8 * len(self._table) + 4 * sum(unique.values())

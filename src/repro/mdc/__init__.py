@@ -1,0 +1,17 @@
+"""Minimal Disqualifying Conditions (Wong et al., KDD'07)."""
+
+from repro.mdc.filter import MDCFilter
+from repro.mdc.mdc import (
+    DisqualifyingCondition,
+    compute_mdcs,
+    minimal_conditions,
+    template_positions,
+)
+
+__all__ = [
+    "DisqualifyingCondition",
+    "MDCFilter",
+    "compute_mdcs",
+    "minimal_conditions",
+    "template_positions",
+]

@@ -1,0 +1,269 @@
+"""Minimal Disqualifying Conditions (MDCs).
+
+Introduced in Wong, Pei, Fu, Wang, "Mining favorable facets" (KDD'07) -
+reference [20] of the paper - and used here, as in Section 3.1 of the
+paper, to build IPO-trees without running a skyline computation per
+node.
+
+For a skyline point ``p`` under a base order ``R``, a *disqualifying
+condition* is a set of extra preference pairs whose addition makes some
+point ``q`` dominate ``p``; a *minimal* disqualifying condition (MDC) is
+one with no proper disqualifying subset.  Once ``MDC(p)`` is known,
+testing whether an arbitrary implicit preference ``R~'`` disqualifies
+``p`` reduces to checking whether any MDC is contained in ``P(R~')`` -
+no dominance tests against the data needed.
+
+Representation
+--------------
+Each attribute-value pair a condition needs lives on one nominal
+dimension and its "loser" value is always ``p``'s own value there, so a
+condition is stored as a compact mapping ``dim_index -> winner_value_id``
+(class :class:`DisqualifyingCondition`).  A condition with two different
+winners on the same dimension can never arise from a single dominator.
+
+Base order
+----------
+MDCs are computed relative to the *numeric-only* part of the template
+(the universal orders).  This is deliberate: IPO-tree nodes *override*
+the template's chain on the dimensions they label (a node ``v < *``
+with ``v`` different from the template's favourite is not a refinement
+of the template), so conditions must not bake the template's nominal
+chains in.  The template's chains on unlabelled dimensions re-enter at
+*evaluation* time through :meth:`DisqualifyingCondition.satisfied_by`.
+
+Candidate dominators
+--------------------
+Only points of the base skyline ``SKY(R0)`` need to be considered as
+dominators: if any point dominates ``p`` under ``R0 ∪ extra`` then, by
+transitivity, some *skyline* point of ``R0 ∪ extra`` does, and
+``SKY(R0 ∪ extra) ⊆ SKY(R0)`` by monotonicity (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algorithms.sfs import sfs_skyline
+from repro.core.attributes import AttributeKind, Schema
+from repro.core.dataset import Dataset
+from repro.core.dominance import RankTable
+from repro.core.preferences import Preference
+from repro.exceptions import PreferenceError
+
+
+class DisqualifyingCondition:
+    """A set of required winners, one per involved nominal dimension.
+
+    ``winners[d] = u`` means the condition needs the pair
+    ``(u, p.D_d)`` - value ``u`` preferred to the owning point's value
+    on dimension ``d``.
+    """
+
+    __slots__ = ("winners",)
+
+    def __init__(self, winners: Mapping[int, int]) -> None:
+        self.winners: Dict[int, int] = dict(winners)
+
+    def __len__(self) -> int:
+        return len(self.winners)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DisqualifyingCondition):
+            return NotImplemented
+        return self.winners == other.winners
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.winners.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"D{d}<-{u}" for d, u in sorted(self.winners.items()))
+        return f"DisqualifyingCondition({inner})"
+
+    def subsumes(self, other: "DisqualifyingCondition") -> bool:
+        """True iff this condition is a (non-strict) subset of ``other``.
+
+        A smaller condition disqualifies under *more* preferences, so a
+        subset condition makes its supersets redundant.
+        """
+        if len(self.winners) > len(other.winners):
+            return False
+        return all(
+            other.winners.get(d) == u for d, u in self.winners.items()
+        )
+
+    def satisfied_by(
+        self,
+        labels: Mapping[int, int],
+        template_positions: Mapping[int, Mapping[int, int]],
+        loser_values: Sequence[int],
+    ) -> bool:
+        """Is the condition contained in a node/query preference?
+
+        Parameters
+        ----------
+        labels:
+            ``dim -> value id`` of first-order overrides ("v < *") on
+            labelled dimensions.
+        template_positions:
+            ``dim -> {value id -> 0-based chain position}`` for
+            dimensions carrying a template chain (consulted only when
+            ``dim`` is unlabelled).
+        loser_values:
+            The owning point's canonical row (nominal entries are value
+            ids); supplies the loser of each required pair.
+
+        A required pair ``(u, w)`` with ``w = loser_values[dim]`` is
+        present when either the dimension is labelled ``u`` (first-order
+        ``u < *`` beats everything else), or the template chain lists
+        ``u`` before ``w`` (or lists ``u`` while ``w`` is unlisted).
+        """
+        for dim, winner in self.winners.items():
+            if dim in labels:
+                if labels[dim] != winner:
+                    return False
+                continue
+            positions = template_positions.get(dim)
+            if positions is None:
+                return False
+            pos_u = positions.get(winner)
+            if pos_u is None:
+                return False
+            pos_w = positions.get(loser_values[dim])
+            if pos_w is not None and pos_w <= pos_u:
+                return False
+        return True
+
+
+def numeric_only(template: Preference, schema: Schema) -> Preference:
+    """Drop the template's nominal chains, keeping universal orders only.
+
+    The universal (numeric/ordinal) orders live in the schema, not in the
+    preference object, so the numeric-only base order is simply the empty
+    preference; this helper exists to make call sites self-documenting
+    and to validate the template.
+    """
+    template.validate_against(schema)
+    return Preference.empty()
+
+
+def compute_mdcs(
+    dataset: Dataset,
+    points: Iterable[int],
+    *,
+    candidates: Optional[Sequence[int]] = None,
+) -> Dict[int, List[DisqualifyingCondition]]:
+    """Compute ``MDC(p)`` for each ``p`` in ``points``.
+
+    Parameters
+    ----------
+    dataset:
+        The data.  The base order is the universal (numeric/ordinal)
+        order of the schema with *no* nominal chains - see the module
+        docstring for why.
+    points:
+        Ids of the points to compute conditions for.  They must belong
+        to the base skyline ``SKY(R0)`` (callers pass template-skyline
+        points, which do by Theorem 1); a point outside it would have an
+        *empty* disqualifying condition, which is reported as such.
+    candidates:
+        Ids allowed as dominators.  Defaults to the base skyline
+        ``SKY(R0)``, which is sufficient (see module docstring).
+
+    Returns
+    -------
+    dict mapping each point id to its list of minimal conditions.  An
+    empty condition (point already dominated under the base order) is
+    represented by a :class:`DisqualifyingCondition` with no winners and
+    subsumes everything else.
+    """
+    schema = dataset.schema
+    rows = dataset.canonical_rows
+    base_table = RankTable.compile(schema, None, None)
+    if candidates is None:
+        candidates = sfs_skyline(rows, dataset.ids, base_table)
+
+    nominal_dims = set(schema.nominal_indices)
+    numeric_dims = [
+        i for i in range(len(schema)) if i not in nominal_dims
+    ]
+
+    out: Dict[int, List[DisqualifyingCondition]] = {}
+    for p_id in points:
+        p = rows[p_id]
+        conditions: List[DisqualifyingCondition] = []
+        for q_id in candidates:
+            if q_id == p_id:
+                continue
+            condition = _condition_from(
+                rows[q_id], p, numeric_dims, nominal_dims
+            )
+            if condition is not None:
+                conditions.append(condition)
+        out[p_id] = minimal_conditions(conditions)
+    return out
+
+
+def _condition_from(
+    q: Tuple,
+    p: Tuple,
+    numeric_dims: Sequence[int],
+    nominal_dims: Iterable[int],
+) -> Optional[DisqualifyingCondition]:
+    """The pairs ``q`` needs added to dominate ``p``; None if impossible."""
+    strict = False
+    for i in numeric_dims:
+        if q[i] > p[i]:
+            return None  # universal orders cannot be overridden
+        if q[i] < p[i]:
+            strict = True
+    winners: Dict[int, int] = {}
+    for i in nominal_dims:
+        if q[i] != p[i]:
+            winners[i] = q[i]
+            strict = True
+    if not strict:
+        return None  # q equals p on every dimension
+    return DisqualifyingCondition(winners)
+
+
+def minimal_conditions(
+    conditions: Iterable[DisqualifyingCondition],
+) -> List[DisqualifyingCondition]:
+    """Keep only subset-minimal conditions (and deduplicate).
+
+    Minimality is an optimisation, not a correctness requirement: a
+    non-minimal condition is implied by a minimal one, so dropping it
+    never changes which preferences disqualify the point.
+    """
+    unique = list(dict.fromkeys(conditions))
+    unique.sort(key=len)
+    kept: List[DisqualifyingCondition] = []
+    for cond in unique:
+        if not any(existing.subsumes(cond) for existing in kept):
+            kept.append(cond)
+    return kept
+
+
+def template_positions(
+    template: Preference, schema: Schema
+) -> Dict[int, Dict[int, int]]:
+    """Per-dimension chain positions of a template, keyed by value id.
+
+    ``result[dim][value_id] = 0-based position in the template chain``;
+    dimensions with an empty chain are omitted.  This is the second
+    argument of :meth:`DisqualifyingCondition.satisfied_by`.
+    """
+    template.validate_against(schema)
+    positions: Dict[int, Dict[int, int]] = {}
+    for dim in schema.nominal_indices:
+        spec = schema[dim]
+        chain = template[spec.name]
+        if chain.is_empty:
+            continue
+        domain = spec.domain
+        if domain is None:  # pragma: no cover - nominal specs have domains
+            raise PreferenceError(f"nominal {spec.name!r} lacks a domain")
+        positions[dim] = {
+            domain.index(value): pos for pos, value in enumerate(chain.choices)
+        }
+    return positions

@@ -1,0 +1,5 @@
+"""Spatial substrate: the R-tree BBS runs on."""
+
+from repro.spatial.rtree import RTree, RTreeNode, bulk_load
+
+__all__ = ["RTree", "RTreeNode", "bulk_load"]

@@ -1,0 +1,175 @@
+"""A bulk-loaded R-tree (Sort-Tile-Recursive packing).
+
+Substrate for the BBS skyline algorithm [Papadias, Tao, Fu, Seeger,
+SIGMOD'03 / TODS'05], which the paper discusses as the state of the art
+for *fixed* orders ("the data partitioning in BBS is based on fixed
+orderings on the dimensions and the same partitioning cannot be used
+for dynamic or variable preferences on nominal attributes").
+
+Only what BBS needs is implemented:
+
+* :func:`bulk_load` - STR packing of (point, payload) pairs into a
+  height-balanced tree of fanout ``capacity``,
+* per-node minimum bounding rectangles (MBRs) with a ``lower_corner``
+  accessor, whose coordinate-wise sum is the monotone lower bound BBS
+  keys its priority queue on.
+
+Points are arbitrary equal-length float tuples (rank vectors, in this
+library's use).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+Point = Tuple[float, ...]
+
+DEFAULT_CAPACITY = 16
+
+
+class RTreeNode:
+    """One node: either leaf entries (point, payload) or child nodes."""
+
+    __slots__ = ("is_leaf", "entries", "children", "mbr_min", "mbr_max")
+
+    def __init__(
+        self,
+        is_leaf: bool,
+        entries: Optional[List[Tuple[Point, object]]] = None,
+        children: Optional[List["RTreeNode"]] = None,
+    ) -> None:
+        self.is_leaf = is_leaf
+        self.entries = entries or []
+        self.children = children or []
+        points: List[Point]
+        if is_leaf:
+            points = [point for point, _payload in self.entries]
+        else:
+            points = [child.mbr_min for child in self.children] + [
+                child.mbr_max for child in self.children
+            ]
+        if not points:
+            raise ValueError("R-tree nodes must not be empty")
+        dims = len(points[0])
+        self.mbr_min: Point = tuple(
+            min(p[d] for p in points) for d in range(dims)
+        )
+        self.mbr_max: Point = tuple(
+            max(p[d] for p in points) for d in range(dims)
+        )
+
+    @property
+    def lower_corner(self) -> Point:
+        """The best-possible (coordinate-wise minimum) corner."""
+        return self.mbr_min
+
+    def min_score(self) -> float:
+        """Lower bound of ``sum(coords)`` over everything below here."""
+        return sum(self.mbr_min)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "inner"
+        size = len(self.entries) if self.is_leaf else len(self.children)
+        return f"RTreeNode({kind}, {size} entries, mbr_min={self.mbr_min})"
+
+
+class RTree:
+    """A read-only, bulk-loaded R-tree."""
+
+    __slots__ = ("root", "size", "capacity")
+
+    def __init__(self, root: Optional[RTreeNode], size: int, capacity: int) -> None:
+        self.root = root
+        self.size = size
+        self.capacity = capacity
+
+    def height(self) -> int:
+        """Number of levels (0 for an empty tree)."""
+        levels = 0
+        node = self.root
+        while node is not None:
+            levels += 1
+            node = None if node.is_leaf else node.children[0]
+        return levels
+
+    def all_payloads(self) -> List[object]:
+        """Every stored payload (testing helper)."""
+        out: List[object] = []
+
+        def visit(node: RTreeNode) -> None:
+            if node.is_leaf:
+                out.extend(payload for _point, payload in node.entries)
+            else:
+                for child in node.children:
+                    visit(child)
+
+        if self.root is not None:
+            visit(self.root)
+        return out
+
+
+def bulk_load(
+    items: Sequence[Tuple[Point, object]],
+    capacity: int = DEFAULT_CAPACITY,
+) -> RTree:
+    """Pack (point, payload) pairs with Sort-Tile-Recursive.
+
+    STR sorts by the first dimension, slices into vertical runs, sorts
+    each run by the next dimension, and so on; leaves then pack
+    ``capacity`` consecutive points.  Upper levels are packed the same
+    way over child MBR centres.
+    """
+    if capacity < 2:
+        raise ValueError("capacity must be at least 2")
+    items = list(items)
+    if not items:
+        return RTree(None, 0, capacity)
+
+    dims = len(items[0][0])
+    leaves = [
+        RTreeNode(True, entries=chunk)
+        for chunk in _str_tiles(items, dims, capacity, key=lambda it: it[0])
+    ]
+    level: List[RTreeNode] = leaves
+    while len(level) > 1:
+        level = [
+            RTreeNode(False, children=chunk)
+            for chunk in _str_tiles(
+                level,
+                dims,
+                capacity,
+                key=lambda node: _centre(node),
+            )
+        ]
+    return RTree(level[0], len(items), capacity)
+
+
+def _centre(node: RTreeNode) -> Point:
+    return tuple(
+        (lo + hi) / 2.0 for lo, hi in zip(node.mbr_min, node.mbr_max)
+    )
+
+
+def _str_tiles(items: list, dims: int, capacity: int, key) -> List[list]:
+    """Recursive STR slicing; returns chunks of <= capacity items."""
+
+    def split(chunk: list, dim: int) -> List[list]:
+        if len(chunk) <= capacity:
+            return [chunk]
+        chunk = sorted(chunk, key=lambda item: key(item)[dim])
+        if dim == dims - 1:
+            return [
+                chunk[i : i + capacity]
+                for i in range(0, len(chunk), capacity)
+            ]
+        # Number of slabs so that each slab recursively packs ~evenly.
+        pages = math.ceil(len(chunk) / capacity)
+        slabs = max(1, math.ceil(pages ** (1.0 / (dims - dim))))
+        slab_size = math.ceil(len(chunk) / slabs)
+        out: List[list] = []
+        for i in range(0, len(chunk), slab_size):
+            out.extend(split(chunk[i : i + slab_size], dim + 1))
+        return out
+
+    return split(list(items), 0)

@@ -1,0 +1,94 @@
+"""Shared fixtures: the paper's running examples and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema, nominal, numeric_max, numeric_min
+from repro.core.dataset import Dataset
+from repro.core.preferences import Preference
+from repro.datagen.generator import SyntheticConfig, generate
+
+#: Point names used throughout the paper: package a is row 0, etc.
+PACKAGE_NAMES = "abcdef"
+
+
+@pytest.fixture
+def vacation_schema() -> Schema:
+    """Table 1's schema: Price (min), Hotel-class (max), Hotel-group."""
+    return Schema(
+        [
+            numeric_min("Price"),
+            numeric_max("Hotel-class"),
+            nominal("Hotel-group", ["T", "H", "M"]),
+        ]
+    )
+
+
+@pytest.fixture
+def vacation_data(vacation_schema: Schema) -> Dataset:
+    """Table 1's six vacation packages."""
+    return Dataset(
+        vacation_schema,
+        [
+            (1600, 4, "T"),
+            (2400, 1, "T"),
+            (3000, 5, "H"),
+            (3600, 4, "H"),
+            (2400, 2, "M"),
+            (3000, 3, "M"),
+        ],
+    )
+
+
+@pytest.fixture
+def two_nominal_schema() -> Schema:
+    """Table 3's schema with the extra Airline attribute."""
+    return Schema(
+        [
+            numeric_min("Price"),
+            numeric_max("Hotel-class"),
+            nominal("Hotel-group", ["T", "H", "M"]),
+            nominal("Airline", ["G", "R", "W"]),
+        ]
+    )
+
+
+@pytest.fixture
+def two_nominal_data(two_nominal_schema: Schema) -> Dataset:
+    """Table 3's six packages (two nominal attributes)."""
+    return Dataset(
+        two_nominal_schema,
+        [
+            (1600, 4, "T", "G"),
+            (2400, 1, "T", "G"),
+            (3000, 5, "H", "G"),
+            (3600, 4, "H", "R"),
+            (2400, 2, "M", "R"),
+            (3000, 3, "M", "W"),
+        ],
+    )
+
+
+@pytest.fixture
+def small_synthetic() -> Dataset:
+    """A deterministic 150-point anti-correlated workload."""
+    return generate(
+        SyntheticConfig(
+            num_points=150,
+            num_numeric=2,
+            num_nominal=2,
+            cardinality=4,
+            seed=42,
+        )
+    )
+
+
+def names_of(ids) -> set:
+    """Map row ids of the six-package tables to the paper's letters."""
+    return {PACKAGE_NAMES[i] for i in ids}
+
+
+def preference(**kwargs) -> Preference:
+    """Shorthand: ``preference(**{"Hotel-group": "T<M<*"})``."""
+    return Preference(kwargs)

@@ -1,0 +1,144 @@
+"""Incremental maintenance tests for Adaptive SFS (Section 4.3)."""
+
+import random
+
+import pytest
+
+from repro.adaptive.adaptive_sfs import AdaptiveSFS
+from repro.core.dataset import Dataset
+from repro.core.preferences import Preference
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.exceptions import DatasetError
+
+
+def make_index(n=120, seed=1, with_template=False):
+    data = generate(
+        SyntheticConfig(
+            num_points=n, num_numeric=2, num_nominal=2, cardinality=4,
+            seed=seed,
+        )
+    )
+    template = frequent_value_template(data) if with_template else None
+    return data, AdaptiveSFS(data, template)
+
+
+def random_row(step):
+    """One fresh random row compatible with make_index's schema."""
+    return generate(
+        SyntheticConfig(
+            num_points=1, num_numeric=2, num_nominal=2, cardinality=4,
+            seed=10_000 + step,
+        )
+    ).row(0)
+
+
+class TestInsert:
+    def test_dominated_insert_leaves_skyline(self):
+        _, index = make_index()
+        before = index.skyline_ids
+        # A row worse than everything numerically, holding arbitrary
+        # nominal values: cannot displace, may or may not enter.
+        new_id = index.insert((10.0, 10.0, "d0_v0", "d1_v0"))
+        assert new_id == index.num_points - 1
+        index_ids = set(index.skyline_ids)
+        assert set(before) - index_ids == set()  # nothing evicted wrongly?
+        index.rebuild()
+        assert set(index.skyline_ids) == index_ids
+
+    def test_dominating_insert_evicts(self):
+        _, index = make_index()
+        # A row better than everything numerically with the most common
+        # nominal values evicts all members sharing those values.
+        new_id = index.insert((-1.0, -1.0, "d0_v0", "d1_v0"))
+        assert new_id in index.skyline_ids
+        snapshot = set(index.skyline_ids)
+        index.rebuild()
+        assert set(index.skyline_ids) == snapshot
+
+    def test_insert_validates_row(self):
+        _, index = make_index()
+        with pytest.raises(Exception):
+            index.insert((0.5, 0.5, "bogus", "d1_v0"))
+
+    def test_insert_then_query(self):
+        data, index = make_index()
+        index.insert((-1.0, -1.0, "d0_v1", "d1_v1"))
+        pref = Preference({"nom0": ["d0_v1"]})
+        fresh = AdaptiveSFS(
+            Dataset(
+                data.schema, list(data) + [(-1.0, -1.0, "d0_v1", "d1_v1")]
+            )
+        )
+        assert index.query(pref) == fresh.query(pref)
+
+
+class TestDelete:
+    def test_delete_non_member_is_noop_for_skyline(self):
+        _, index = make_index()
+        non_member = next(
+            i for i in range(index.num_points) if i not in set(index.skyline_ids)
+        )
+        before = index.skyline_ids
+        index.delete(non_member)
+        assert index.skyline_ids == before
+
+    def test_delete_member_readmits_shadowed_points(self):
+        _, index = make_index()
+        member = index.skyline_ids[0]
+        index.delete(member)
+        snapshot = set(index.skyline_ids)
+        index.rebuild()
+        assert set(index.skyline_ids) == snapshot
+        assert member not in snapshot
+
+    def test_double_delete_raises(self):
+        _, index = make_index()
+        index.delete(0)
+        with pytest.raises(DatasetError):
+            index.delete(0)
+
+    def test_delete_unknown_id_raises(self):
+        _, index = make_index()
+        with pytest.raises(DatasetError):
+            index.delete(10_000)
+
+
+class TestRandomisedChurn:
+    @pytest.mark.parametrize("with_template", [False, True])
+    def test_interleaved_updates_match_rebuild(self, with_template):
+        rng = random.Random(5)
+        _, index = make_index(with_template=with_template)
+        live = list(range(index.num_points))
+        for step in range(60):
+            if rng.random() < 0.45 and live:
+                victim = live.pop(rng.randrange(len(live)))
+                index.delete(victim)
+            else:
+                live.append(index.insert(random_row(step)))
+            if step % 15 == 14:
+                snapshot = set(index.skyline_ids)
+                index.rebuild()
+                assert set(index.skyline_ids) == snapshot
+
+    def test_queries_stay_correct_under_churn(self):
+        rng = random.Random(9)
+        data, index = make_index(seed=2)
+        rows = {i: data.row(i) for i in range(len(data))}
+        for step in range(40):
+            if rng.random() < 0.4 and rows:
+                victim = rng.choice(sorted(rows))
+                del rows[victim]
+                index.delete(victim)
+            else:
+                row = random_row(step + 500)
+                rows[index.insert(row)] = row
+        # Compare a query against a fresh index over the surviving rows.
+        pref = Preference({"nom0": ["d0_v2", "d0_v0"], "nom1": ["d1_v1"]})
+        fresh = AdaptiveSFS(Dataset(data.schema, list(rows.values())))
+        relabel = {new: old for new, old in enumerate(sorted(rows))}
+        expected = sorted(relabel[i] for i in fresh.query(pref))
+        assert index.query(pref) == expected

@@ -1,0 +1,155 @@
+"""Unit tests for the Adaptive SFS index (queries)."""
+
+import pytest
+
+from repro.adaptive.adaptive_sfs import AdaptiveSFS
+from repro.core.preferences import Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preferences
+from repro.exceptions import DatasetError, RefinementError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(
+        SyntheticConfig(
+            num_points=200, num_numeric=2, num_nominal=2, cardinality=5,
+            seed=77,
+        )
+    )
+
+
+class TestPreprocessing:
+    def test_skyline_matches_reference(self, workload):
+        index = AdaptiveSFS(workload)
+        assert index.skyline_ids == sorted(skyline(workload).ids)
+
+    def test_template_skyline(self, workload):
+        template = frequent_value_template(workload)
+        index = AdaptiveSFS(workload, template)
+        assert index.skyline_ids == sorted(
+            skyline(workload, template=template).ids
+        )
+
+    def test_preprocessing_time_recorded(self, workload):
+        index = AdaptiveSFS(workload)
+        assert index.preprocessing_seconds > 0
+
+    def test_storage_accounts_members(self, workload):
+        index = AdaptiveSFS(workload)
+        n = len(index.skyline_ids)
+        # 12 bytes per member + 4 per inverted entry (2 nominal dims).
+        assert index.storage_bytes() == 12 * n + 4 * (2 * n)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("order", [0, 1, 2, 3, 5])
+    def test_matches_bruteforce(self, workload, order):
+        index = AdaptiveSFS(workload)
+        for pref in generate_preferences(workload, order, 6, seed=order):
+            expected = sorted(
+                skyline(workload, pref, algorithm="bruteforce").ids
+            )
+            assert index.query(pref) == expected
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_matches_bruteforce_with_template(self, workload, order):
+        template = frequent_value_template(workload)
+        index = AdaptiveSFS(workload, template)
+        for pref in generate_preferences(
+            workload, order, 6, template=template, seed=order + 10
+        ):
+            expected = sorted(
+                skyline(
+                    workload, pref, template=template, algorithm="bruteforce"
+                ).ids
+            )
+            assert index.query(pref) == expected
+
+    def test_query_scan_agrees_with_optimised_path(self, workload):
+        index = AdaptiveSFS(workload)
+        for pref in generate_preferences(workload, 3, 10, seed=4):
+            assert index.query(pref) == index.query_scan(pref)
+
+    def test_empty_query_returns_template_skyline(self, workload):
+        index = AdaptiveSFS(workload)
+        assert index.query() == index.skyline_ids
+
+    def test_non_refining_query_rejected(self, workload):
+        template = frequent_value_template(workload)
+        index = AdaptiveSFS(workload, template)
+        top = workload.most_frequent("nom0", 2)
+        hostile = Preference({"nom0": [top[1]]})  # wrong first value
+        with pytest.raises(RefinementError):
+            index.query(hostile)
+
+
+class TestProgressiveness:
+    def test_yielded_ids_are_final(self, workload):
+        """Every prefix of iter_query is a subset of the true skyline."""
+        index = AdaptiveSFS(workload)
+        pref = generate_preferences(workload, 3, 1, seed=12)[0]
+        truth = set(skyline(workload, pref, algorithm="bruteforce").ids)
+        emitted = []
+        for point_id in index.iter_query(pref):
+            assert point_id in truth
+            emitted.append(point_id)
+        assert set(emitted) == truth
+
+    def test_emission_in_score_order(self, workload):
+        from repro.core.dominance import RankTable
+
+        index = AdaptiveSFS(workload)
+        pref = generate_preferences(workload, 2, 1, seed=13)[0]
+        table = RankTable.compile(workload.schema, pref)
+        scores = [
+            table.score(workload.canonical(i))
+            for i in index.iter_query(pref)
+        ]
+        assert scores == sorted(scores)
+
+
+class TestAffectCount:
+    def test_affect_counts_listed_values(self, workload):
+        index = AdaptiveSFS(workload)
+        pref = Preference({"nom0": ["d0_v0", "d0_v1"]})
+        listed_ids = {
+            workload.value_id("nom0", "d0_v0"),
+            workload.value_id("nom0", "d0_v1"),
+        }
+        dim = workload.schema.index_of("nom0")
+        expected = sum(
+            1
+            for i in index.skyline_ids
+            if workload.canonical(i)[dim] in listed_ids
+        )
+        assert index.affect_count(pref) == expected
+
+    def test_affect_zero_for_empty_query(self, workload):
+        index = AdaptiveSFS(workload)
+        assert index.affect_count() == 0
+
+    def test_affect_includes_template_prefix(self, workload):
+        """AFFECT counts values listed by the merged preference R~'."""
+        template = frequent_value_template(workload)
+        index = AdaptiveSFS(workload, template)
+        assert index.affect_count() == index.affect_count(template)
+        assert index.affect_count() > 0
+
+
+class TestRowAccess:
+    def test_row_roundtrip(self, workload):
+        index = AdaptiveSFS(workload)
+        assert index.row(3) == workload.row(3)
+        assert index.num_points == len(workload)
+
+    def test_dead_row_raises(self, workload):
+        index = AdaptiveSFS(workload)
+        index.delete(3)
+        with pytest.raises(DatasetError):
+            index.row(3)

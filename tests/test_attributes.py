@@ -1,0 +1,139 @@
+"""Unit tests for attribute specs and schemas."""
+
+import pytest
+
+from repro.core.attributes import (
+    AttributeKind,
+    AttributeSpec,
+    Schema,
+    nominal,
+    numeric_max,
+    numeric_min,
+    ordinal,
+)
+from repro.exceptions import SchemaError
+
+
+class TestAttributeKind:
+    def test_numeric_kinds_are_numeric(self):
+        assert AttributeKind.NUMERIC_MIN.is_numeric
+        assert AttributeKind.NUMERIC_MAX.is_numeric
+        assert AttributeKind.ORDINAL.is_numeric
+
+    def test_nominal_is_not_numeric(self):
+        assert not AttributeKind.NOMINAL.is_numeric
+        assert AttributeKind.NOMINAL.is_nominal
+
+    def test_numeric_kinds_are_not_nominal(self):
+        assert not AttributeKind.NUMERIC_MIN.is_nominal
+
+
+class TestAttributeSpec:
+    def test_numeric_min_canonical_passthrough(self):
+        spec = numeric_min("Price")
+        assert spec.canonical_value(42) == 42.0
+
+    def test_numeric_max_canonical_negates(self):
+        spec = numeric_max("Class")
+        assert spec.canonical_value(4) == -4.0
+
+    def test_ordinal_canonical_uses_position(self):
+        spec = ordinal("health", ["good", "ok", "bad"])
+        assert spec.canonical_value("good") == 0.0
+        assert spec.canonical_value("bad") == 2.0
+
+    def test_ordinal_canonical_rejects_unknown_value(self):
+        spec = ordinal("health", ["good", "bad"])
+        with pytest.raises(SchemaError):
+            spec.canonical_value("mediocre")
+
+    def test_nominal_has_cardinality(self):
+        spec = nominal("Group", ["T", "H", "M"])
+        assert spec.cardinality == 3
+
+    def test_numeric_cardinality_undefined(self):
+        with pytest.raises(SchemaError):
+            numeric_min("Price").cardinality
+
+    def test_nominal_canonical_undefined(self):
+        with pytest.raises(SchemaError):
+            nominal("Group", ["T"]).canonical_value("T")
+
+    def test_numeric_rejects_domain(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("Price", AttributeKind.NUMERIC_MIN, ("a",))
+
+    def test_nominal_requires_domain(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("Group", AttributeKind.NOMINAL)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            nominal("Group", [])
+
+    def test_duplicate_domain_values_rejected(self):
+        with pytest.raises(SchemaError):
+            nominal("Group", ["T", "T"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            numeric_min("")
+
+
+class TestSchema:
+    def test_basic_lookup(self, vacation_schema):
+        assert len(vacation_schema) == 3
+        assert vacation_schema.index_of("Price") == 0
+        assert vacation_schema.spec("Hotel-group").cardinality == 3
+        assert "Price" in vacation_schema
+        assert "Nonexistent" not in vacation_schema
+
+    def test_names_in_order(self, vacation_schema):
+        assert vacation_schema.names == ("Price", "Hotel-class", "Hotel-group")
+
+    def test_nominal_indices(self, vacation_schema):
+        assert vacation_schema.nominal_indices == (2,)
+        assert vacation_schema.numeric_indices == (0, 1)
+        assert vacation_schema.num_nominal == 1
+        assert vacation_schema.nominal_names == ("Hotel-group",)
+
+    def test_unknown_attribute_raises(self, vacation_schema):
+        with pytest.raises(SchemaError):
+            vacation_schema.index_of("Airline")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([numeric_min("x"), numeric_max("x")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_non_spec_entry_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["Price"])
+
+    def test_equality_and_hash(self, vacation_schema):
+        clone = Schema(list(vacation_schema))
+        assert clone == vacation_schema
+        assert hash(clone) == hash(vacation_schema)
+
+    def test_validate_row_accepts_good_row(self, vacation_schema):
+        vacation_schema.validate_row((1600, 4, "T"))
+
+    def test_validate_row_wrong_width(self, vacation_schema):
+        with pytest.raises(SchemaError):
+            vacation_schema.validate_row((1600, 4))
+
+    def test_validate_row_bad_nominal_value(self, vacation_schema):
+        with pytest.raises(SchemaError):
+            vacation_schema.validate_row((1600, 4, "X"))
+
+    def test_validate_row_non_numeric_value(self, vacation_schema):
+        with pytest.raises(SchemaError):
+            vacation_schema.validate_row(("cheap", 4, "T"))
+
+    def test_ordinal_participates_as_numeric(self):
+        schema = Schema([ordinal("health", ["good", "bad"]), numeric_min("x")])
+        assert schema.numeric_indices == (0, 1)
+        assert schema.nominal_indices == ()

@@ -1,0 +1,94 @@
+"""Tests for the BBS skyline algorithm over rank-vector R-trees."""
+
+import pytest
+
+from repro.algorithms.bbs import bbs_skyline
+from repro.algorithms.bruteforce import bruteforce_skyline
+from repro.core.dataset import Dataset
+from repro.core.dominance import RankTable
+from repro.core.preferences import Preference
+from repro.datagen.generator import SyntheticConfig, generate
+from repro.datagen.queries import generate_preferences
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize(
+        "pref, expected",
+        [
+            (None, {0, 2, 4, 5}),  # Bob
+            (Preference({"Hotel-group": "T < M < *"}), {0, 2}),  # Alice
+            (Preference({"Hotel-group": "H < T < *"}), {0, 2}),  # Emily
+        ],
+    )
+    def test_table2_customers(self, vacation_data, pref, expected):
+        table = RankTable.compile(vacation_data.schema, pref)
+        result = bbs_skyline(
+            vacation_data.canonical_rows, vacation_data.ids, table
+        )
+        assert set(result) == expected
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("order", [0, 1, 3])
+    @pytest.mark.parametrize(
+        "distribution", ["independent", "correlated", "anticorrelated"]
+    )
+    def test_matches_bruteforce(self, distribution, order):
+        data = generate(
+            SyntheticConfig(
+                num_points=300,
+                num_numeric=3,
+                num_nominal=2,
+                cardinality=5,
+                distribution=distribution,
+                seed=9,
+            )
+        )
+        for pref in generate_preferences(data, order, 3, seed=order):
+            table = RankTable.compile(data.schema, pref)
+            expected = set(
+                bruteforce_skyline(data.canonical_rows, data.ids, table)
+            )
+            got = bbs_skyline(data.canonical_rows, data.ids, table)
+            assert set(got) == expected
+
+    def test_empty_input(self, vacation_data):
+        table = RankTable.compile(vacation_data.schema)
+        assert bbs_skyline(vacation_data.canonical_rows, [], table) == []
+
+    def test_duplicates_survive(self, vacation_schema):
+        data = Dataset(vacation_schema, [(1, 5, "T")] * 3)
+        table = RankTable.compile(vacation_schema)
+        assert sorted(
+            bbs_skyline(data.canonical_rows, data.ids, table)
+        ) == [0, 1, 2]
+
+    def test_incomparable_rank_ties_not_pruned(self, vacation_schema):
+        """Equal-rank distinct nominal values must all survive.
+
+        This is exactly the case the conservative prune exists for: all
+        three points share the same rank vector, so a naive BBS over
+        rank space would keep only one.
+        """
+        data = Dataset(
+            vacation_schema, [(1, 5, "T"), (1, 5, "H"), (1, 5, "M")]
+        )
+        table = RankTable.compile(vacation_schema)
+        assert sorted(
+            bbs_skyline(data.canonical_rows, data.ids, table)
+        ) == [0, 1, 2]
+
+
+class TestProgressiveOrder:
+    def test_accepted_points_in_ascending_score_order(self):
+        data = generate(
+            SyntheticConfig(
+                num_points=200, num_numeric=2, num_nominal=2, cardinality=4,
+                seed=6,
+            )
+        )
+        pref = Preference({"nom0": ["d0_v1"]})
+        table = RankTable.compile(data.schema, pref)
+        out = bbs_skyline(data.canonical_rows, data.ids, table)
+        scores = [table.score(data.canonical(i)) for i in out]
+        assert scores == sorted(scores)

@@ -1,0 +1,170 @@
+"""Integration tests for the benchmark harness (tiny configurations)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    DEFAULT_QUERY_COUNT,
+    FIGURES,
+    RunSpec,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.bench.measure import dataset_bytes, mean, stopwatch, timed
+from repro.bench.report import render_figure, render_series
+from repro.bench.runner import METHODS, run_figure, run_spec
+from repro.core.preferences import Preference
+from repro.datagen.generator import SyntheticConfig, generate
+
+
+def tiny_spec(**overrides) -> RunSpec:
+    defaults = dict(
+        figure="figX",
+        x_label="points",
+        x=60,
+        dataset_builder=lambda: generate(
+            SyntheticConfig(
+                num_points=60, num_numeric=2, num_nominal=2, cardinality=4,
+                seed=3,
+            )
+        ),
+        template_builder=lambda _d: Preference.empty(),
+        order=2,
+        query_count=3,
+        ipo_k=2,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+class TestMeasure:
+    def test_timed(self):
+        value, seconds = timed(lambda: 7)
+        assert value == 7
+        assert seconds >= 0
+
+    def test_stopwatch(self):
+        with stopwatch() as elapsed:
+            pass
+        assert len(elapsed) == 1
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_dataset_bytes(self):
+        assert dataset_bytes(10, 5) == 200
+
+
+class TestRunner:
+    def test_run_spec_collects_all_panels(self):
+        result = run_spec(tiny_spec())
+        assert set(result.preprocessing_seconds) == set(METHODS)
+        assert set(result.query_seconds) == set(METHODS)
+        assert set(result.storage_bytes) == set(METHODS)
+        assert result.num_points == 60
+        assert 0 < result.sky_ratio <= 1
+        assert 0 <= result.affect_ratio <= 1
+        assert 0 < result.refined_sky_ratio <= 1
+        assert result.mismatches == 0
+
+    def test_run_spec_without_sfs_d(self):
+        result = run_spec(tiny_spec(), include_sfs_d=False)
+        assert result.query_seconds["SFS-D"] != result.query_seconds["SFS-A"]
+        assert result.query_seconds["SFS-D"] != result.query_seconds["SFS-D"]  # NaN
+
+    def test_run_figure_iterates_points(self):
+        from repro.bench.experiments import FigureSpec
+
+        figure = FigureSpec(
+            "figX", "tiny", "points",
+            (tiny_spec(x=40), tiny_spec(x=60)),
+        )
+        seen = []
+        results = run_figure(figure, progress=seen.append)
+        assert len(results) == 2
+        assert len(seen) == 2
+
+
+class TestExperimentSpecs:
+    @pytest.mark.parametrize("fig_id", sorted(FIGURES))
+    @pytest.mark.parametrize("scale", ["scaled", "paper"])
+    def test_figures_define_sweeps(self, fig_id, scale):
+        figure = FIGURES[fig_id](scale)
+        assert len(figure.runs) >= 4
+        assert all(r.figure == figure.figure for r in figure.runs)
+        assert all(
+            r.query_count == DEFAULT_QUERY_COUNT[scale] for r in figure.runs
+        )
+
+    def test_query_count_override(self):
+        figure = figure4("scaled", 5)
+        assert all(r.query_count == 5 for r in figure.runs)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            figure4("galactic")
+
+    def test_fig5_sweeps_nominal_dimensions(self):
+        xs = [r.x for r in figure5("scaled").runs]
+        assert xs == [4, 5, 6, 7]
+
+    def test_fig7_sweeps_order(self):
+        assert [r.order for r in figure7("scaled").runs] == [1, 2, 3, 4]
+
+    def test_fig8_uses_nursery(self):
+        figure = figure8("scaled", 2)
+        data = figure.runs[0].dataset_builder()
+        assert len(data) == 12960
+        assert [r.order for r in figure.runs] == [0, 1, 2, 3]
+
+    def test_fig6_sweeps_cardinality(self):
+        xs = [r.x for r in figure6("scaled").runs]
+        assert xs == sorted(xs)
+
+
+class TestReport:
+    def test_render_figure_mentions_all_methods(self):
+        results = [run_spec(tiny_spec())]
+        text = render_figure("tiny figure", "points", results)
+        for method in METHODS:
+            assert method in text
+        for panel in ("preprocessing", "query time", "storage", "proportions"):
+            assert panel in text
+
+    def test_render_series_is_tabular(self):
+        results = [run_spec(tiny_spec())]
+        series = render_series(results)
+        lines = series.splitlines()
+        assert lines[0].split("\t") == [
+            "figure", "x", "metric", "method", "value",
+        ]
+        assert all(len(line.split("\t")) == 5 for line in lines[1:])
+
+
+class TestCli:
+    def test_main_runs_figure8_quickly(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main(["--figure", "8", "--queries", "1", "--no-sfs-d"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Nursery" in out
+        assert "proportions" in out
+
+    def test_main_writes_series(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        target = tmp_path / "series.tsv"
+        code = main(
+            [
+                "--figure", "8", "--queries", "1", "--no-sfs-d",
+                "--series", str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        assert "query_s" in target.read_text()

@@ -1,0 +1,80 @@
+"""Tests for the bitmap skyline algorithm (Tan et al., VLDB'01)."""
+
+import pytest
+
+from repro.algorithms.bitmap import bitmap_skyline
+from repro.algorithms.bruteforce import bruteforce_skyline
+from repro.core.dataset import Dataset
+from repro.core.dominance import RankTable
+from repro.core.preferences import Preference
+from repro.datagen.generator import SyntheticConfig, generate
+from repro.datagen.queries import generate_preferences
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize(
+        "pref, expected",
+        [
+            (None, {0, 2, 4, 5}),  # Bob
+            (Preference({"Hotel-group": "T < M < *"}), {0, 2}),  # Alice
+            (Preference({"Hotel-group": "H < M < T"}), {0, 2, 4}),  # David
+        ],
+    )
+    def test_table2_customers(self, vacation_data, pref, expected):
+        table = RankTable.compile(vacation_data.schema, pref)
+        result = bitmap_skyline(
+            vacation_data.canonical_rows, vacation_data.ids, table
+        )
+        assert set(result) == expected
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("order", [0, 1, 3])
+    @pytest.mark.parametrize(
+        "distribution", ["independent", "anticorrelated"]
+    )
+    def test_matches_bruteforce(self, distribution, order):
+        data = generate(
+            SyntheticConfig(
+                num_points=150,
+                num_numeric=2,
+                num_nominal=2,
+                cardinality=4,
+                distribution=distribution,
+                seed=3,
+            )
+        )
+        for pref in generate_preferences(data, order, 4, seed=order):
+            table = RankTable.compile(data.schema, pref)
+            expected = set(
+                bruteforce_skyline(data.canonical_rows, data.ids, table)
+            )
+            got = set(bitmap_skyline(data.canonical_rows, data.ids, table))
+            assert got == expected
+
+    def test_duplicates_survive(self, vacation_schema):
+        data = Dataset(vacation_schema, [(1, 5, "T")] * 3)
+        table = RankTable.compile(vacation_schema)
+        assert sorted(
+            bitmap_skyline(data.canonical_rows, data.ids, table)
+        ) == [0, 1, 2]
+
+    def test_empty_input(self, vacation_data):
+        table = RankTable.compile(vacation_data.schema)
+        assert bitmap_skyline(vacation_data.canonical_rows, [], table) == []
+
+    def test_incomparable_nominals_all_survive(self, vacation_schema):
+        """Same numerics, distinct unlisted nominal values: no dominance."""
+        data = Dataset(
+            vacation_schema, [(1, 5, "T"), (1, 5, "H"), (1, 5, "M")]
+        )
+        table = RankTable.compile(vacation_schema)
+        assert sorted(
+            bitmap_skyline(data.canonical_rows, data.ids, table)
+        ) == [0, 1, 2]
+
+    def test_subset_of_ids(self, vacation_data):
+        table = RankTable.compile(vacation_data.schema)
+        assert sorted(
+            bitmap_skyline(vacation_data.canonical_rows, [1, 3, 5], table)
+        ) == [1, 3, 5]

@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.charts import ascii_chart, chart_query_times
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        chart = ascii_chart(
+            {"A": [(1, 10.0), (2, 100.0)], "B": [(1, 5.0), (2, 7.0)]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "* A" in chart
+        assert "o B" in chart
+
+    def test_marks_plotted(self):
+        chart = ascii_chart({"A": [(1, 1.0), (10, 1000.0)]})
+        assert "*" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({}, title="empty")
+
+    def test_single_point(self):
+        chart = ascii_chart({"A": [(5, 42.0)]})
+        assert "*" in chart
+
+    def test_log_scale_orders_extremes(self):
+        """The larger value must land on a higher row than the smaller."""
+        chart = ascii_chart(
+            {"A": [(1, 1.0), (2, 10000.0)]}, width=20, height=10
+        )
+        lines = [l for l in chart.splitlines() if "|" in l]
+        star_rows = [i for i, l in enumerate(lines) if "*" in l]
+        assert star_rows[0] < star_rows[-1]
+        assert star_rows[0] == 0
+        assert star_rows[-1] == len(lines) - 1
+
+    def test_linear_scale(self):
+        chart = ascii_chart({"A": [(0, 0.0), (1, 10.0)]}, logy=False)
+        assert "*" in chart
+
+    def test_nonpositive_values_clamped_on_log(self):
+        chart = ascii_chart({"A": [(0, 0.0), (1, 10.0)]}, logy=True)
+        assert "*" in chart
+
+
+class TestChartQueryTimes:
+    def test_renders_from_run_results(self):
+        from repro.bench.runner import run_spec
+        from tests.test_bench import tiny_spec
+
+        results = [run_spec(tiny_spec(x=40)), run_spec(tiny_spec(x=80))]
+        chart = chart_query_times(results, title="tiny")
+        assert "tiny" in chart
+        assert "SFS-D" in chart
+
+    def test_skips_nan_series(self):
+        from repro.bench.runner import run_spec
+        from tests.test_bench import tiny_spec
+
+        results = [run_spec(tiny_spec(), include_sfs_d=False)]
+        chart = chart_query_times(results)
+        assert "SFS-D" not in chart

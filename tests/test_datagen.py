@@ -1,0 +1,199 @@
+"""Unit tests for the synthetic data generators."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+    synthetic_schema,
+)
+from repro.datagen.nominal import ZipfSampler, zipf_column
+from repro.datagen.numeric import (
+    DISTRIBUTIONS,
+    anticorrelated_point,
+    correlated_point,
+    independent_point,
+    numeric_matrix,
+)
+
+
+class TestNumericDistributions:
+    def test_values_in_unit_interval(self):
+        rng = random.Random(0)
+        for distribution in DISTRIBUTIONS:
+            for row in numeric_matrix(rng, 200, 3, distribution):
+                assert all(0.0 <= v <= 1.0 for v in row)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            numeric_matrix(random.Random(0), 5, 2, "weird")
+
+    def test_correlated_points_hug_diagonal(self):
+        rng = random.Random(1)
+        spreads = [
+            max(p) - min(p) for p in (correlated_point(rng, 3) for _ in range(300))
+        ]
+        assert sum(spreads) / len(spreads) < 0.25
+
+    def test_anticorrelated_sum_is_stable(self):
+        rng = random.Random(2)
+        sums = [sum(anticorrelated_point(rng, 3)) for _ in range(300)]
+        mean = sum(sums) / len(sums)
+        assert 1.2 < mean < 1.8  # around 3 * 0.5
+        spread = max(sums) - min(sums)
+        # sum = 3 * base with base ~ N(0.5, 0.05): the empirical spread
+        # stays well under the ~2.0+ of three iid uniforms.
+        assert spread < 1.5
+
+    def test_anticorrelated_coordinates_spread(self):
+        """Individual coordinates must not all sit at 0.5."""
+        rng = random.Random(3)
+        firsts = [anticorrelated_point(rng, 3)[0] for _ in range(300)]
+        assert max(firsts) - min(firsts) > 0.5
+
+    def test_single_dimension_anticorrelated(self):
+        rng = random.Random(4)
+        assert 0 <= anticorrelated_point(rng, 1)[0] <= 1
+
+    def test_skyline_size_ordering(self):
+        """Anti-correlated skylines dwarf correlated ones (the reason the
+        paper reports anti-correlated results)."""
+        from repro.core.skyline import skyline
+
+        sizes = {}
+        for distribution in DISTRIBUTIONS:
+            data = generate(
+                SyntheticConfig(
+                    num_points=300,
+                    num_numeric=3,
+                    num_nominal=0,
+                    distribution=distribution,
+                    seed=8,
+                )
+            )
+            sizes[distribution] = len(skyline(data))
+        assert sizes["correlated"] < sizes["independent"] < sizes["anticorrelated"]
+
+
+class TestZipf:
+    def test_pmf_sums_to_one(self):
+        sampler = ZipfSampler(20, 1.0)
+        assert abs(sum(sampler.pmf) - 1.0) < 1e-9
+
+    def test_pmf_decreasing(self):
+        sampler = ZipfSampler(10, 1.0)
+        assert all(
+            sampler.pmf[i] >= sampler.pmf[i + 1] for i in range(9)
+        )
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(5, 0.0)
+        assert all(abs(p - 0.2) < 1e-9 for p in sampler.pmf)
+
+    def test_empirical_frequencies_follow_pmf(self):
+        rng = random.Random(5)
+        sampler = ZipfSampler(4, 1.0)
+        counts = Counter(sampler.sample_many(rng, 20_000))
+        for vid, probability in enumerate(sampler.pmf):
+            assert abs(counts[vid] / 20_000 - probability) < 0.02
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -1.0)
+
+    def test_zipf_column_values_from_domain(self):
+        rng = random.Random(6)
+        column = zipf_column(rng, 100, ("a", "b", "c"), 1.0)
+        assert set(column) <= {"a", "b", "c"}
+        assert len(column) == 100
+
+
+class TestSyntheticConfig:
+    def test_defaults_match_table4_shape(self):
+        config = SyntheticConfig()
+        assert config.num_numeric == 3
+        assert config.num_nominal == 2
+        assert config.cardinality == 20
+        assert config.theta == 1.0
+        assert config.distribution == "anticorrelated"
+
+    def test_with_replaces_fields(self):
+        config = SyntheticConfig().with_(num_points=99)
+        assert config.num_points == 99
+        assert config.cardinality == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_points": -1},
+            {"num_numeric": -1},
+            {"num_numeric": 0, "num_nominal": 0},
+            {"cardinality": 0},
+            {"distribution": "bogus"},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**kwargs)
+
+
+class TestGenerate:
+    def test_shape(self):
+        config = SyntheticConfig(
+            num_points=50, num_numeric=2, num_nominal=3, cardinality=5, seed=1
+        )
+        data = generate(config)
+        assert len(data) == 50
+        assert len(data.schema) == 5
+        assert data.schema.num_nominal == 3
+
+    def test_deterministic_in_seed(self):
+        config = SyntheticConfig(num_points=40, seed=9)
+        assert list(generate(config)) == list(generate(config))
+
+    def test_different_seeds_differ(self):
+        a = generate(SyntheticConfig(num_points=40, seed=1))
+        b = generate(SyntheticConfig(num_points=40, seed=2))
+        assert list(a) != list(b)
+
+    def test_nominal_only_dataset(self):
+        data = generate(
+            SyntheticConfig(num_points=30, num_numeric=0, num_nominal=2,
+                            cardinality=3, seed=4)
+        )
+        assert len(data.schema) == 2
+
+    def test_schema_domains(self):
+        schema = synthetic_schema(SyntheticConfig(cardinality=4))
+        assert schema.spec("nom0").domain == (
+            "d0_v0",
+            "d0_v1",
+            "d0_v2",
+            "d0_v3",
+        )
+
+    def test_zipf_bias_visible_in_data(self):
+        data = generate(
+            SyntheticConfig(num_points=2000, cardinality=10, theta=1.0, seed=3)
+        )
+        counts = data.value_counts("nom0")
+        assert counts["d0_v0"] > counts["d0_v9"]
+
+
+class TestFrequentValueTemplate:
+    def test_template_prefers_most_frequent(self):
+        data = generate(SyntheticConfig(num_points=500, seed=6))
+        template = frequent_value_template(data)
+        for name in data.schema.nominal_names:
+            assert template[name].choices == (data.most_frequent(name, 1)[0],)
+
+    def test_higher_order_template(self):
+        data = generate(SyntheticConfig(num_points=500, seed=6))
+        template = frequent_value_template(data, per_attribute_order=3)
+        assert template.order == 3

@@ -1,0 +1,118 @@
+"""Unit tests for the dataset container and canonical encoding."""
+
+import pytest
+
+from repro.core.attributes import Schema, nominal, numeric_max, numeric_min, ordinal
+from repro.core.dataset import Dataset
+from repro.exceptions import DatasetError
+
+
+class TestConstruction:
+    def test_canonical_encoding(self, vacation_data):
+        # Price passes through, Hotel-class negates, Hotel-group encodes.
+        assert vacation_data.canonical(0) == (1600.0, -4.0, 0)
+        assert vacation_data.canonical(2) == (3000.0, -5.0, 1)
+
+    def test_ordinal_encoding(self):
+        schema = Schema([ordinal("health", ["good", "ok", "bad"])])
+        data = Dataset(schema, [("ok",), ("bad",)])
+        assert data.canonical(0) == (1.0,)
+        assert data.canonical(1) == (2.0,)
+
+    def test_row_roundtrip(self, vacation_data):
+        assert vacation_data.row(0) == (1600, 4, "T")
+        assert vacation_data[5] == (3000, 3, "M")
+
+    def test_wrong_width_rejected(self, vacation_schema):
+        with pytest.raises(DatasetError):
+            Dataset(vacation_schema, [(1600, 4)])
+
+    def test_unknown_nominal_value_rejected(self, vacation_schema):
+        with pytest.raises(DatasetError):
+            Dataset(vacation_schema, [(1600, 4, "X")])
+
+    def test_from_dicts(self, vacation_schema):
+        data = Dataset.from_dicts(
+            vacation_schema,
+            [{"Price": 1600, "Hotel-class": 4, "Hotel-group": "T"}],
+        )
+        assert data.row(0) == (1600, 4, "T")
+
+    def test_from_dicts_missing_key(self, vacation_schema):
+        with pytest.raises(DatasetError):
+            Dataset.from_dicts(vacation_schema, [{"Price": 1600}])
+
+    def test_empty_dataset_allowed(self, vacation_schema):
+        data = Dataset(vacation_schema, [])
+        assert len(data) == 0
+        assert list(data.ids) == []
+
+
+class TestAccessors:
+    def test_bad_id_raises(self, vacation_data):
+        with pytest.raises(DatasetError):
+            vacation_data.row(99)
+        with pytest.raises(DatasetError):
+            vacation_data.canonical(99)
+
+    def test_value_accessor(self, vacation_data):
+        assert vacation_data.value(2, "Hotel-group") == "H"
+
+    def test_value_id_roundtrip(self, vacation_data):
+        vid = vacation_data.value_id("Hotel-group", "M")
+        assert vacation_data.value_of_id("Hotel-group", vid) == "M"
+
+    def test_value_id_unknown_value(self, vacation_data):
+        with pytest.raises(DatasetError):
+            vacation_data.value_id("Hotel-group", "X")
+
+    def test_value_id_numeric_attribute(self, vacation_data):
+        with pytest.raises(DatasetError):
+            vacation_data.value_id("Price", 1600)
+
+    def test_value_of_id_out_of_range(self, vacation_data):
+        with pytest.raises(DatasetError):
+            vacation_data.value_of_id("Hotel-group", 17)
+
+    def test_cardinality(self, vacation_data):
+        assert vacation_data.cardinality("Hotel-group") == 3
+
+    def test_iteration_yields_raw_rows(self, vacation_data):
+        assert list(vacation_data)[0] == (1600, 4, "T")
+
+
+class TestStatistics:
+    def test_value_counts(self, vacation_data):
+        counts = vacation_data.value_counts("Hotel-group")
+        assert counts["T"] == 2
+        assert counts["H"] == 2
+        assert counts["M"] == 2
+
+    def test_most_frequent_tie_break_by_domain(self, vacation_data):
+        # All tied at 2: domain order T, H, M decides.
+        assert vacation_data.most_frequent("Hotel-group", 2) == ["T", "H"]
+
+    def test_most_frequent_includes_absent_values(self, vacation_schema):
+        data = Dataset(vacation_schema, [(1, 1, "M")])
+        assert data.most_frequent("Hotel-group", 3) == ["M", "T", "H"]
+
+    def test_most_frequent_numeric_raises(self, vacation_data):
+        with pytest.raises(DatasetError):
+            vacation_data.most_frequent("Price")
+
+
+class TestDerivation:
+    def test_subset_reassigns_ids(self, vacation_data):
+        sub = vacation_data.subset([2, 4])
+        assert len(sub) == 2
+        assert sub.row(0) == (3000, 5, "H")
+
+    def test_extended_keeps_old_ids(self, vacation_data):
+        bigger = vacation_data.extended([(100, 5, "T")])
+        assert len(bigger) == 7
+        assert bigger.row(0) == vacation_data.row(0)
+        assert bigger.row(6) == (100, 5, "T")
+
+    def test_extended_validates(self, vacation_data):
+        with pytest.raises(DatasetError):
+            vacation_data.extended([(100, 5, "X")])

@@ -1,0 +1,27 @@
+"""Execute the doctest examples embedded in the library's docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+# Fetched via importlib: attribute access like ``repro.core.skyline``
+# would resolve to the re-exported *function*, not the module.
+MODULE_NAMES = [
+    "repro.bench.measure",
+    "repro.core.attributes",
+    "repro.core.dataset",
+    "repro.core.orders",
+    "repro.core.preferences",
+    "repro.core.skyline",
+    "repro.datagen.nominal",
+    "repro.datagen.nursery",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    assert result.attempted > 0, f"{name} lost its doctest examples"

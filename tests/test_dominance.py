@@ -1,0 +1,176 @@
+"""Unit tests for the dominance engine (rank tables)."""
+
+import pytest
+
+from repro.core.attributes import Schema, nominal, numeric_max, numeric_min
+from repro.core.dataset import Dataset
+from repro.core.dominance import (
+    DOMINATED,
+    DOMINATES,
+    EQUAL,
+    INCOMPARABLE,
+    RankTable,
+    minima,
+)
+from repro.core.preferences import Preference
+from repro.exceptions import PreferenceError, RefinementError
+
+
+@pytest.fixture
+def table(vacation_schema):
+    return RankTable.compile(
+        vacation_schema, Preference({"Hotel-group": "H < M < *"})
+    )
+
+
+class TestCompile:
+    def test_nominal_ranks_follow_section_4_2(self, vacation_schema):
+        table = RankTable.compile(
+            vacation_schema, Preference({"Hotel-group": "H < M < *"})
+        )
+        # Domain order T, H, M -> value ids 0, 1, 2.
+        assert table.nominal_rank(2, 1) == 1  # H listed first
+        assert table.nominal_rank(2, 2) == 2  # M listed second
+        assert table.nominal_rank(2, 0) == 3  # T unlisted -> cardinality
+
+    def test_default_ranks_are_cardinality(self, vacation_schema):
+        table = RankTable.compile(vacation_schema)
+        assert [table.nominal_rank(2, v) for v in range(3)] == [3, 3, 3]
+
+    def test_listed_count(self, vacation_schema):
+        table = RankTable.compile(
+            vacation_schema, Preference({"Hotel-group": "H < M < *"})
+        )
+        assert table.listed_count(2) == 2
+        assert table.listed_count(0) == 0
+
+    def test_numeric_dim_has_no_rank_table(self, table):
+        with pytest.raises(ValueError):
+            table.nominal_rank(0, 0)
+
+    def test_template_merge(self, vacation_schema):
+        template = Preference({"Hotel-group": "H < *"})
+        table = RankTable.compile(
+            vacation_schema,
+            Preference({"Hotel-group": "H < M < *"}),
+            template=template,
+        )
+        assert table.nominal_rank(2, 1) == 1
+
+    def test_template_conflict_raises(self, vacation_schema):
+        template = Preference({"Hotel-group": "H < *"})
+        with pytest.raises(RefinementError):
+            RankTable.compile(
+                vacation_schema,
+                Preference({"Hotel-group": "M < *"}),
+                template=template,
+            )
+
+    def test_invalid_preference_raises(self, vacation_schema):
+        with pytest.raises(PreferenceError):
+            RankTable.compile(
+                vacation_schema, Preference({"Hotel-group": "X < *"})
+            )
+
+
+class TestDominates:
+    def test_numeric_dominance(self, vacation_data, table):
+        rows = vacation_data.canonical_rows
+        # a (1600, 4, T) dominates b (2400, 1, T): better price and class.
+        assert table.dominates(rows[0], rows[1])
+        assert not table.dominates(rows[1], rows[0])
+
+    def test_nominal_preference_drives_dominance(self, vacation_data):
+        rows = vacation_data.canonical_rows
+        table = RankTable.compile(
+            vacation_data.schema, Preference({"Hotel-group": "H < M < *"})
+        )
+        # c (3000,5,H) vs f (3000,3,M): equal price, better class, H < M.
+        assert table.dominates(rows[2], rows[5])
+
+    def test_unlisted_values_block_dominance(self, vacation_data):
+        rows = vacation_data.canonical_rows
+        table = RankTable.compile(vacation_data.schema)  # no preference
+        # a (1600,4,T) vs e (2400,2,M): better numerics but T and M are
+        # incomparable without a preference.
+        assert not table.dominates(rows[0], rows[4])
+
+    def test_equal_rows_do_not_dominate(self, vacation_schema):
+        data = Dataset(vacation_schema, [(1, 1, "T"), (1, 1, "T")])
+        table = RankTable.compile(vacation_schema)
+        assert not table.dominates(data.canonical(0), data.canonical(1))
+
+    def test_strictness_required(self, vacation_schema):
+        data = Dataset(vacation_schema, [(1, 1, "T"), (1, 1, "H")])
+        table = RankTable.compile(
+            vacation_schema, Preference({"Hotel-group": "T < H < *"})
+        )
+        assert table.dominates(data.canonical(0), data.canonical(1))
+        assert not table.dominates(data.canonical(1), data.canonical(0))
+
+
+class TestCompare:
+    def test_four_outcomes(self, vacation_schema):
+        data = Dataset(
+            vacation_schema,
+            [(1, 5, "T"), (2, 4, "T"), (1, 5, "T"), (1, 4, "H"), (2, 5, "H")],
+        )
+        table = RankTable.compile(vacation_schema)
+        rows = data.canonical_rows
+        assert table.compare(rows[0], rows[1]) is DOMINATES
+        assert table.compare(rows[1], rows[0]) is DOMINATED
+        assert table.compare(rows[0], rows[2]) is EQUAL
+        assert table.compare(rows[3], rows[4]) is INCOMPARABLE
+
+    def test_incomparable_on_nominal_tie(self, vacation_schema):
+        data = Dataset(vacation_schema, [(1, 5, "T"), (1, 5, "H")])
+        table = RankTable.compile(vacation_schema)
+        assert (
+            table.compare(data.canonical(0), data.canonical(1))
+            is INCOMPARABLE
+        )
+
+
+class TestScore:
+    def test_score_is_rank_sum(self, vacation_data):
+        table = RankTable.compile(
+            vacation_data.schema, Preference({"Hotel-group": "H < M < *"})
+        )
+        # a = (1600, -4, T[rank 3]) -> 1600 - 4 + 3
+        assert table.score(vacation_data.canonical(0)) == 1600 - 4 + 3
+
+    def test_score_monotone_under_dominance(self, vacation_data):
+        table = RankTable.compile(
+            vacation_data.schema, Preference({"Hotel-group": "H < M < *"})
+        )
+        rows = vacation_data.canonical_rows
+        for p in rows:
+            for q in rows:
+                if table.dominates(p, q):
+                    assert table.score(p) < table.score(q)
+
+    def test_rank_vector(self, vacation_data):
+        table = RankTable.compile(
+            vacation_data.schema, Preference({"Hotel-group": "H < M < *"})
+        )
+        assert table.rank_vector(vacation_data.canonical(2)) == (
+            3000.0,
+            -5.0,
+            1,
+        )
+
+
+class TestMinima:
+    def test_minima_matches_bob(self, vacation_data):
+        table = RankTable.compile(vacation_data.schema)
+        result = minima(
+            vacation_data.canonical_rows, vacation_data.ids, table
+        )
+        assert sorted(result) == [0, 2, 4, 5]
+
+    def test_minima_keeps_duplicates(self, vacation_schema):
+        data = Dataset(vacation_schema, [(1, 5, "T"), (1, 5, "T")])
+        table = RankTable.compile(vacation_schema)
+        assert sorted(
+            minima(data.canonical_rows, data.ids, table)
+        ) == [0, 1]

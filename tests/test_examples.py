@@ -1,0 +1,60 @@
+"""The example scripts must run end to end (scaled-down arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=True,
+    )
+    return result.stdout
+
+
+class TestQuickstart:
+    def test_reproduces_table2(self):
+        out = run_example("quickstart.py")
+        assert "Alice" in out and "{a, c}" in out
+        assert "Fred" in out and "{a, c, e, f}" in out
+        assert "IPO-tree     -> {a, c, e, f}" in out
+        assert "Progressive" in out
+
+
+class TestTravelAgency:
+    def test_runs_with_small_catalogue(self):
+        out = run_example("travel_agency.py", "300")
+        assert "answers ok" in out
+        assert "MISMATCH" not in out
+        assert "hybrid routing" in out
+
+
+class TestNurseryAnalysis:
+    def test_reports_figure8_loop(self):
+        out = run_example("nursery_analysis.py")
+        assert "12960 applications" in out
+        assert "Figure 8 loop" in out
+        assert "MISMATCH" not in out
+
+
+class TestIncrementalUpdates:
+    def test_all_batches_verified(self):
+        out = run_example("incremental_updates.py")
+        assert out.count(" ok") >= 8
+        assert "MISMATCH" not in out
+
+
+class TestEvaluatorZoo:
+    def test_all_strategies_agree(self):
+        out = run_example("evaluator_zoo.py")
+        assert "identical skyline" in out
+        assert "history-driven tree" in out
+        assert "Full materialise" in out

@@ -1,0 +1,89 @@
+"""Unit tests for the hybrid index (IPO Tree-k + SFS-A fallback)."""
+
+import pytest
+
+from repro.core.preferences import Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preferences
+from repro.hybrid.hybrid import HybridIndex, RoutingStats
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(
+        SyntheticConfig(
+            num_points=200, num_numeric=2, num_nominal=2, cardinality=8,
+            seed=55,
+        )
+    )
+
+
+class TestRouting:
+    def test_popular_query_uses_tree(self, workload):
+        hybrid = HybridIndex(workload, values_per_attribute=3)
+        popular = workload.most_frequent("nom0", 1)[0]
+        hybrid.query(Preference({"nom0": [popular]}))
+        assert hybrid.stats.tree_queries == 1
+        assert hybrid.stats.fallback_queries == 0
+
+    def test_unpopular_query_falls_back(self, workload):
+        hybrid = HybridIndex(workload, values_per_attribute=2)
+        unpopular = workload.most_frequent("nom0", 8)[-1]
+        hybrid.query(Preference({"nom0": [unpopular]}))
+        assert hybrid.stats.fallback_queries == 1
+
+    def test_fallback_ratio(self, workload):
+        hybrid = HybridIndex(workload, values_per_attribute=2)
+        popular = workload.most_frequent("nom0", 1)[0]
+        unpopular = workload.most_frequent("nom0", 8)[-1]
+        hybrid.query(Preference({"nom0": [popular]}))
+        hybrid.query(Preference({"nom0": [unpopular]}))
+        assert hybrid.stats.total == 2
+        assert hybrid.stats.fallback_ratio == 0.5
+
+    def test_idle_ratio_is_zero(self):
+        assert RoutingStats().fallback_ratio == 0.0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_all_routes_return_true_skyline(self, workload, order):
+        hybrid = HybridIndex(workload, values_per_attribute=3)
+        for pref in generate_preferences(
+            workload, order, 8, seed=order, weighting="uniform"
+        ):
+            expected = sorted(skyline(workload, pref).ids)
+            assert hybrid.query(pref) == expected
+        # Uniform weighting over cardinality 8 with k=3 must have
+        # exercised both routes with overwhelming probability.
+        assert hybrid.stats.tree_queries + hybrid.stats.fallback_queries == 8
+
+    def test_with_template(self, workload):
+        template = frequent_value_template(workload)
+        hybrid = HybridIndex(
+            workload, template, values_per_attribute=3
+        )
+        for pref in generate_preferences(
+            workload, 2, 6, template=template, seed=3
+        ):
+            expected = sorted(
+                skyline(workload, pref, template=template).ids
+            )
+            assert hybrid.query(pref) == expected
+
+
+class TestFootprint:
+    def test_storage_combines_components(self, workload):
+        hybrid = HybridIndex(workload, values_per_attribute=3)
+        assert hybrid.storage_bytes() == (
+            hybrid.tree.storage_bytes() + hybrid.adaptive.storage_bytes()
+        )
+
+    def test_preprocessing_time_recorded(self, workload):
+        hybrid = HybridIndex(workload, values_per_attribute=3)
+        assert hybrid.preprocessing_seconds > 0

@@ -1,0 +1,82 @@
+"""Tests for CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.core.io import read_csv, write_csv
+from repro.exceptions import DatasetError
+
+
+class TestReadCsv:
+    def test_roundtrip(self, vacation_data, tmp_path):
+        path = tmp_path / "packages.csv"
+        write_csv(vacation_data, path)
+        loaded = read_csv(vacation_data.schema, path)
+        assert list(loaded) == list(vacation_data)
+
+    def test_header_order_irrelevant(self, vacation_schema):
+        text = io.StringIO(
+            "Hotel-group,Price,Hotel-class\nT,1600,4\nH,3000,5\n"
+        )
+        data = read_csv(vacation_schema, text)
+        assert data.row(0) == (1600, 4, "T")
+        assert data.row(1) == (3000, 5, "H")
+
+    def test_extra_columns_ignored(self, vacation_schema):
+        text = io.StringIO(
+            "Price,Hotel-class,Hotel-group,comment\n1600,4,T,nice\n"
+        )
+        data = read_csv(vacation_schema, text)
+        assert data.row(0) == (1600, 4, "T")
+
+    def test_missing_column_raises(self, vacation_schema):
+        text = io.StringIO("Price,Hotel-class\n1600,4\n")
+        with pytest.raises(DatasetError):
+            read_csv(vacation_schema, text)
+
+    def test_empty_input_raises(self, vacation_schema):
+        with pytest.raises(DatasetError):
+            read_csv(vacation_schema, io.StringIO(""))
+
+    def test_blank_lines_tolerated(self, vacation_schema):
+        text = io.StringIO(
+            "Price,Hotel-class,Hotel-group\n1600,4,T\n\n , ,\n3000,5,H\n"
+        )
+        assert len(read_csv(vacation_schema, text)) == 2
+
+    def test_bad_number_reports_line(self, vacation_schema):
+        text = io.StringIO(
+            "Price,Hotel-class,Hotel-group\ncheap,4,T\n"
+        )
+        with pytest.raises(DatasetError, match="line 2"):
+            read_csv(vacation_schema, text)
+
+    def test_value_outside_domain_raises(self, vacation_schema):
+        text = io.StringIO("Price,Hotel-class,Hotel-group\n1,1,X\n")
+        with pytest.raises(DatasetError):
+            read_csv(vacation_schema, text)
+
+    def test_floats_preserved(self, vacation_schema):
+        text = io.StringIO(
+            "Price,Hotel-class,Hotel-group\n1599.5,4,T\n"
+        )
+        assert read_csv(vacation_schema, text).row(0)[0] == 1599.5
+
+    def test_custom_delimiter(self, vacation_schema):
+        text = io.StringIO("Price;Hotel-class;Hotel-group\n1600;4;T\n")
+        data = read_csv(vacation_schema, text, delimiter=";")
+        assert data.row(0) == (1600, 4, "T")
+
+
+class TestWriteCsv:
+    def test_header_written(self, vacation_data):
+        buffer = io.StringIO()
+        write_csv(vacation_data, buffer)
+        first = buffer.getvalue().splitlines()[0]
+        assert first == "Price,Hotel-class,Hotel-group"
+
+    def test_row_count(self, vacation_data):
+        buffer = io.StringIO()
+        write_csv(vacation_data, buffer)
+        assert len(buffer.getvalue().strip().splitlines()) == 7

@@ -1,0 +1,127 @@
+"""Unit tests for IPO-tree query evaluation (Algorithms 1 & 2)."""
+
+import pytest
+
+from repro.core.preferences import Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preferences
+from repro.ipo.tree import IPOTree
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = generate(
+        SyntheticConfig(
+            num_points=180, num_numeric=2, num_nominal=2, cardinality=5,
+            seed=23,
+        )
+    )
+    return data
+
+
+class TestQueryCorrectness:
+    @pytest.mark.parametrize("payload", ["set", "bitmap"])
+    @pytest.mark.parametrize("order", [0, 1, 2, 3, 5])
+    def test_matches_bruteforce_without_template(self, workload, payload, order):
+        tree = IPOTree.build(workload, payload=payload)
+        for pref in generate_preferences(workload, order, 6, seed=order):
+            expected = sorted(
+                skyline(workload, pref, algorithm="bruteforce").ids
+            )
+            assert tree.query(pref) == expected
+
+    @pytest.mark.parametrize("payload", ["set", "bitmap"])
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_matches_bruteforce_with_template(self, workload, payload, order):
+        template = frequent_value_template(workload)
+        tree = IPOTree.build(workload, template, payload=payload)
+        for pref in generate_preferences(
+            workload, order, 6, template=template, seed=order + 50
+        ):
+            expected = sorted(
+                skyline(
+                    workload, pref, template=template, algorithm="bruteforce"
+                ).ids
+            )
+            assert tree.query(pref) == expected
+
+    def test_empty_query_returns_root_skyline(self, workload):
+        tree = IPOTree.build(workload)
+        assert tree.query() == list(tree.skyline_ids)
+        assert tree.query(Preference.empty()) == list(tree.skyline_ids)
+
+    def test_full_chain_query(self, workload):
+        """A total order on every nominal attribute (order = cardinality)."""
+        tree = IPOTree.build(workload)
+        spec0 = workload.schema.spec("nom0")
+        spec1 = workload.schema.spec("nom1")
+        pref = Preference(
+            {"nom0": list(spec0.domain), "nom1": list(spec1.domain)}
+        )
+        expected = sorted(skyline(workload, pref).ids)
+        assert tree.query(pref) == expected
+
+    def test_single_dimension_query(self, workload):
+        tree = IPOTree.build(workload)
+        pref = Preference({"nom1": ["d1_v2", "d1_v0"]})
+        expected = sorted(skyline(workload, pref).ids)
+        assert tree.query(pref) == expected
+
+
+class TestPayloadEquivalence:
+    def test_set_and_bitmap_agree(self, workload):
+        set_tree = IPOTree.build(workload, payload="set")
+        bitmap_tree = IPOTree.build(workload, payload="bitmap")
+        for pref in generate_preferences(workload, 3, 10, seed=99):
+            assert set_tree.query(pref) == bitmap_tree.query(pref)
+
+    def test_survivor_space_agrees_with_complement_space(self, workload):
+        """Algorithm 1 as printed == the accumulated-disqualified form."""
+        tree = IPOTree.build(workload)
+        for order in (0, 1, 2, 3):
+            for pref in generate_preferences(workload, order, 5, seed=order):
+                assert tree.query_survivors(pref) == tree.query(pref)
+
+    def test_bitmap_masks_mirror_sets(self, workload):
+        tree = IPOTree.build(workload, payload="bitmap")
+        positions = {
+            point_id: pos for pos, point_id in enumerate(tree.skyline_ids)
+        }
+        for node in tree.root.walk():
+            expected = 0
+            for point_id in node.disqualified:
+                expected |= 1 << positions[point_id]
+            assert node.mask == expected
+
+    def test_value_masks_partition_skyline(self, workload):
+        tree = IPOTree.build(workload, payload="bitmap")
+        full = (1 << len(tree.skyline_ids)) - 1
+        for per_value in tree.value_masks():
+            union = 0
+            for mask in per_value.values():
+                assert union & mask == 0  # one value per point per dim
+                union |= mask
+            assert union == full
+
+
+class TestQueryCost:
+    def test_query_touches_no_base_data(self, workload, monkeypatch):
+        """Post-build queries never recompute dominance over the data.
+
+        We monkeypatch the dominance test to explode; IPO queries must
+        still succeed because they only do set algebra on payloads.
+        """
+        tree = IPOTree.build(workload)
+        from repro.core.dominance import RankTable
+
+        def boom(self, p, q):  # pragma: no cover - must not run
+            raise AssertionError("IPO query must not test dominance")
+
+        monkeypatch.setattr(RankTable, "dominates", boom)
+        pref = Preference({"nom0": ["d0_v1", "d0_v0"], "nom1": ["d1_v3"]})
+        assert isinstance(tree.query(pref), list)

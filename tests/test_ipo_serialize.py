@@ -1,0 +1,104 @@
+"""Tests for IPO-tree serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.attributes import Schema, nominal, numeric_min
+from repro.core.dataset import Dataset
+from repro.core.preferences import Preference
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preferences
+from repro.exceptions import IndexError_
+from repro.ipo.serialize import (
+    load_tree,
+    preference_from_dict,
+    preference_to_dict,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.ipo.tree import IPOTree
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(
+        SyntheticConfig(
+            num_points=150, num_numeric=2, num_nominal=2, cardinality=4,
+            seed=47,
+        )
+    )
+
+
+class TestPreferenceDict:
+    def test_roundtrip(self):
+        pref = Preference({"A": ["x", "y"], "B": ["z"]})
+        assert preference_from_dict(preference_to_dict(pref)) == pref
+
+    def test_empty(self):
+        assert preference_from_dict(preference_to_dict(Preference.empty())) == (
+            Preference.empty()
+        )
+
+
+class TestTreeRoundtrip:
+    @pytest.mark.parametrize("payload", ["set", "bitmap"])
+    def test_dict_roundtrip_answers_identically(self, workload, payload):
+        original = IPOTree.build(workload, payload=payload)
+        restored = tree_from_dict(workload, tree_to_dict(original))
+        for pref in generate_preferences(workload, 3, 8, seed=5):
+            assert restored.query(pref) == original.query(pref)
+
+    def test_template_survives(self, workload):
+        template = frequent_value_template(workload)
+        original = IPOTree.build(workload, template)
+        restored = tree_from_dict(workload, tree_to_dict(original))
+        assert restored.template == template
+
+    def test_dict_is_json_serialisable(self, workload):
+        original = IPOTree.build(workload)
+        text = json.dumps(tree_to_dict(original))
+        restored = tree_from_dict(workload, json.loads(text))
+        assert restored.query() == original.query()
+
+    def test_stats_preserved(self, workload):
+        original = IPOTree.build(workload)
+        restored = tree_from_dict(workload, tree_to_dict(original))
+        assert restored.stats == original.stats
+        assert restored.node_count() == original.node_count()
+
+    def test_file_roundtrip(self, workload, tmp_path):
+        original = IPOTree.build(workload)
+        path = tmp_path / "tree.json"
+        save_tree(original, path)
+        restored = load_tree(workload, path)
+        assert restored.query() == original.query()
+
+    def test_ipo_tree_k_roundtrip(self, workload, tmp_path):
+        original = IPOTree.build(workload, values_per_attribute=2)
+        path = tmp_path / "tree_k.json"
+        save_tree(original, path)
+        restored = load_tree(workload, path)
+        assert restored.candidates == original.candidates
+
+
+class TestGuards:
+    def test_wrong_schema_rejected(self, workload):
+        data = tree_to_dict(IPOTree.build(workload))
+        other = Dataset(
+            Schema([numeric_min("x"), nominal("A", ["a", "b"])]),
+            [(1, "a")],
+        )
+        with pytest.raises(IndexError_):
+            tree_from_dict(other, data)
+
+    def test_wrong_version_rejected(self, workload):
+        data = tree_to_dict(IPOTree.build(workload))
+        data["format_version"] = 99
+        with pytest.raises(IndexError_):
+            tree_from_dict(workload, data)

@@ -1,0 +1,140 @@
+"""Tests for IPO-tree size analysis and the history-driven tree."""
+
+import pytest
+
+from repro.core.preferences import Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import SyntheticConfig, generate
+from repro.datagen.queries import (
+    generate_preferences,
+    popular_values_from_history,
+)
+from repro.ipo.stats import (
+    analyze,
+    full_tree_node_count,
+    naive_materialization_count,
+    paper_upper_bound,
+    restricted_tree_node_count,
+)
+from repro.ipo.tree import IPOTree
+
+
+class TestSizeFormulas:
+    def test_full_tree_figure2(self):
+        # Figure 2: c = 3, m' = 2 -> 21 nodes.
+        assert full_tree_node_count([3, 3]) == 21
+
+    def test_full_tree_matches_built_tree(self, two_nominal_data):
+        tree = IPOTree.build(two_nominal_data)
+        assert tree.node_count() == full_tree_node_count([3, 3])
+
+    def test_restricted_tree(self):
+        # IPO Tree-k with k = 2 on two dims: 1 + 3 + 9 = 13.
+        assert restricted_tree_node_count([2, 2]) == 13
+
+    def test_single_level(self):
+        assert full_tree_node_count([5]) == 1 + 6
+
+    def test_empty(self):
+        assert full_tree_node_count([]) == 1
+
+    def test_naive_count_dwarfs_tree(self):
+        c, m = 10, 2
+        assert naive_materialization_count([c] * m) > 100 * full_tree_node_count(
+            [c] * m
+        )
+
+    def test_paper_upper_bound_holds(self):
+        for c, m in [(3, 1), (4, 2), (5, 2)]:
+            assert naive_materialization_count([c] * m) <= paper_upper_bound(c, m)
+
+
+class TestAnalyze:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        data = generate(
+            SyntheticConfig(
+                num_points=150, num_numeric=2, num_nominal=2, cardinality=4,
+                seed=19,
+            )
+        )
+        return IPOTree.build(data)
+
+    def test_node_count_consistent(self, tree):
+        analysis = analyze(tree)
+        assert analysis.node_count == tree.node_count()
+        assert sum(analysis.nodes_per_level) == analysis.node_count
+
+    def test_level_shape(self, tree):
+        analysis = analyze(tree)
+        assert analysis.nodes_per_level == (1, 5, 25)
+
+    def test_payload_totals(self, tree):
+        analysis = analyze(tree)
+        assert analysis.payload_ids_total == sum(
+            len(node.disqualified) for node in tree.root.walk()
+        )
+        assert sum(analysis.payload_ids_per_level) == analysis.payload_ids_total
+        assert analysis.payload_ids_per_level[0] == 0  # root stores S, not A
+
+    def test_mean_and_max(self, tree):
+        analysis = analyze(tree)
+        assert 0 <= analysis.mean_payload <= analysis.max_payload
+        assert analysis.max_payload <= analysis.skyline_size
+        assert analysis.empty_payload_nodes >= 1  # root at least
+
+
+class TestHistoryDrivenTree:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate(
+            SyntheticConfig(
+                num_points=250, num_numeric=2, num_nominal=2, cardinality=8,
+                seed=29,
+            )
+        )
+
+    def test_popular_values_ranked_by_usage(self, workload):
+        history = generate_preferences(workload, 2, 50, seed=3)
+        popular = popular_values_from_history(
+            history, workload.schema, k=3
+        )
+        for name in workload.schema.nominal_names:
+            assert len(popular[name]) == 3
+            counts = {}
+            for pref in history:
+                for v in pref[name].choices:
+                    counts[v] = counts.get(v, 0) + 1
+            best = popular[name][0]
+            assert counts.get(best, 0) == max(counts.values())
+
+    def test_cold_start_pads_with_domain_values(self, workload):
+        popular = popular_values_from_history([], workload.schema, k=2)
+        for name in workload.schema.nominal_names:
+            assert len(popular[name]) == 2
+
+    def test_tree_from_history_answers_history_like_queries(self, workload):
+        history = generate_preferences(workload, 2, 60, seed=5)
+        popular = popular_values_from_history(
+            history, workload.schema, k=7
+        )
+        tree = IPOTree.build(workload, values_per_attribute=popular)
+        answered = 0
+        for pref in history[:20]:
+            try:
+                got = tree.query(pref)
+            except Exception:
+                continue
+            answered += 1
+            assert got == sorted(skyline(workload, pref).ids)
+        # Most of the history replays on the tree (the rest would be
+        # routed to SFS-A by the hybrid deployment).
+        assert answered >= 12
+
+    def test_explicit_bad_value_rejected(self, workload):
+        from repro.exceptions import PreferenceError
+
+        with pytest.raises(PreferenceError):
+            IPOTree.build(
+                workload, values_per_attribute={"nom0": ["nope"]}
+            )

@@ -1,0 +1,189 @@
+"""Unit tests for IPO-tree construction."""
+
+import pytest
+
+from repro.core.preferences import Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.exceptions import PreferenceError, RefinementError, UnsupportedQueryError
+from repro.ipo.tree import IPOTree
+
+
+class TestTreeShape:
+    def test_node_count_formula(self, two_nominal_data):
+        """Full tree size is prod(c_i + 1) internal fanouts + root."""
+        tree = IPOTree.build(two_nominal_data)
+        # 1 + 4 + 4*4 for c = 3, m' = 2.
+        assert tree.node_count() == 21
+
+    def test_depth_matches_nominal_count(self, two_nominal_data):
+        tree = IPOTree.build(two_nominal_data)
+        node = tree.root
+        depth = 0
+        while node.phi_child is not None:
+            node = node.phi_child
+            depth += 1
+        assert depth == 2  # m' = 2
+
+    def test_no_nominal_dimensions_degenerates_to_root(self):
+        data = generate(
+            SyntheticConfig(num_points=50, num_numeric=3, num_nominal=0, seed=3)
+        )
+        tree = IPOTree.build(data)
+        assert tree.node_count() == 1
+        assert sorted(tree.query()) == sorted(skyline(data).ids)
+
+    def test_walk_visits_every_node(self, two_nominal_data):
+        tree = IPOTree.build(two_nominal_data)
+        assert sum(1 for _ in tree.root.walk()) == tree.node_count()
+
+
+class TestEnginesAgree:
+    @pytest.mark.parametrize("use_template", [False, True])
+    def test_direct_and_mdc_build_identical_payloads(self, use_template):
+        data = generate(
+            SyntheticConfig(
+                num_points=120, num_numeric=2, num_nominal=2, cardinality=4,
+                seed=11,
+            )
+        )
+        template = frequent_value_template(data) if use_template else None
+        direct = IPOTree.build(data, template, engine="direct")
+        mdc = IPOTree.build(data, template, engine="mdc")
+        assert direct.skyline_ids == mdc.skyline_ids
+        for a, b in zip(direct.root.walk(), mdc.root.walk()):
+            assert a.label == b.label
+            assert a.disqualified == b.disqualified
+
+    def test_unknown_engine_rejected(self, two_nominal_data):
+        with pytest.raises(PreferenceError):
+            IPOTree.build(two_nominal_data, engine="magic")
+
+    def test_unknown_payload_rejected(self, two_nominal_data):
+        with pytest.raises(PreferenceError):
+            IPOTree.build(two_nominal_data, payload="parquet")
+
+
+class TestTemplates:
+    def test_root_stores_template_skyline(self, two_nominal_data):
+        template = Preference({"Hotel-group": "T < *"})
+        tree = IPOTree.build(two_nominal_data, template)
+        expected = skyline(two_nominal_data, template=template).ids
+        assert tree.skyline_ids == expected
+
+    def test_query_must_refine_template(self, two_nominal_data):
+        template = Preference({"Hotel-group": "T < *"})
+        tree = IPOTree.build(two_nominal_data, template)
+        with pytest.raises(RefinementError):
+            tree.query(Preference({"Hotel-group": "M < *"}))
+
+    def test_query_inherits_template_chain(self, two_nominal_data):
+        template = Preference({"Hotel-group": "T < *"})
+        tree = IPOTree.build(two_nominal_data, template)
+        got = tree.query(Preference({"Airline": "G < *"}))
+        expected = skyline(
+            two_nominal_data,
+            Preference({"Hotel-group": "T < *", "Airline": "G < *"}),
+        ).ids
+        assert tuple(got) == expected
+
+
+class TestIPOTreeK:
+    def test_restricted_tree_is_smaller(self):
+        data = generate(
+            SyntheticConfig(
+                num_points=200, num_numeric=2, num_nominal=2, cardinality=8,
+                seed=5,
+            )
+        )
+        full = IPOTree.build(data)
+        small = IPOTree.build(data, values_per_attribute=3)
+        assert small.node_count() < full.node_count()
+        # 1 + (3+1) + (3+1)^2 nodes.
+        assert small.node_count() == 1 + 4 + 16
+
+    def test_popular_values_answerable(self):
+        data = generate(
+            SyntheticConfig(
+                num_points=200, num_numeric=2, num_nominal=2, cardinality=8,
+                seed=5,
+            )
+        )
+        small = IPOTree.build(data, values_per_attribute=3)
+        popular = data.most_frequent("nom0", 1)[0]
+        pref = Preference({"nom0": [popular]})
+        assert small.query(pref) == sorted(
+            skyline(data, pref).ids
+        )
+
+    def test_unpopular_value_raises(self):
+        data = generate(
+            SyntheticConfig(
+                num_points=200, num_numeric=2, num_nominal=2, cardinality=8,
+                seed=5,
+            )
+        )
+        small = IPOTree.build(data, values_per_attribute=2)
+        unpopular = data.most_frequent("nom0", 8)[-1]
+        with pytest.raises(UnsupportedQueryError):
+            small.query(Preference({"nom0": [unpopular]}))
+
+    def test_template_values_always_materialised(self):
+        data = generate(
+            SyntheticConfig(
+                num_points=200, num_numeric=2, num_nominal=1, cardinality=8,
+                seed=5,
+            )
+        )
+        # Template prefers the *least* frequent value; k=1 would
+        # normally drop it.
+        rare = data.most_frequent("nom0", 8)[-1]
+        template = Preference({"nom0": [rare]})
+        tree = IPOTree.build(data, template, values_per_attribute=1)
+        # Template-only query stays answerable.
+        assert tree.query() == list(tree.skyline_ids)
+
+    def test_non_positive_k_rejected(self, two_nominal_data):
+        with pytest.raises(PreferenceError):
+            IPOTree.build(two_nominal_data, values_per_attribute=0)
+
+    def test_per_attribute_mapping(self):
+        data = generate(
+            SyntheticConfig(
+                num_points=100, num_numeric=2, num_nominal=2, cardinality=6,
+                seed=9,
+            )
+        )
+        tree = IPOTree.build(
+            data, values_per_attribute={"nom0": 2, "nom1": 3}
+        )
+        assert len(tree.candidates[0]) == 2
+        assert len(tree.candidates[1]) == 3
+
+
+class TestStorageModel:
+    def test_set_payload_counts_ids(self, two_nominal_data):
+        tree = IPOTree.build(two_nominal_data)
+        total_ids = sum(
+            len(node.disqualified) for node in tree.root.walk()
+        )
+        assert tree.storage_bytes() == 16 * tree.node_count() + 4 * total_ids
+
+    def test_bitmap_payload_counts_masks(self, two_nominal_data):
+        tree = IPOTree.build(two_nominal_data, payload="bitmap")
+        mask_bytes = (len(tree.skyline_ids) + 7) // 8
+        assert (
+            tree.storage_bytes()
+            == (16 + mask_bytes) * tree.node_count()
+        )
+
+    def test_stats_recorded(self, two_nominal_data):
+        tree = IPOTree.build(two_nominal_data, engine="direct")
+        assert tree.stats.engine == "direct"
+        assert tree.stats.node_count == 21
+        assert tree.stats.skyline_size == 5
+        assert tree.stats.build_seconds >= 0

@@ -1,0 +1,101 @@
+"""Tests for the full-materialisation baseline."""
+
+import math
+
+import pytest
+
+from repro.core.preferences import Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import SyntheticConfig, generate
+from repro.datagen.queries import generate_preferences
+from repro.exceptions import IndexError_, UnsupportedQueryError
+from repro.materialize.full import (
+    FullMaterialization,
+    preferences_per_attribute,
+    total_combinations,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(
+        SyntheticConfig(
+            num_points=120, num_numeric=2, num_nominal=2, cardinality=3,
+            seed=41,
+        )
+    )
+
+
+class TestCounting:
+    def test_preferences_per_attribute_small(self):
+        # c=3, orders 0..2: 1 + 3 + 6 = 10.
+        assert preferences_per_attribute(3, 2) == 10
+        # all orders: + 3! = 16.
+        assert preferences_per_attribute(3, 3) == 16
+
+    def test_order_clamped_to_cardinality(self):
+        assert preferences_per_attribute(3, 99) == preferences_per_attribute(3, 3)
+
+    def test_total_combinations_multiplies(self):
+        assert total_combinations([3, 3], 2) == 100
+
+    def test_explosion_vs_paper_bound(self):
+        """The enumeration stays below the paper's (c*c!)^m' bound."""
+        c, m = 5, 2
+        enumerated = total_combinations([c] * m, c)
+        assert enumerated <= (c * math.factorial(c)) ** m
+
+
+class TestConstruction:
+    def test_entry_count_matches_formula(self, workload):
+        index = FullMaterialization(workload, max_order=2)
+        assert index.num_entries == total_combinations([3, 3], 2) == 100
+        assert index.num_entries_expected == 100
+
+    def test_guard_against_explosion(self):
+        data = generate(
+            SyntheticConfig(
+                num_points=20, num_numeric=1, num_nominal=2, cardinality=8,
+                seed=1,
+            )
+        )
+        with pytest.raises(IndexError_):
+            FullMaterialization(data, max_order=8, max_entries=10_000)
+
+    def test_negative_order_rejected(self, workload):
+        with pytest.raises(IndexError_):
+            FullMaterialization(workload, max_order=-1)
+
+    def test_interning_detects_shared_skylines(self, workload):
+        index = FullMaterialization(workload, max_order=2)
+        assert index.unique_skylines <= index.num_entries
+        # Zipfian nominal data always shares some skylines.
+        assert index.unique_skylines < index.num_entries
+
+
+class TestQueries:
+    def test_lookup_matches_bruteforce(self, workload):
+        index = FullMaterialization(workload, max_order=2)
+        for pref in generate_preferences(workload, 2, 10, seed=2):
+            expected = sorted(
+                skyline(workload, pref, algorithm="bruteforce").ids
+            )
+            assert index.query(pref) == expected
+
+    def test_empty_preference(self, workload):
+        index = FullMaterialization(workload, max_order=1)
+        assert index.query() == sorted(skyline(workload).ids)
+
+    def test_order_beyond_materialised_raises(self, workload):
+        index = FullMaterialization(workload, max_order=1)
+        with pytest.raises(UnsupportedQueryError):
+            index.query(Preference({"nom0": ["d0_v0", "d0_v1"]}))
+
+    def test_storage_dwarfs_ipo_tree(self, workload):
+        """The measurable version of Section 3's dismissal."""
+        from repro.ipo.tree import IPOTree
+
+        naive = FullMaterialization(workload, max_order=2)
+        tree = IPOTree.build(workload)
+        assert naive.num_entries > tree.node_count()
+        assert naive.preprocessing_seconds > 0

@@ -1,0 +1,158 @@
+"""Unit tests for minimal disqualifying conditions."""
+
+import pytest
+
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import SyntheticConfig, generate
+from repro.mdc.mdc import (
+    DisqualifyingCondition,
+    compute_mdcs,
+    minimal_conditions,
+    template_positions,
+)
+
+
+class TestDisqualifyingCondition:
+    def test_subsumes_subset(self):
+        small = DisqualifyingCondition({2: 1})
+        big = DisqualifyingCondition({2: 1, 3: 0})
+        assert small.subsumes(big)
+        assert not big.subsumes(small)
+
+    def test_subsumes_requires_same_winner(self):
+        a = DisqualifyingCondition({2: 1})
+        b = DisqualifyingCondition({2: 0})
+        assert not a.subsumes(b)
+
+    def test_empty_condition_subsumes_everything(self):
+        empty = DisqualifyingCondition({})
+        assert empty.subsumes(DisqualifyingCondition({2: 1}))
+
+    def test_equality_and_hash(self):
+        assert DisqualifyingCondition({1: 2}) == DisqualifyingCondition({1: 2})
+        assert hash(DisqualifyingCondition({1: 2})) == hash(
+            DisqualifyingCondition({1: 2})
+        )
+
+    def test_satisfied_by_label(self):
+        cond = DisqualifyingCondition({2: 1})
+        loser = (0.0, 0.0, 2)
+        assert cond.satisfied_by({2: 1}, {}, loser)
+        assert not cond.satisfied_by({2: 0}, {}, loser)
+        assert not cond.satisfied_by({}, {}, loser)
+
+    def test_satisfied_by_template_chain(self):
+        cond = DisqualifyingCondition({2: 1})
+        loser = (0.0, 0.0, 2)
+        # Template lists winner (id 1) at position 0; loser unlisted.
+        assert cond.satisfied_by({}, {2: {1: 0}}, loser)
+        # Template lists loser before winner: not satisfied.
+        assert not cond.satisfied_by({}, {2: {2: 0, 1: 1}}, loser)
+        # Template lists winner before loser: satisfied.
+        assert cond.satisfied_by({}, {2: {1: 0, 2: 1}}, loser)
+
+
+class TestMinimalConditions:
+    def test_removes_supersets(self):
+        small = DisqualifyingCondition({2: 1})
+        big = DisqualifyingCondition({2: 1, 3: 0})
+        assert minimal_conditions([big, small]) == [small]
+
+    def test_deduplicates(self):
+        a = DisqualifyingCondition({2: 1})
+        assert minimal_conditions([a, DisqualifyingCondition({2: 1})]) == [a]
+
+    def test_keeps_incomparable_conditions(self):
+        a = DisqualifyingCondition({2: 1})
+        b = DisqualifyingCondition({3: 0})
+        assert set(minimal_conditions([a, b])) == {a, b}
+
+    def test_empty_input(self):
+        assert minimal_conditions([]) == []
+
+
+class TestComputeMdcs:
+    def test_vacation_example(self, vacation_data):
+        """On Table 1, f is disqualified exactly by H < M or T < M."""
+        base = skyline(vacation_data).ids  # {a, c, e, f}
+        mdcs = compute_mdcs(vacation_data, base)
+        f_id = 5
+        winners = {
+            tuple(sorted(c.winners.items())) for c in mdcs[f_id]
+        }
+        # f = (3000, 3, M).  c = (3000, 5, H) needs (H, M); a = (1600, 4, T)
+        # needs (T, M).  Value ids: T=0, H=1, M=2, dimension 2.
+        assert winners == {((2, 1),), ((2, 0),)}
+
+    def test_point_with_no_conditions(self, vacation_data):
+        """c = (3000, 5, H) has the best class: no one can ever beat it...
+
+        unless they dominate numerically.  a is cheaper but has a lower
+        class, so no condition exists for c from a; check c's MDCs only
+        involve realisable dominators.
+        """
+        base = skyline(vacation_data).ids
+        mdcs = compute_mdcs(vacation_data, base)
+        c_id = 2
+        # Nobody matches c's class 5, so every candidate loses a numeric
+        # dimension: no disqualifying condition at all.
+        assert mdcs[c_id] == []
+
+    def test_conditions_predict_disqualification(self, small_synthetic):
+        """MDC containment == actual skyline membership loss.
+
+        For a sample of first-order label combinations, the points whose
+        MDCs fire must be exactly the base-skyline points missing from
+        the refined skyline.
+        """
+        data = small_synthetic
+        base_ids = skyline(data).ids
+        mdcs = compute_mdcs(data, base_ids)
+        schema = data.schema
+        nominal_dims = schema.nominal_indices
+        rows = data.canonical_rows
+
+        labels_cases = [
+            {nominal_dims[0]: 0},
+            {nominal_dims[0]: 2, nominal_dims[1]: 1},
+            {nominal_dims[1]: 3},
+        ]
+        for labels in labels_cases:
+            pref = {}
+            for dim, vid in labels.items():
+                spec = schema[dim]
+                pref[spec.name] = ImplicitPreference((spec.domain[vid],))
+            refined = set(
+                skyline(data, Preference(pref), ids=base_ids).ids
+            )
+            predicted_dropped = {
+                p
+                for p in base_ids
+                if any(
+                    cond.satisfied_by(labels, {}, rows[p])
+                    for cond in mdcs[p]
+                )
+            }
+            assert predicted_dropped == set(base_ids) - refined
+
+    def test_explicit_candidates(self, vacation_data):
+        base = skyline(vacation_data).ids
+        full = compute_mdcs(vacation_data, base)
+        restricted = compute_mdcs(
+            vacation_data, base, candidates=list(vacation_data.ids)
+        )
+        # Supplying all points as candidates must not change minimal
+        # conditions (skyline candidates are sufficient).
+        for p in base:
+            assert set(full[p]) == set(restricted[p])
+
+
+class TestTemplatePositions:
+    def test_positions(self, vacation_schema):
+        template = Preference({"Hotel-group": "H < M < *"})
+        positions = template_positions(template, vacation_schema)
+        assert positions == {2: {1: 0, 2: 1}}
+
+    def test_empty_template(self, vacation_schema):
+        assert template_positions(Preference.empty(), vacation_schema) == {}

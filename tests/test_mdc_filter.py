@@ -1,0 +1,105 @@
+"""Tests for the standalone MDC-filter evaluator."""
+
+import pytest
+
+from repro.core.preferences import Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preferences
+from repro.exceptions import RefinementError
+from repro.mdc.filter import MDCFilter
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(
+        SyntheticConfig(
+            num_points=180, num_numeric=2, num_nominal=2, cardinality=5,
+            seed=61,
+        )
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("order", [0, 1, 2, 3, 5])
+    def test_matches_bruteforce(self, workload, order):
+        index = MDCFilter(workload)
+        for pref in generate_preferences(workload, order, 6, seed=order):
+            expected = sorted(
+                skyline(workload, pref, algorithm="bruteforce").ids
+            )
+            assert index.query(pref) == expected
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_matches_bruteforce_with_template(self, workload, order):
+        template = frequent_value_template(workload)
+        index = MDCFilter(workload, template)
+        for pref in generate_preferences(
+            workload, order, 6, template=template, seed=order + 7
+        ):
+            expected = sorted(
+                skyline(
+                    workload, pref, template=template, algorithm="bruteforce"
+                ).ids
+            )
+            assert index.query(pref) == expected
+
+    def test_agrees_with_ipo_tree_and_adaptive(self, workload):
+        from repro.adaptive.adaptive_sfs import AdaptiveSFS
+        from repro.ipo.tree import IPOTree
+
+        mdc_filter = MDCFilter(workload)
+        tree = IPOTree.build(workload)
+        adaptive = AdaptiveSFS(workload)
+        for pref in generate_preferences(workload, 3, 8, seed=12):
+            assert (
+                mdc_filter.query(pref)
+                == tree.query(pref)
+                == adaptive.query(pref)
+            )
+
+    def test_any_value_supported(self, workload):
+        """Unlike IPO Tree-k, the filter handles unpopular values."""
+        index = MDCFilter(workload)
+        rare = workload.most_frequent("nom0", 5)[-1]
+        pref = Preference({"nom0": [rare]})
+        assert index.query(pref) == sorted(skyline(workload, pref).ids)
+
+    def test_template_violation_rejected(self, workload):
+        template = frequent_value_template(workload)
+        index = MDCFilter(workload, template)
+        wrong = workload.most_frequent("nom0", 2)[1]
+        with pytest.raises(RefinementError):
+            index.query(Preference({"nom0": [wrong]}))
+
+
+class TestFootprint:
+    def test_storage_model(self, workload):
+        index = MDCFilter(workload)
+        requirements = sum(
+            len(cond.winners)
+            for conditions in index._mdcs.values()
+            for cond in conditions
+        )
+        assert index.storage_bytes() == 4 * len(index.skyline_ids) + 8 * requirements
+
+    def test_condition_count(self, workload):
+        index = MDCFilter(workload)
+        assert index.condition_count() == sum(
+            len(v) for v in index._mdcs.values()
+        )
+
+    def test_preprocessing_recorded(self, workload):
+        assert MDCFilter(workload).preprocessing_seconds > 0
+
+    def test_cheaper_than_ipo_tree(self, workload):
+        """MDC-filter preprocessing avoids the O(c^m') enumeration."""
+        from repro.ipo.tree import IPOTree
+
+        index = MDCFilter(workload)
+        tree = IPOTree.build(workload)
+        assert index.storage_bytes() < tree.storage_bytes()

@@ -1,0 +1,89 @@
+"""Tests for the exact Nursery regeneration (Section 5.2's dataset)."""
+
+import pytest
+
+from repro.core.attributes import AttributeKind
+from repro.core.skyline import skyline
+from repro.datagen.nursery import (
+    NOMINAL_ATTRIBUTES,
+    NURSERY_DOMAINS,
+    NUM_INSTANCES,
+    nursery_dataset,
+    nursery_rows,
+    nursery_schema,
+)
+
+
+class TestShape:
+    def test_row_count_is_12960(self):
+        assert len(nursery_rows()) == NUM_INSTANCES == 12960
+
+    def test_cartesian_product_size(self):
+        product = 1
+        for _name, domain in NURSERY_DOMAINS:
+            product *= len(domain)
+        assert product == NUM_INSTANCES
+
+    def test_rows_unique(self):
+        rows = nursery_rows()
+        assert len(set(rows)) == len(rows)
+
+    def test_eight_attributes(self):
+        assert len(nursery_schema()) == 8
+
+    def test_first_and_last_rows_follow_uci_enumeration(self):
+        rows = nursery_rows()
+        assert rows[0] == (
+            "usual", "proper", "complete", "1",
+            "convenient", "convenient", "nonprob", "recommended",
+        )
+        assert rows[-1] == (
+            "great_pret", "very_crit", "foster", "more",
+            "critical", "inconv", "problematic", "not_recom",
+        )
+
+
+class TestSchemaSetup:
+    def test_two_nominal_attributes(self):
+        schema = nursery_schema()
+        assert schema.nominal_names == NOMINAL_ATTRIBUTES == ("form", "children")
+
+    def test_nominal_cardinalities_are_four(self):
+        schema = nursery_schema()
+        for name in NOMINAL_ATTRIBUTES:
+            assert schema.spec(name).cardinality == 4
+
+    def test_other_attributes_are_ordinal(self):
+        schema = nursery_schema()
+        for spec in schema:
+            if spec.name not in NOMINAL_ATTRIBUTES:
+                assert spec.kind is AttributeKind.ORDINAL
+
+    def test_every_value_valid(self):
+        data = nursery_dataset()
+        # Spot-check canonical encoding of an ordinal attribute.
+        assert data.canonical(0)[0] == 0.0  # "usual" is best
+
+
+class TestSkylineBehaviour:
+    def test_template_skyline_nonempty_and_small(self):
+        data = nursery_dataset()
+        base = skyline(data)
+        assert 0 < len(base) < 200
+
+    def test_skyline_contains_all_best_row(self):
+        """The all-best row dominates aggressively and must be a member."""
+        data = nursery_dataset()
+        base = skyline(data)
+        assert 0 in base  # row 0 is best on every ordinal attribute
+
+    def test_preference_shrinks_skyline(self):
+        from repro.core.preferences import Preference
+
+        data = nursery_dataset()
+        base = set(skyline(data).ids)
+        refined = set(
+            skyline(data, Preference({"form": ["complete"]})).ids
+        )
+        assert refined <= base
+        assert len(refined) < len(base)

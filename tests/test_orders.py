@@ -1,0 +1,138 @@
+"""Unit tests for strict partial orders (Section 2's model)."""
+
+import pytest
+
+from repro.core.orders import PartialOrder, transitive_closure
+from repro.exceptions import ConflictError, PreferenceError
+
+
+class TestTransitiveClosure:
+    def test_chain_closes(self):
+        closed = transitive_closure([("a", "b"), ("b", "c")])
+        assert ("a", "c") in closed
+        assert len(closed) == 3
+
+    def test_empty(self):
+        assert transitive_closure([]) == frozenset()
+
+    def test_diamond(self):
+        closed = transitive_closure(
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        assert ("a", "d") in closed
+        assert len(closed) == 5
+
+
+class TestPartialOrderValidation:
+    def test_reflexive_pair_rejected(self):
+        with pytest.raises(PreferenceError):
+            PartialOrder([("a", "a")])
+
+    def test_direct_cycle_rejected(self):
+        with pytest.raises(PreferenceError):
+            PartialOrder([("a", "b"), ("b", "a")])
+
+    def test_indirect_cycle_rejected(self):
+        with pytest.raises(PreferenceError):
+            PartialOrder([("a", "b"), ("b", "c"), ("c", "a")])
+
+
+class TestPartialOrderQueries:
+    def test_better_uses_closure(self):
+        r = PartialOrder([("T", "M"), ("M", "H")])
+        assert r.better("T", "H")
+        assert not r.better("H", "T")
+
+    def test_better_or_equal(self):
+        r = PartialOrder([("T", "M")])
+        assert r.better_or_equal("T", "T")
+        assert r.better_or_equal("T", "M")
+        assert not r.better_or_equal("M", "T")
+
+    def test_comparable(self):
+        r = PartialOrder([("T", "M")])
+        assert r.comparable("T", "M")
+        assert r.comparable("M", "T")
+        assert r.comparable("T", "T")
+        assert not r.comparable("T", "H")
+
+    def test_values(self):
+        r = PartialOrder([("T", "M"), ("M", "H")])
+        assert r.values() == {"T", "M", "H"}
+
+    def test_is_total_over(self):
+        total = PartialOrder.from_chain(["a", "b", "c"])
+        assert total.is_total_over(["a", "b", "c"])
+        partial = PartialOrder([("a", "b")])
+        assert not partial.is_total_over(["a", "b", "c"])
+
+    def test_from_chain_orders_all_pairs(self):
+        r = PartialOrder.from_chain([1, 2, 3])
+        assert r.pairs == frozenset({(1, 2), (1, 3), (2, 3)})
+
+    def test_empty_constructor(self):
+        assert len(PartialOrder.empty()) == 0
+
+    def test_container_protocol(self):
+        r = PartialOrder([("a", "b")])
+        assert ("a", "b") in r
+        assert ("b", "a") not in r
+        assert set(iter(r)) == {("a", "b")}
+
+
+class TestRefinementAndConflict:
+    def test_refines_superset(self):
+        weak = PartialOrder([("T", "M")])
+        strong = PartialOrder([("T", "M"), ("H", "M")])
+        assert strong.refines(weak)
+        assert not weak.refines(strong)
+
+    def test_refines_is_reflexive(self):
+        r = PartialOrder([("T", "M")])
+        assert r.refines(r)
+        assert not r.stronger_than(r)
+
+    def test_stronger_than(self):
+        weak = PartialOrder([("T", "M")])
+        strong = PartialOrder([("T", "M"), ("H", "M")])
+        assert strong.stronger_than(weak)
+
+    def test_conflict_free_paper_example(self):
+        # P("M < *") and P("H < *") over {T, H, M} share (M,H)/(H,M).
+        r1 = PartialOrder([("M", "H"), ("M", "T")])
+        r2 = PartialOrder([("H", "M"), ("H", "T")])
+        assert not r1.conflict_free(r2)
+
+    def test_conflict_free_disjoint(self):
+        r1 = PartialOrder([("a", "b")])
+        r2 = PartialOrder([("c", "d")])
+        assert r1.conflict_free(r2)
+
+    def test_union_of_conflict_free(self):
+        r1 = PartialOrder([("a", "b")])
+        r2 = PartialOrder([("b", "c")])
+        union = r1.union(r2)
+        assert union.better("a", "c")
+
+    def test_union_conflict_raises(self):
+        r1 = PartialOrder([("a", "b")])
+        r2 = PartialOrder([("b", "a")])
+        with pytest.raises(ConflictError):
+            r1.union(r2)
+
+    def test_union_indirect_cycle_raises(self):
+        r1 = PartialOrder([("a", "b"), ("b", "c")])
+        r2 = PartialOrder([("c", "a")])
+        with pytest.raises(ConflictError):
+            r1.union(r2)
+
+    def test_minus(self):
+        r1 = PartialOrder([("a", "b"), ("c", "d")])
+        r2 = PartialOrder([("a", "b")])
+        assert r1.minus(r2) == frozenset({("c", "d")})
+
+    def test_equality_and_hash(self):
+        assert PartialOrder([("a", "b")]) == PartialOrder([("a", "b")])
+        assert hash(PartialOrder([("a", "b")])) == hash(
+            PartialOrder([("a", "b")])
+        )

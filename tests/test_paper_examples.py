@@ -1,0 +1,162 @@
+"""Pinning tests: every worked example of the paper, verbatim.
+
+Covers Table 1/2 (customers' skylines), Table 3 + Figure 2 (the IPO-tree
+and its node payloads), Figure 1 / Theorem 2's worked merge, and
+Example 1's queries QA-QD with the answers printed in the paper.
+"""
+
+import pytest
+
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.core.skyline import skyline
+from repro.ipo.tree import IPOTree
+
+from tests.conftest import names_of
+
+
+class TestTable2Customers:
+    """Table 2: preference -> skyline for each customer."""
+
+    @pytest.mark.parametrize(
+        "who, pref, expected",
+        [
+            ("Alice", "T < M < *", {"a", "c"}),
+            ("Bob", "", {"a", "c", "e", "f"}),
+            ("Chris", "H < M < *", {"a", "c", "e"}),
+            ("David", "H < M < T", {"a", "c", "e"}),
+            ("Emily", "H < T < *", {"a", "c"}),
+            ("Fred", "M < *", {"a", "c", "e", "f"}),
+        ],
+    )
+    def test_customer(self, vacation_data, who, pref, expected):
+        preference = (
+            Preference({"Hotel-group": pref}) if pref else None
+        )
+        got = names_of(skyline(vacation_data, preference).ids)
+        assert got == expected, who
+
+
+class TestFigure1MergingExample:
+    """Figure 1: SKY3 = (SKY1 ∩ SKY2) ∪ PSKY1 on Table 1's data."""
+
+    def test_worked_merge(self, vacation_data):
+        sky1 = names_of(
+            skyline(vacation_data, Preference({"Hotel-group": "M < *"})).ids
+        )
+        sky2 = names_of(
+            skyline(vacation_data, Preference({"Hotel-group": "H < *"})).ids
+        )
+        assert sky1 == {"a", "c", "e", "f"}
+        assert sky2 == {"a", "c", "e"}
+        psky1 = {
+            name
+            for name in sky1
+            if vacation_data.value("abcdef".index(name), "Hotel-group") == "M"
+        }
+        assert psky1 == {"e", "f"}
+        sky3 = (sky1 & sky2) | psky1
+        assert sky3 == {"a", "c", "e", "f"}
+        direct = names_of(
+            skyline(
+                vacation_data, Preference({"Hotel-group": "M < H < *"})
+            ).ids
+        )
+        assert direct == sky3
+
+
+@pytest.fixture(params=["direct", "mdc"])
+def figure2_tree(request, two_nominal_data):
+    return IPOTree.build(two_nominal_data, engine=request.param)
+
+
+class TestFigure2Tree:
+    """Figure 2: the IPO-tree over Table 3 with the empty template."""
+
+    def test_root_skyline(self, figure2_tree):
+        assert names_of(figure2_tree.skyline_ids) == {"a", "c", "d", "e", "f"}
+
+    def test_tree_node_count(self, figure2_tree):
+        # Root + (3 values + phi) for Hotel-group, each with
+        # (3 values + phi) for Airline: 1 + 4 + 16 = 21 (nodes 1-21).
+        assert figure2_tree.node_count() == 21
+
+    def test_level2_disqualified_sets_empty(self, figure2_tree):
+        """Nodes 2-5 of Figure 2 all carry A = {}."""
+        for child in figure2_tree.root.children.values():
+            assert child.disqualified == frozenset()
+        assert figure2_tree.root.phi_child.disqualified == frozenset()
+
+    def test_node6_payload(self, figure2_tree):
+        """Node 6 ("T < *, G < *") has A = {d, e, f}."""
+        hotel_t = figure2_tree.root.children[0]  # T has value id 0
+        node6 = hotel_t.children[0]  # G has value id 0
+        assert names_of(node6.disqualified) == {"d", "e", "f"}
+
+    def test_node14_payload(self, figure2_tree, two_nominal_data):
+        """Node under M < * labelled G < * has A = {d} (used by QB)."""
+        m_id = two_nominal_data.value_id("Hotel-group", "M")
+        g_id = two_nominal_data.value_id("Airline", "G")
+        node = figure2_tree.root.children[m_id].children[g_id]
+        assert names_of(node.disqualified) == {"d"}
+
+    def test_phi_children_inherit_parent_payload(self, figure2_tree):
+        for child in figure2_tree.root.children.values():
+            assert child.phi_child.disqualified == child.disqualified
+
+
+class TestExample1Queries:
+    """Example 1: the four queries QA-QD and their printed answers."""
+
+    @pytest.mark.parametrize(
+        "query, expected",
+        [
+            ({"Hotel-group": "M < *"}, {"a", "c", "d", "e", "f"}),
+            ({"Hotel-group": "M < *", "Airline": "G < *"}, {"a", "c", "e", "f"}),
+            (
+                {"Hotel-group": "M < H < *", "Airline": "G < *"},
+                {"a", "c", "e", "f"},
+            ),
+            (
+                {"Hotel-group": "M < H < *", "Airline": "G < R < *"},
+                {"a", "c", "e", "f"},
+            ),
+        ],
+        ids=["QA", "QB", "QC", "QD"],
+    )
+    def test_query(self, figure2_tree, query, expected):
+        assert names_of(figure2_tree.query(Preference(query))) == expected
+
+    def test_qc_subquery_skylines(self, two_nominal_data):
+        """The intermediate skylines the paper quotes while deriving QC."""
+        sky_m_g = names_of(
+            skyline(
+                two_nominal_data,
+                Preference({"Hotel-group": "M < *", "Airline": "G < *"}),
+            ).ids
+        )
+        sky_h_g = names_of(
+            skyline(
+                two_nominal_data,
+                Preference({"Hotel-group": "H < *", "Airline": "G < *"}),
+            ).ids
+        )
+        assert sky_m_g == {"a", "c", "e", "f"}
+        assert sky_h_g == {"a", "c", "e"}
+
+
+class TestTheorem1Monotonicity:
+    """Stronger orders only shrink the skyline (on the paper's data)."""
+
+    def test_refinement_chain(self, vacation_data):
+        chains = [(), ("H",), ("H", "M"), ("H", "M", "T")]
+        previous = None
+        for chain in chains:
+            pref = (
+                Preference({"Hotel-group": ImplicitPreference(chain)})
+                if chain
+                else None
+            )
+            current = set(skyline(vacation_data, pref).ids)
+            if previous is not None:
+                assert current <= previous
+            previous = current

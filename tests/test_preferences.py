@@ -1,0 +1,250 @@
+"""Unit tests for implicit preferences (Definition 2) and Preference."""
+
+import pytest
+
+from repro.core.attributes import Schema, nominal, numeric_min
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.exceptions import PreferenceError, RefinementError
+
+DOMAIN = ("T", "H", "M")
+
+
+class TestImplicitPreferenceParsing:
+    def test_parse_ascii(self):
+        assert ImplicitPreference.parse("T < M < *").choices == ("T", "M")
+
+    def test_parse_paper_glyph(self):
+        assert ImplicitPreference.parse("H≺M≺*").choices == ("H", "M")
+
+    def test_parse_without_star(self):
+        assert ImplicitPreference.parse("T < M").choices == ("T", "M")
+
+    def test_parse_empty_forms(self):
+        for text in ("", "*", "φ", "phi"):
+            assert ImplicitPreference.parse(text).is_empty
+
+    def test_star_in_middle_rejected(self):
+        with pytest.raises(PreferenceError):
+            ImplicitPreference.parse("T < * < M")
+
+    def test_roundtrip_str(self):
+        pref = ImplicitPreference.parse("T < M < *")
+        assert ImplicitPreference.parse(str(pref)) == pref
+
+    def test_empty_str_is_star(self):
+        assert str(ImplicitPreference()) == "*"
+
+
+class TestImplicitPreferenceBasics:
+    def test_duplicate_value_rejected(self):
+        with pytest.raises(PreferenceError):
+            ImplicitPreference(("T", "T"))
+
+    def test_order(self):
+        assert ImplicitPreference(("T", "M")).order == 2
+        assert ImplicitPreference().order == 0
+
+    def test_membership(self):
+        pref = ImplicitPreference(("T", "M"))
+        assert "T" in pref
+        assert "H" not in pref
+
+    def test_entry_is_one_based(self):
+        pref = ImplicitPreference(("T", "M"))
+        assert pref.entry(1) == "T"
+        assert pref.entry(2) == "M"
+
+    def test_entry_out_of_range(self):
+        with pytest.raises(PreferenceError):
+            ImplicitPreference(("T",)).entry(2)
+
+    def test_bool(self):
+        assert ImplicitPreference(("T",))
+        assert not ImplicitPreference()
+
+    def test_prefix(self):
+        pref = ImplicitPreference(("T", "M", "H"))
+        assert pref.prefix(2).choices == ("T", "M")
+        assert pref.prefix(0).is_empty
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(PreferenceError):
+            ImplicitPreference(("T",)).prefix(5)
+
+    def test_extended_with(self):
+        assert ImplicitPreference(("T",)).extended_with("M").choices == (
+            "T",
+            "M",
+        )
+
+    def test_extended_with_duplicate_rejected(self):
+        with pytest.raises(PreferenceError):
+            ImplicitPreference(("T",)).extended_with("T")
+
+
+class TestImplicitPreferenceSemantics:
+    def test_to_partial_order_matches_definition2(self):
+        # "H < M < *" over {T, H, M}: {(H,M),(H,T),(M,T)}.
+        pref = ImplicitPreference(("H", "M"))
+        order = pref.to_partial_order(DOMAIN)
+        assert order.pairs == frozenset({("H", "M"), ("H", "T"), ("M", "T")})
+
+    def test_unlisted_values_incomparable(self):
+        pref = ImplicitPreference(("T",))
+        order = pref.to_partial_order(("T", "H", "M", "X"))
+        assert not order.comparable("H", "M")
+        assert order.better("T", "X")
+
+    def test_empty_preference_orders_nothing(self):
+        order = ImplicitPreference().to_partial_order(DOMAIN)
+        assert len(order) == 0
+
+    def test_validate_against_rejects_foreign_value(self):
+        with pytest.raises(PreferenceError):
+            ImplicitPreference(("X",)).validate_against(DOMAIN)
+
+    def test_rank_map_section_4_2(self):
+        pref = ImplicitPreference(("H", "M"))
+        ranks = pref.rank_map(DOMAIN)
+        assert ranks == {"H": 1, "M": 2, "T": 3}
+
+    def test_rank_map_default_is_cardinality(self):
+        ranks = ImplicitPreference().rank_map(("a", "b", "c", "d"))
+        assert set(ranks.values()) == {4}
+
+    def test_full_chain_rank_map(self):
+        ranks = ImplicitPreference(("H", "M", "T")).rank_map(DOMAIN)
+        assert ranks == {"H": 1, "M": 2, "T": 3}
+
+
+class TestImplicitPreferenceRelations:
+    def test_refines_prefix_rule(self):
+        base = ImplicitPreference(("T",))
+        refined = ImplicitPreference(("T", "M"))
+        assert refined.refines(base)
+        assert not base.refines(refined)
+
+    def test_non_prefix_does_not_refine(self):
+        base = ImplicitPreference(("T",))
+        other = ImplicitPreference(("M", "T"))
+        assert not other.refines(base)
+
+    def test_refines_matches_pair_set_semantics(self):
+        base = ImplicitPreference(("T",))
+        refined = ImplicitPreference(("T", "M"))
+        assert refined.to_partial_order(DOMAIN).refines(
+            base.to_partial_order(DOMAIN)
+        )
+
+    def test_conflict_free_prefixes(self):
+        assert ImplicitPreference(("T", "M")).conflict_free(
+            ImplicitPreference(("T",))
+        )
+
+    def test_first_order_pair_conflicts(self):
+        # "M < *" vs "H < *" contain (M,H) and (H,M) - the Figure 1 case.
+        assert not ImplicitPreference(("M",)).conflict_free(
+            ImplicitPreference(("H",))
+        )
+
+
+class TestPreference:
+    def make_schema(self) -> Schema:
+        return Schema(
+            [
+                numeric_min("Price"),
+                nominal("Group", DOMAIN),
+                nominal("Airline", ("G", "R", "W")),
+            ]
+        )
+
+    def test_parse_multi_clause(self):
+        pref = Preference.parse("Group: M < H < *; Airline: G < *")
+        assert pref["Group"].choices == ("M", "H")
+        assert pref["Airline"].choices == ("G",)
+
+    def test_parse_bad_clause(self):
+        with pytest.raises(PreferenceError):
+            Preference.parse("no colon here")
+
+    def test_unmentioned_attribute_is_empty(self):
+        pref = Preference({"Group": "M < *"})
+        assert pref["Airline"].is_empty
+
+    def test_empty_chains_dropped(self):
+        pref = Preference({"Group": ""})
+        assert "Group" not in pref
+        assert not pref
+
+    def test_order_is_max(self):
+        pref = Preference({"Group": "M < H < *", "Airline": "G < *"})
+        assert pref.order == 2
+        assert Preference.empty().order == 0
+
+    def test_coerce_from_list(self):
+        assert Preference({"Group": ["M", "H"]})["Group"].choices == ("M", "H")
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(PreferenceError):
+            Preference({"Group": 42})
+
+    def test_validate_against_unknown_attribute(self):
+        with pytest.raises(PreferenceError):
+            Preference({"Nope": "a < *"}).validate_against(self.make_schema())
+
+    def test_validate_against_numeric_attribute(self):
+        with pytest.raises(PreferenceError):
+            Preference({"Price": "T < *"}).validate_against(self.make_schema())
+
+    def test_validate_against_foreign_value(self):
+        with pytest.raises(PreferenceError):
+            Preference({"Group": "X < *"}).validate_against(self.make_schema())
+
+    def test_pair_sets(self):
+        pref = Preference({"Group": "H < M < *"})
+        pairs = pref.pair_sets(self.make_schema())
+        assert pairs["Group"] == frozenset(
+            {("H", "M"), ("H", "T"), ("M", "T")}
+        )
+
+    def test_refines_multi_dimensional(self):
+        template = Preference({"Group": "T < *"})
+        good = Preference({"Group": "T < M < *", "Airline": "G < *"})
+        bad = Preference({"Group": "M < *"})
+        assert good.refines(template)
+        assert not bad.refines(template)
+
+    def test_merged_over_inherits_template(self):
+        template = Preference({"Group": "T < *"})
+        merged = Preference({"Airline": "G < *"}).merged_over(template)
+        assert merged["Group"].choices == ("T",)
+        assert merged["Airline"].choices == ("G",)
+
+    def test_merged_over_rejects_conflict(self):
+        template = Preference({"Group": "T < *"})
+        with pytest.raises(RefinementError):
+            Preference({"Group": "M < *"}).merged_over(template)
+
+    def test_with_dimension_replaces(self):
+        pref = Preference({"Group": "T < *"})
+        out = pref.with_dimension("Group", ImplicitPreference(("M",)))
+        assert out["Group"].choices == ("M",)
+
+    def test_with_dimension_empty_removes(self):
+        pref = Preference({"Group": "T < *"})
+        out = pref.with_dimension("Group", ImplicitPreference())
+        assert not out
+
+    def test_restricted_to(self):
+        pref = Preference({"Group": "T < *", "Airline": "G < *"})
+        assert pref.restricted_to(["Group"]).attributes == ("Group",)
+
+    def test_hash_and_equality(self):
+        a = Preference({"Group": "T < M < *"})
+        b = Preference({"Group": ["T", "M"]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_sorted_by_attribute(self):
+        pref = Preference({"Group": "T < *", "Airline": "G < *"})
+        assert str(pref) == "Airline: G < *; Group: T < *"

@@ -1,0 +1,58 @@
+"""The public API surface: imports, __all__, end-to-end quickstart."""
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_key_classes_exposed(self):
+        for name in (
+            "IPOTree",
+            "AdaptiveSFS",
+            "HybridIndex",
+            "SFSDirect",
+            "Preference",
+            "Dataset",
+            "Schema",
+            "skyline",
+        ):
+            assert name in repro.__all__
+
+
+class TestQuickstartFlow:
+    """The README's quickstart, as an executable contract."""
+
+    def test_end_to_end(self):
+        schema = repro.Schema(
+            [
+                repro.numeric_min("Price"),
+                repro.numeric_max("Hotel-class"),
+                repro.nominal("Hotel-group", ["Tulips", "Horizon", "Mozilla"]),
+            ]
+        )
+        packages = repro.Dataset(
+            schema,
+            [
+                (1600, 4, "Tulips"),
+                (2400, 1, "Tulips"),
+                (3000, 5, "Horizon"),
+                (3600, 4, "Horizon"),
+                (2400, 2, "Mozilla"),
+                (3000, 3, "Mozilla"),
+            ],
+        )
+        alice = repro.Preference({"Hotel-group": "Tulips < Mozilla < *"})
+
+        one_shot = repro.skyline(packages, alice)
+        tree = repro.IPOTree.build(packages)
+        index = repro.AdaptiveSFS(packages)
+
+        assert tuple(tree.query(alice)) == one_shot.ids
+        assert tuple(index.query(alice)) == one_shot.ids
+        assert one_shot.rows()[0] == (1600, 4, "Tulips")

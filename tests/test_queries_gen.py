@@ -1,0 +1,101 @@
+"""Tests for the random implicit-preference workload generator."""
+
+import random
+
+import pytest
+
+from repro.core.preferences import Preference
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preference, generate_preferences
+from repro.exceptions import PreferenceError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(
+        SyntheticConfig(
+            num_points=300, num_numeric=2, num_nominal=2, cardinality=6,
+            seed=13,
+        )
+    )
+
+
+class TestShape:
+    @pytest.mark.parametrize("order", [0, 1, 2, 3])
+    def test_every_dimension_has_exact_order(self, data, order):
+        pref = generate_preference(
+            data, order, rng=random.Random(1)
+        )
+        for name in data.schema.nominal_names:
+            assert pref[name].order == order
+
+    def test_order_clamped_to_cardinality(self, data):
+        pref = generate_preference(data, 99, rng=random.Random(2))
+        for name in data.schema.nominal_names:
+            assert pref[name].order == data.cardinality(name)
+
+    def test_chain_values_distinct_and_valid(self, data):
+        pref = generate_preference(data, 4, rng=random.Random(3))
+        for name in data.schema.nominal_names:
+            chain = pref[name].choices
+            assert len(set(chain)) == len(chain)
+            assert set(chain) <= set(data.schema.spec(name).domain)
+
+    def test_negative_order_rejected(self, data):
+        with pytest.raises(PreferenceError):
+            generate_preference(data, -1)
+
+    def test_unknown_weighting_rejected(self, data):
+        with pytest.raises(PreferenceError):
+            generate_preference(data, 2, weighting="popularity")
+
+
+class TestTemplateRefinement:
+    def test_chains_start_with_template(self, data):
+        template = frequent_value_template(data)
+        for pref in generate_preferences(
+            data, 3, 20, template=template, seed=5
+        ):
+            assert pref.refines(template)
+            for name in data.schema.nominal_names:
+                assert pref[name].choices[0] == template[name].choices[0]
+
+    def test_order_below_template_rejected(self, data):
+        template = frequent_value_template(data, per_attribute_order=2)
+        with pytest.raises(PreferenceError):
+            generate_preference(data, 1, template=template)
+
+    def test_order_zero_without_template_is_empty(self, data):
+        assert generate_preference(data, 0) == Preference.empty()
+
+
+class TestDeterminismAndWeighting:
+    def test_batch_deterministic_in_seed(self, data):
+        a = generate_preferences(data, 3, 10, seed=7)
+        b = generate_preferences(data, 3, 10, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self, data):
+        a = generate_preferences(data, 3, 10, seed=7)
+        b = generate_preferences(data, 3, 10, seed=8)
+        assert a != b
+
+    def test_frequency_weighting_prefers_popular_values(self, data):
+        """The most frequent value should open far more chains than the
+        least frequent one under frequency weighting."""
+        prefs = generate_preferences(data, 1, 300, seed=9)
+        top = data.most_frequent("nom0", 1)[0]
+        bottom = data.most_frequent("nom0", 6)[-1]
+        opens = [p["nom0"].choices[0] for p in prefs]
+        assert opens.count(top) > opens.count(bottom)
+
+    def test_uniform_weighting_covers_domain(self, data):
+        prefs = generate_preferences(
+            data, 1, 300, seed=10, weighting="uniform"
+        )
+        seen = {p["nom0"].choices[0] for p in prefs}
+        assert seen == set(data.schema.spec("nom0").domain)

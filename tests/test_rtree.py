@@ -1,0 +1,99 @@
+"""Tests for the STR-bulk-loaded R-tree substrate."""
+
+import random
+
+import pytest
+
+from repro.spatial.rtree import DEFAULT_CAPACITY, RTree, RTreeNode, bulk_load
+
+
+def random_points(n, dims, seed=0):
+    rng = random.Random(seed)
+    return [
+        (tuple(rng.random() for _ in range(dims)), i) for i in range(n)
+    ]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = bulk_load([])
+        assert tree.root is None
+        assert tree.size == 0
+        assert tree.height() == 0
+        assert tree.all_payloads() == []
+
+    def test_single_point(self):
+        tree = bulk_load([((1.0, 2.0), "a")])
+        assert tree.height() == 1
+        assert tree.root.is_leaf
+        assert tree.all_payloads() == ["a"]
+
+    @pytest.mark.parametrize("n", [5, 16, 17, 100, 500])
+    def test_all_payloads_present(self, n):
+        tree = bulk_load(random_points(n, 3))
+        assert sorted(tree.all_payloads()) == list(range(n))
+
+    def test_capacity_respected(self):
+        tree = bulk_load(random_points(200, 2), capacity=8)
+
+        def check(node):
+            if node.is_leaf:
+                assert 1 <= len(node.entries) <= 8
+            else:
+                assert 1 <= len(node.children) <= 8
+                for child in node.children:
+                    check(child)
+
+        check(tree.root)
+
+    def test_height_is_logarithmic(self):
+        tree = bulk_load(random_points(1000, 2), capacity=10)
+        # 1000 points at fanout 10: 3 levels of pages.
+        assert tree.height() <= 4
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            bulk_load(random_points(5, 2), capacity=1)
+
+
+class TestMbrs:
+    def test_mbrs_contain_descendants(self):
+        tree = bulk_load(random_points(300, 3, seed=2), capacity=8)
+
+        def check(node):
+            if node.is_leaf:
+                for point, _payload in node.entries:
+                    assert all(
+                        lo <= x <= hi
+                        for lo, x, hi in zip(node.mbr_min, point, node.mbr_max)
+                    )
+            else:
+                for child in node.children:
+                    assert all(
+                        plo <= clo and chi <= phi
+                        for plo, clo, chi, phi in zip(
+                            node.mbr_min, child.mbr_min,
+                            child.mbr_max, node.mbr_max,
+                        )
+                    )
+                    check(child)
+
+        check(tree.root)
+
+    def test_min_score_is_lower_bound(self):
+        tree = bulk_load(random_points(200, 3, seed=3))
+
+        def check(node):
+            if node.is_leaf:
+                for point, _payload in node.entries:
+                    assert node.min_score() <= sum(point) + 1e-12
+            else:
+                for child in node.children:
+                    assert node.min_score() <= child.min_score() + 1e-12
+                    check(child)
+
+        check(tree.root)
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ValueError):
+            RTreeNode(True, entries=[])

@@ -1,0 +1,56 @@
+"""Unit tests for the SFS-D baseline."""
+
+import pytest
+
+from repro.algorithms.sfs_d import SFSDirect
+from repro.core.preferences import Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preferences
+from repro.exceptions import RefinementError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(
+        SyntheticConfig(
+            num_points=150, num_numeric=2, num_nominal=2, cardinality=4,
+            seed=21,
+        )
+    )
+
+
+class TestSFSDirect:
+    def test_matches_bruteforce(self, workload):
+        direct = SFSDirect(workload)
+        for pref in generate_preferences(workload, 3, 5, seed=1):
+            assert direct.query(pref) == sorted(
+                skyline(workload, pref, algorithm="bruteforce").ids
+            )
+
+    def test_empty_preference(self, workload):
+        direct = SFSDirect(workload)
+        assert direct.query() == sorted(skyline(workload).ids)
+
+    def test_template_merged(self, workload):
+        template = frequent_value_template(workload)
+        direct = SFSDirect(workload, template)
+        expected = sorted(skyline(workload, template=template).ids)
+        assert direct.query() == expected
+
+    def test_template_violation_raises(self, workload):
+        template = frequent_value_template(workload)
+        direct = SFSDirect(workload, template)
+        wrong = workload.most_frequent("nom0", 2)[1]
+        with pytest.raises(RefinementError):
+            direct.query(Preference({"nom0": [wrong]}))
+
+    def test_no_extra_storage(self, workload):
+        assert SFSDirect(workload).storage_bytes() == 0
+
+    def test_paper_baseline_name(self, workload):
+        assert SFSDirect(workload).name == "SFS-D"
