@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Micro-benchmark: skyline wall-clock, python vs numpy backend.
+
+Measures the end-to-end SFS skyline (presort + scan) over synthetic
+workloads at n in {1k, 10k, 100k} with d = 6 (3 numeric anti-correlated
+dimensions - the paper's Table 4 default - plus 3 nominal Zipfian
+dimensions, full-order preference on each nominal attribute so the
+partial order exercises the rank-remap path), using the
+:mod:`repro.bench.measure` machinery.
+
+Both backends are cross-checked for identical skyline id sets on every
+measured size, and the recorded baseline lives in
+``BENCH_backends.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py
+    PYTHONPATH=src python benchmarks/bench_backends.py \
+        --sizes 1000,10000 --repeats 3 --out BENCH_backends.json
+
+The numpy column times the *query-time* work: the columnar store is
+part of the dataset (built lazily once, reused by every query), so it
+is warmed before the clock starts, exactly as a serving deployment
+would see it.  The per-query rank remap *is* inside the clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from typing import Dict, List
+
+from repro.algorithms.sfs import sfs_skyline
+from repro.bench.measure import timed
+from repro.core.dominance import RankTable
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.datagen.generator import SyntheticConfig, generate
+from repro.engine import get_backend, numpy_available
+
+DEFAULT_SIZES = (1_000, 10_000, 100_000)
+
+#: d = 6: three independent numeric dimensions, three nominal ones.
+NUM_NUMERIC = 3
+NUM_NOMINAL = 3
+CARDINALITY = 8
+
+
+def build_workload(num_points: int, seed: int = 0):
+    """Dataset + compiled full-order rank table for one size."""
+    config = SyntheticConfig(
+        num_points=num_points,
+        num_numeric=NUM_NUMERIC,
+        num_nominal=NUM_NOMINAL,
+        cardinality=CARDINALITY,
+        distribution="anticorrelated",
+        seed=seed,
+    )
+    dataset = generate(config)
+    # Full-order implicit preference per nominal attribute (domain
+    # order).  Order x = c is the paper's heaviest per-dimension query
+    # shape and keeps the skyline bounded at 100k points.
+    prefs = {
+        name: ImplicitPreference(dataset.schema.spec(name).domain)
+        for name in dataset.schema.nominal_names
+    }
+    table = RankTable.compile(dataset.schema, Preference(prefs))
+    return dataset, table
+
+
+def measure_backend(dataset, table, backend_name: str, repeats: int):
+    """Best-of-``repeats`` skyline wall-clock for one backend."""
+    backend = get_backend(backend_name)
+    store = dataset.columns if backend.vectorized else None
+    rows = dataset.canonical_rows
+    best = float("inf")
+    result: List[int] = []
+    for _ in range(max(1, repeats)):
+        result, seconds = timed(
+            lambda: sfs_skyline(
+                rows, dataset.ids, table, backend=backend, store=store
+            )
+        )
+        best = min(best, seconds)
+    return sorted(result), best
+
+
+def run(sizes, repeats: int) -> Dict:
+    report = {
+        "benchmark": "sfs skyline wall-clock, python vs numpy backend",
+        "config": {
+            "num_numeric": NUM_NUMERIC,
+            "num_nominal": NUM_NOMINAL,
+            "dimensions": NUM_NUMERIC + NUM_NOMINAL,
+            "cardinality": CARDINALITY,
+            "distribution": "anticorrelated",
+            "preference": "full order per nominal attribute",
+            "repeats": repeats,
+            "timing": "best of repeats; columnar store warmed, "
+            "per-query rank remap timed",
+        },
+        "python": platform.python_version(),
+        "results": [],
+    }
+    for n in sizes:
+        print(f"n={n}: generating ...", file=sys.stderr, flush=True)
+        dataset, table = build_workload(n)
+        numpy_ids, numpy_seconds = measure_backend(
+            dataset, table, "numpy", repeats
+        )
+        print(
+            f"n={n}: numpy {numpy_seconds:.3f}s "
+            f"(|SKY|={len(numpy_ids)}); running python ...",
+            file=sys.stderr,
+            flush=True,
+        )
+        python_ids, python_seconds = measure_backend(
+            dataset, table, "python", repeats
+        )
+        if python_ids != numpy_ids:
+            raise SystemExit(
+                f"backend mismatch at n={n}: "
+                f"{len(python_ids)} vs {len(numpy_ids)} skyline points"
+            )
+        speedup = python_seconds / numpy_seconds if numpy_seconds else None
+        print(
+            f"n={n}: python {python_seconds:.3f}s -> "
+            f"speedup {speedup:.1f}x",
+            file=sys.stderr,
+            flush=True,
+        )
+        report["results"].append(
+            {
+                "num_points": n,
+                "skyline_size": len(python_ids),
+                "python_seconds": round(python_seconds, 6),
+                "numpy_seconds": round(numpy_seconds, 6),
+                "speedup": round(speedup, 2) if speedup else None,
+            }
+        )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default=",".join(str(n) for n in DEFAULT_SIZES),
+        help="comma-separated dataset sizes (default: 1000,10000,100000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timed repetitions per backend (best-of; default 1)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON baseline here (default: print to stdout)",
+    )
+    args = parser.parse_args(argv)
+    if not numpy_available():
+        print("numpy is not installed; nothing to compare", file=sys.stderr)
+        return 1
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    report = run(sizes, args.repeats)
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"baseline written to {args.out}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

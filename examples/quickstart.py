@@ -19,6 +19,8 @@ from repro import (
     IPOTree,
     Preference,
     Schema,
+    available_backends,
+    get_backend,
     nominal,
     numeric_max,
     numeric_min,
@@ -119,6 +121,19 @@ def main() -> None:
     # Progressive evaluation: results stream out in score order.
     print("\nProgressive SFS-A emission for QD:",
           " -> ".join(PACKAGE_NAMES[i] for i in index.iter_query(qd)))
+
+    # --- Execution backends -------------------------------------------
+    # Every query above ran on the default execution backend (the
+    # vectorized NumPy engine when NumPy is installed, pure Python
+    # otherwise).  Backends are interchangeable per call and always
+    # return the same skyline; REPRO_BACKEND=python flips the default
+    # process-wide, and `pip install repro[fast]` pulls in NumPy.
+    print(f"\nAvailable backends: {', '.join(available_backends())}"
+          f" (default: {get_backend().name})")
+    chris = Preference({"Hotel-group": "M < H < *"})
+    for backend in available_backends():
+        result = skyline(table1, chris, backend=backend)
+        print(f"  backend={backend:<7} -> {names(result.ids)}")
 
 
 if __name__ == "__main__":

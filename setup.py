@@ -1,12 +1,32 @@
-"""Legacy setup shim.
+"""Packaging for the ``repro`` reproduction.
 
 The container this reproduction targets has no network and no ``wheel``
 package, so PEP 660 editable installs (``pip install -e .``) cannot
 build their editable wheel.  ``python setup.py develop`` provides the
-equivalent editable install using only setuptools; all metadata lives
-in pyproject.toml.
+equivalent editable install using only setuptools.
+
+The package has **zero required dependencies**: the pure-Python
+execution backend is always available.  NumPy is an optional extra
+(``pip install repro[fast]``) enabling the vectorized columnar backend
+(see ``src/repro/engine/README.md``); the import machinery degrades
+gracefully when it is absent.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Wong et al., 'Efficient Skyline Querying with "
+        "Variable User Preferences on Nominal Attributes' (PVLDB'08)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=[],
+    extras_require={
+        "fast": ["numpy>=1.22"],
+        "test": ["pytest", "hypothesis"],
+    },
+)

@@ -42,6 +42,11 @@ from repro.core import (
     skyline,
     write_csv,
 )
+from repro.engine import (
+    available_backends,
+    get_backend,
+    set_default_backend,
+)
 from repro.hybrid import HybridIndex
 from repro.ipo import IPOTree
 from repro.materialize import FullMaterialization
@@ -65,6 +70,9 @@ __all__ = [
     "SFSDirect",
     "Schema",
     "SkylineResult",
+    "available_backends",
+    "get_backend",
+    "set_default_backend",
     "nominal",
     "numeric_max",
     "numeric_min",

@@ -44,6 +44,7 @@ from repro.algorithms.sfs import sfs_skyline
 from repro.core.dataset import Dataset, Row
 from repro.core.dominance import RankTable
 from repro.core.preferences import Preference
+from repro.engine import resolve_backend
 from repro.exceptions import DatasetError
 
 
@@ -73,12 +74,14 @@ class AdaptiveSFS:
         self,
         dataset: Dataset,
         template: Optional[Preference] = None,
+        backend=None,
     ) -> None:
         started = time.perf_counter()
         self.schema = dataset.schema
         self.template = template if template is not None else Preference.empty()
         self.template.validate_against(self.schema)
         self._template_table = RankTable.compile(self.schema, None, self.template)
+        self._backend = resolve_backend(backend)
 
         # Own, growable copies of the data so insert()/delete() do not
         # mutate the caller's Dataset.
@@ -86,13 +89,24 @@ class AdaptiveSFS:
         self._rows: List[Tuple] = list(dataset.canonical_rows)
         self._alive: List[bool] = [True] * len(self._rows)
 
+        # The dataset's columnar store covers exactly the initial rows,
+        # so the construction-time skyline and scoring can run on it.
+        store = dataset.columns if self._backend.vectorized else None
         self._list = SortedSkylineList(self.schema.nominal_indices)
         initial = sfs_skyline(
-            self._rows, range(len(self._rows)), self._template_table
+            self._rows,
+            range(len(self._rows)),
+            self._template_table,
+            backend=self._backend,
+            store=store,
         )
-        for point_id in initial:
-            row = self._rows[point_id]
-            self._list.insert(self._template_table.score(row), point_id, row)
+        scores = self._backend.score_rows(
+            self._template_table, [self._rows[i] for i in initial]
+        )
+        self._list.bulk_load(
+            (score, point_id, self._rows[point_id])
+            for score, point_id in zip(scores, initial)
+        )
         self.preprocessing_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------
@@ -147,9 +161,7 @@ class AdaptiveSFS:
                 yield point_id
             return
 
-        rescored = sorted(
-            (query_table.score(rows[i]), i) for i in affected
-        )
+        rescored = self._rescore(query_table, affected)
         for score, point_id, is_affected in _merge_by_score(
             self._list.iter_excluding(affected), rescored
         ):
@@ -170,9 +182,7 @@ class AdaptiveSFS:
         query_table = RankTable.compile(self.schema, preference, self.template)
         changed = changed_values(self._template_table, query_table)
         affected = self._list.members_with_values(changed)
-        rescored = sorted(
-            (query_table.score(self._rows[i]), i) for i in affected
-        )
+        rescored = self._rescore(query_table, affected)
         order = [
             point_id
             for _score, point_id, _aff in _merge_by_score(
@@ -190,6 +200,20 @@ class AdaptiveSFS:
             window.append(p)
             out.append(point_id)
         return sorted(out)
+
+    def _rescore(self, table: RankTable, point_ids) -> List[Tuple[float, int]]:
+        """Backend-batched ``(score, id)`` pairs, sorted ascending.
+
+        All sorting keys of the index - construction, per-query re-rank
+        and maintenance - flow through the same backend kernel so their
+        float summation order is consistent everywhere (mixed summation
+        orders could flip near-tied visit orders).
+        """
+        ordered = list(point_ids)
+        scores = self._backend.score_rows(
+            table, [self._rows[i] for i in ordered]
+        )
+        return sorted(zip(scores, ordered))
 
     # ------------------------------------------------------------------
     # measurements used by the benchmark harness
@@ -231,7 +255,8 @@ class AdaptiveSFS:
         for m in members:
             if dominates(canonical, rows[m]):
                 self._list.remove(m, rows[m])
-        self._list.insert(table.score(canonical), point_id, canonical)
+        score = self._backend.score_rows(table, [canonical])[0]
+        self._list.insert(score, point_id, canonical)
         return point_id
 
     def delete(self, point_id: int) -> None:
@@ -261,25 +286,28 @@ class AdaptiveSFS:
             and i not in self._list
             and dominates(removed_row, rows[i])
         ]
-        candidates.sort(key=lambda i: table.score(rows[i]))
         members = [rows[m] for m in self._list.ids_in_order]
         admitted: List[Tuple] = []
-        for i in candidates:
+        for score, i in self._rescore(table, candidates):
             p = rows[i]
             if any(dominates(q, p) for q in members):
                 continue
             if any(dominates(q, p) for q in admitted):
                 continue
             admitted.append(p)
-            self._list.insert(table.score(p), i, p)
+            self._list.insert(score, i, p)
 
     def rebuild(self) -> None:
         """Recompute the index from the live points (for verification)."""
         self._list = SortedSkylineList(self.schema.nominal_indices)
         live = [i for i in range(len(self._rows)) if self._alive[i]]
-        for point_id in sfs_skyline(self._rows, live, self._template_table):
-            row = self._rows[point_id]
-            self._list.insert(self._template_table.score(row), point_id, row)
+        members = sfs_skyline(
+            self._rows, live, self._template_table, backend=self._backend
+        )
+        self._list.bulk_load(
+            (score, point_id, self._rows[point_id])
+            for score, point_id in self._rescore(self._template_table, members)
+        )
 
     def _check_alive(self, point_id: int) -> None:
         if not (0 <= point_id < len(self._rows)) or not self._alive[point_id]:

@@ -69,6 +69,28 @@ class SortedSkylineList:
         for dim in self._nominal_dims:
             self._inverted[dim].setdefault(row[dim], set()).add(point_id)
 
+    def bulk_load(
+        self, entries: Iterable[Tuple[float, int, Tuple]]
+    ) -> None:
+        """Insert many ``(score, id, row)`` members at once.
+
+        One sort over the batch replaces per-member bisect/memmove
+        insertions, turning index construction into a single
+        ``O(n log n)`` pass over backend-computed scores.  The list must
+        be empty (bulk load is a construction-time operation).
+        """
+        if self._ids:
+            raise ValueError("bulk_load requires an empty list")
+        batch = sorted(entries, key=lambda entry: entry[0])
+        self._scores = [score for score, _id, _row in batch]
+        self._ids = [point_id for _score, point_id, _row in batch]
+        for score, point_id, row in batch:
+            if point_id in self._score_of:
+                raise KeyError(f"point {point_id} appears twice in bulk load")
+            self._score_of[point_id] = score
+            for dim in self._nominal_dims:
+                self._inverted[dim].setdefault(row[dim], set()).add(point_id)
+
     def remove(self, point_id: int, row: Tuple) -> float:
         """Remove a member, returning its score.
 

@@ -42,12 +42,16 @@ def bbs_skyline(
     rows: Sequence[tuple],
     ids: Sequence[int],
     table: RankTable,
+    backend=None,
+    store=None,
 ) -> List[int]:
     """One-shot BBS: build an R-tree on rank vectors, branch and bound.
 
     Matches the other algorithms' ``(rows, ids, table) -> ids``
     signature; the per-call R-tree build is intentional (see module
-    docstring).
+    docstring).  ``backend``/``store`` are accepted for registry
+    uniformity but unused: the branch-and-bound pops entries one at a
+    time from a heap, which has no block structure to vectorize.
     """
     id_list = list(ids)
     if not id_list:

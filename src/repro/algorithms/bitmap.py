@@ -34,36 +34,59 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.dominance import RankTable
+from repro.engine import resolve_backend
 
 
 def bitmap_skyline(
     rows: Sequence[tuple],
     ids: Sequence[int],
     table: RankTable,
+    backend=None,
+    store=None,
 ) -> List[int]:
-    """Skyline ids of ``ids`` via bitmap slicing."""
+    """Skyline ids of ``ids`` via bitmap slicing.
+
+    The bitslice construction first materialises every point's
+    comparison key per dimension through the backend's batched
+    ``dim_ranks`` kernel (one vectorized rank-remap pass per column on
+    the numpy backend, instead of a table lookup per point), then builds
+    the ``B_i`` / ``D_i`` bitmaps from those key columns.
+    """
     id_list = list(ids)
     if not id_list:
         return []
-    positions = {point_id: pos for pos, point_id in enumerate(id_list)}
+    engine = resolve_backend(backend)
+    ctx = engine.prepare(rows, table, store=store)
     num_dims = len(rows[id_list[0]])
+    nominal_dims = frozenset(table.schema.nominal_indices)
 
-    # Per dimension: value key -> (better_or_equal_mask, strictly_better_mask).
+    # Per dimension: one key per point (aligned with id_list), then
+    # value key -> (better_or_equal_mask, strictly_better_mask).
+    point_keys: List[List[Tuple]] = []
     better_equal: List[Dict[object, int]] = []
     strictly_better: List[Dict[object, int]] = []
     for dim in range(num_dims):
-        keys = _dimension_keys(rows, id_list, table, dim)
-        be, sb = _slice_dimension(rows, id_list, positions, table, dim, keys)
+        ranks = engine.dim_ranks(ctx, id_list, dim)
+        if dim in nominal_dims:
+            # (rank, value id): equal-rank distinct values stay
+            # distinguishable - they are incomparable, not equal.
+            keys = [
+                ("nom", rank, rows[i][dim])
+                for rank, i in zip(ranks, id_list)
+            ]
+        else:
+            keys = [("num", rank) for rank in ranks]
+        point_keys.append(keys)
+        be, sb = _slice_dimension(keys)
         better_equal.append(be)
         strictly_better.append(sb)
 
     out: List[int] = []
-    for point_id in id_list:
-        row = rows[point_id]
+    for pos, point_id in enumerate(id_list):
         conjunction = -1  # all-ones: AND-identity
         disjunction = 0
         for dim in range(num_dims):
-            key = _key_of(rows, table, dim, row)
+            key = point_keys[dim][pos]
             conjunction &= better_equal[dim][key]
             disjunction |= strictly_better[dim][key]
         dominators = conjunction & disjunction
@@ -72,44 +95,18 @@ def bitmap_skyline(
     return out
 
 
-def _dimension_keys(rows, id_list, table: RankTable, dim: int):
-    """The distinct comparison keys occurring on one dimension."""
-    return {_key_of(rows, table, dim, rows[i]) for i in id_list}
-
-
-def _key_of(rows, table: RankTable, dim: int, row) -> Tuple:
-    """Comparison key of a row on one dimension.
-
-    Numeric dims compare by canonical value; nominal dims by
-    ``(rank, value id)`` so equal-rank distinct values stay
-    distinguishable (they are incomparable, not equal).
-    """
-    value = row[dim]
-    try:
-        rank = table.nominal_rank(dim, value)
-    except ValueError:
-        return ("num", value)
-    return ("nom", rank, value)
-
-
 def _slice_dimension(
-    rows,
-    id_list,
-    positions,
-    table: RankTable,
-    dim: int,
-    keys,
+    keys: List[Tuple],
 ) -> Tuple[Dict[object, int], Dict[object, int]]:
-    """Build ``B_i`` and ``D_i`` for one dimension."""
-    # Bitmap of points per key.
+    """Build ``B_i`` and ``D_i`` for one dimension from its key column."""
+    # Bitmap of points per key (bit k = position k in the id list).
     per_key: Dict[object, int] = {}
-    for point_id in id_list:
-        key = _key_of(rows, table, dim, rows[point_id])
-        per_key[key] = per_key.get(key, 0) | (1 << positions[point_id])
+    for position, key in enumerate(keys):
+        per_key[key] = per_key.get(key, 0) | (1 << position)
 
     better_equal: Dict[object, int] = {}
     strictly_better: Dict[object, int] = {}
-    for key in keys:
+    for key in per_key:
         sb = 0
         for other, mask in per_key.items():
             if _strictly_better(other, key):

@@ -24,32 +24,33 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.core.dominance import RankTable
+from repro.engine import resolve_backend
 
 
 def bnl_skyline(
     rows: Sequence[tuple],
     ids: Sequence[int],
     table: RankTable,
+    backend=None,
+    store=None,
 ) -> List[int]:
-    """Skyline ids of ``ids`` using an unbounded in-memory window."""
-    dominates = table.dominates
+    """Skyline ids of ``ids`` using an unbounded in-memory window.
+
+    Window maintenance runs through the backend's batched kernels: one
+    dominated-check of the input point against the whole window (with a
+    dominator anywhere the point is discarded outright - a dominated
+    point cannot evict anything, since the window is pairwise
+    non-dominated and dominance is transitive), else one eviction mask
+    of the window against the point.
+    """
+    engine = resolve_backend(backend)
+    ctx = engine.prepare(rows, table, store=store)
     window: List[int] = []
     for i in ids:
-        p = rows[i]
-        dominated = False
-        survivors: List[int] = []
-        for j in window:
-            q = rows[j]
-            if dominates(q, p):
-                dominated = True
-                # Everything already in the window is pairwise
-                # non-dominated, so no later window point can be
-                # dominated by p either way once p is discarded.
-                survivors.extend(window[len(survivors):])
-                break
-            if not dominates(p, q):
-                survivors.append(j)
-        window = survivors
-        if not dominated:
-            window.append(i)
+        if window:
+            if engine.any_dominates(ctx, i, window):
+                continue
+            evicted = engine.dominates_mask(ctx, i, window)
+            window = [j for j, gone in zip(window, evicted) if not gone]
+        window.append(i)
     return window

@@ -11,29 +11,26 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.core.dominance import RankTable
+from repro.engine import resolve_backend
 
 
 def bruteforce_skyline(
     rows: Sequence[tuple],
     ids: Sequence[int],
     table: RankTable,
+    backend=None,
+    store=None,
 ) -> List[int]:
     """Ids of all points in ``ids`` not dominated by another point.
 
     ``rows`` is indexed by point id (canonical encoding); ``ids`` selects
     the points under consideration.  Output preserves the order of
-    ``ids``.
+    ``ids``.  The all-pairs test runs through the backend's batched
+    ``dominated_any`` kernel; self-pairs are harmless because nothing
+    dominates itself (duplicates are mutually non-dominating).
     """
-    dominates = table.dominates
+    engine = resolve_backend(backend)
+    ctx = engine.prepare(rows, table, store=store)
     id_list = list(ids)
-    out: List[int] = []
-    for i in id_list:
-        p = rows[i]
-        dominated = False
-        for j in id_list:
-            if j != i and dominates(rows[j], p):
-                dominated = True
-                break
-        if not dominated:
-            out.append(i)
-    return out
+    dominated = engine.dominated_any(ctx, id_list, id_list)
+    return [i for i, dead in zip(id_list, dominated) if not dead]

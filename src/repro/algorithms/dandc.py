@@ -26,8 +26,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.algorithms.sfs import sort_by_score
 from repro.core.dominance import RankTable
+from repro.engine import resolve_backend
 
 # Below this size a quadratic scan beats the recursion overhead.
 _BASE_CASE = 32
@@ -37,56 +37,52 @@ def dandc_skyline(
     rows: Sequence[tuple],
     ids: Sequence[int],
     table: RankTable,
+    backend=None,
+    store=None,
 ) -> List[int]:
-    """Skyline ids of ``ids`` via generic divide & conquer."""
-    ordered = sort_by_score(rows, ids, table)
-    return _dandc(rows, ordered, table)
+    """Skyline ids of ``ids`` via generic divide & conquer.
+
+    The presort, the quadratic base case and the merge's cross-filter
+    all run through the backend's batched kernels over one shared
+    execution context.
+    """
+    engine = resolve_backend(backend)
+    ctx = engine.prepare(rows, table, store=store)
+    ordered = engine.sort_by_score(ctx, ids)
+    return _dandc(engine, ctx, ordered)
 
 
-def _dandc(
-    rows: Sequence[tuple],
-    ids: List[int],
-    table: RankTable,
-) -> List[int]:
+def _dandc(engine, ctx, ids: List[int]) -> List[int]:
     if len(ids) <= _BASE_CASE:
-        return _scan(rows, ids, table)
+        return _scan(engine, ctx, ids)
     mid = len(ids) // 2
-    left = _dandc(rows, ids[:mid], table)
-    right = _dandc(rows, ids[mid:], table)
-    return _merge(rows, left, right, table)
+    left = _dandc(engine, ctx, ids[:mid])
+    right = _dandc(engine, ctx, ids[mid:])
+    return _merge(engine, ctx, left, right)
 
 
-def _scan(
-    rows: Sequence[tuple],
-    ids: List[int],
-    table: RankTable,
-) -> List[int]:
-    """Quadratic base case (input is score-sorted: no backward checks)."""
-    dominates = table.dominates
-    out: List[int] = []
-    for i in ids:
-        p = rows[i]
-        if not any(dominates(rows[j], p) for j in out):
-            out.append(i)
-    return out
+def _scan(engine, ctx, ids: List[int]) -> List[int]:
+    """Quadratic base case: one batched all-pairs dominance test.
+
+    Self- and duplicate pairs are harmless (nothing dominates itself or
+    an equal row), so the whole base case is a single kernel call.
+    """
+    if len(ids) <= 1:
+        return list(ids)
+    dominated = engine.dominated_any(ctx, ids, ids)
+    return [i for i, dead in zip(ids, dominated) if not dead]
 
 
-def _merge(
-    rows: Sequence[tuple],
-    left: List[int],
-    right: List[int],
-    table: RankTable,
-) -> List[int]:
+def _merge(engine, ctx, left: List[int], right: List[int]) -> List[int]:
     """Cross-filter two half skylines.
 
     Thanks to the global presort, no point of ``right`` can dominate a
     point of ``left`` (its score is >= every left score, and dominance
-    implies a strictly smaller score), so only right needs filtering.
+    implies a strictly smaller score), so only right needs filtering -
+    one batched mask of right against left.
     """
-    dominates = table.dominates
+    dominated = engine.dominated_any(ctx, right, left)
     surviving_right = [
-        i
-        for i in right
-        if not any(dominates(rows[j], rows[i]) for j in left)
+        i for i, dead in zip(right, dominated) if not dead
     ]
     return left + surviving_right

@@ -25,16 +25,26 @@ from __future__ import annotations
 from typing import Iterator, List, Sequence
 
 from repro.core.dominance import RankTable
+from repro.engine import resolve_backend
 
 
 def sort_by_score(
     rows: Sequence[tuple],
     ids: Sequence[int],
     table: RankTable,
+    backend=None,
+    store=None,
 ) -> List[int]:
-    """Ids sorted by ascending preference score ``f`` (the presort step)."""
-    score = table.score
-    return sorted(ids, key=lambda i: score(rows[i]))
+    """Ids sorted by ascending preference score ``f`` (the presort step).
+
+    Scores are computed by the selected execution backend; summation
+    order may differ between backends in the last ulp, which can swap
+    near-tied ids - harmless, since tied or near-tied points never
+    dominate each other (the score is strictly monotone).
+    """
+    engine = resolve_backend(backend)
+    ctx = engine.prepare(rows, table, store=store)
+    return engine.sort_by_score(ctx, ids)
 
 
 def sfs_scan(
@@ -61,6 +71,17 @@ def sfs_skyline(
     rows: Sequence[tuple],
     ids: Sequence[int],
     table: RankTable,
+    backend=None,
+    store=None,
 ) -> List[int]:
-    """Complete SFS: presort by ``f`` then scan."""
-    return list(sfs_scan(rows, sort_by_score(rows, ids, table), table))
+    """Complete SFS: presort by ``f`` then scan.
+
+    Delegates to the selected backend's composite skyline kernel, which
+    for the numpy backend executes the scan block-at-a-time over the
+    columnar store instead of tuple-at-a-time.  All backends return the
+    same id *set* (the skyline is unique); use :func:`sfs_scan` when
+    progressive, score-ordered emission is required.
+    """
+    engine = resolve_backend(backend)
+    ctx = engine.prepare(rows, table, store=store)
+    return engine.skyline(ctx, ids)

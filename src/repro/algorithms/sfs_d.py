@@ -16,6 +16,7 @@ from repro.algorithms.sfs import sfs_skyline
 from repro.core.dataset import Dataset
 from repro.core.dominance import RankTable
 from repro.core.preferences import Preference
+from repro.engine import resolve_backend
 
 
 class SFSDirect:
@@ -36,18 +37,25 @@ class SFSDirect:
         self,
         dataset: Dataset,
         template: Optional[Preference] = None,
+        backend=None,
     ) -> None:
         self.dataset = dataset
         self.template = template if template is not None else Preference.empty()
+        self.backend = resolve_backend(backend)
 
     def query(self, preference: Optional[Preference] = None) -> List[int]:
         """Skyline ids for ``preference`` (merged over the template)."""
         table = RankTable.compile(
             self.dataset.schema, preference, template=self.template
         )
+        store = self.dataset.columns if self.backend.vectorized else None
         return sorted(
             sfs_skyline(
-                self.dataset.canonical_rows, self.dataset.ids, table
+                self.dataset.canonical_rows,
+                self.dataset.ids,
+                table,
+                backend=self.backend,
+                store=store,
             )
         )
 

@@ -6,6 +6,7 @@ Regenerates the paper's figures as text tables::
     python -m repro.bench --figure all         # every figure
     python -m repro.bench --figure 8 --queries 100
     python -m repro.bench --figure 4 --scale paper --no-sfs-d
+    python -m repro.bench --figure 4 --backend python   # A/B the engine
 
 Results print to stdout; ``--series FILE`` additionally writes the
 machine-readable series for external plotting.
@@ -20,6 +21,7 @@ from typing import List
 from repro.bench.experiments import FIGURES, SCALES
 from repro.bench.report import render_figure, render_series
 from repro.bench.runner import RunResult, run_figure
+from repro.engine import get_backend, set_default_backend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="random implicit preferences per sweep point "
         "(default: 20 scaled / 100 paper)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="execution backend for every method: columnar 'numpy', "
+        "reference 'python', or 'auto' (the process default) - the A/B "
+        "axis for comparing vectorized vs tuple-at-a-time runs",
     )
     parser.add_argument(
         "--no-sfs-d",
@@ -80,6 +90,17 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     wanted = sorted(FIGURES) if args.figure == "all" else [args.figure]
 
+    backend_name = None if args.backend == "auto" else args.backend
+    if backend_name is not None:
+        # Make the choice process-wide so layers that resolve the
+        # default themselves (e.g. IPO-tree construction through the
+        # MDC engine) run on the same backend as the measured methods.
+        set_default_backend(backend_name)
+    print(
+        f"backend: {get_backend(backend_name).name}",
+        file=sys.stderr,
+    )
+
     all_results: List[RunResult] = []
     for fig_id in wanted:
         figure = FIGURES[fig_id](args.scale, args.queries)
@@ -88,6 +109,7 @@ def main(argv=None) -> int:
             figure,
             verify=not args.no_verify,
             include_sfs_d=not args.no_sfs_d,
+            backend=backend_name,
             progress=lambda msg: print(f"  {msg}", file=sys.stderr),
         )
         all_results.extend(results)

@@ -27,6 +27,7 @@ from repro.bench.experiments import FigureSpec, RunSpec
 from repro.bench.measure import dataset_bytes, mean, timed
 from repro.core.preferences import Preference
 from repro.datagen.queries import generate_preferences
+from repro.engine import resolve_backend
 from repro.exceptions import ReproError, UnsupportedQueryError
 from repro.ipo.tree import IPOTree
 
@@ -55,17 +56,21 @@ def run_spec(
     *,
     verify: bool = True,
     include_sfs_d: bool = True,
+    backend=None,
 ) -> RunResult:
     """Execute one sweep point and return its measurements.
 
     ``include_sfs_d=False`` skips the no-index baseline, which dominates
-    wall-clock time at larger scales.
+    wall-clock time at larger scales.  ``backend`` selects the execution
+    backend for every method (``None`` = process default), which is the
+    A/B axis of the CLI's ``--backend`` flag.
     """
+    engine = resolve_backend(backend)
     dataset = spec.dataset_builder()
     template = spec.template_builder(dataset)
 
     ipo_tree, ipo_seconds = timed(
-        lambda: IPOTree.build(dataset, template, engine="mdc")
+        lambda: IPOTree.build(dataset, template, engine="mdc", backend=engine)
     )
     ipo_tree_k, ipo_k_seconds = timed(
         lambda: IPOTree.build(
@@ -73,10 +78,13 @@ def run_spec(
             template,
             engine="mdc",
             values_per_attribute=spec.ipo_k,
+            backend=engine,
         )
     )
-    adaptive, adaptive_seconds = timed(lambda: AdaptiveSFS(dataset, template))
-    direct = SFSDirect(dataset, template)
+    adaptive, adaptive_seconds = timed(
+        lambda: AdaptiveSFS(dataset, template, backend=engine)
+    )
+    direct = SFSDirect(dataset, template, backend=engine)
 
     result = RunResult(
         spec=spec,
@@ -173,6 +181,7 @@ def run_figure(
     *,
     verify: bool = True,
     include_sfs_d: bool = True,
+    backend=None,
     progress=None,
 ) -> List[RunResult]:
     """Execute every sweep point of a figure."""
@@ -181,6 +190,11 @@ def run_figure(
         if progress is not None:
             progress(spec.describe())
         results.append(
-            run_spec(spec, verify=verify, include_sfs_d=include_sfs_d)
+            run_spec(
+                spec,
+                verify=verify,
+                include_sfs_d=include_sfs_d,
+                backend=backend,
+            )
         )
     return results

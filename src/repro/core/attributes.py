@@ -118,9 +118,9 @@ class AttributeSpec:
         defined for nominal attributes (their ordering is query-supplied).
         """
         if self.kind is AttributeKind.NUMERIC_MIN:
-            return float(value)  # type: ignore[arg-type]
+            return _finite(value, self.name)
         if self.kind is AttributeKind.NUMERIC_MAX:
-            return -float(value)  # type: ignore[arg-type]
+            return -_finite(value, self.name)
         if self.kind is AttributeKind.ORDINAL:
             try:
                 return float(self.domain.index(value))  # type: ignore[union-attr]
@@ -132,6 +132,23 @@ class AttributeSpec:
         raise SchemaError(
             f"canonical_value undefined for nominal attribute {self.name!r}"
         )
+
+
+def _finite(value: object, name: str) -> float:
+    """``float(value)``, rejecting NaN/inf.
+
+    Non-finite values break the total order a numeric dimension
+    promises (NaN compares false both ways, which the tuple-at-a-time
+    and vectorized dominance kernels would resolve differently), so
+    they are refused at dataset construction instead of corrupting
+    query results later.
+    """
+    out = float(value)  # type: ignore[arg-type]
+    if out != out or out in (float("inf"), float("-inf")):
+        raise SchemaError(
+            f"non-finite value {value!r} for numeric attribute {name!r}"
+        )
+    return out
 
 
 def numeric_min(name: str) -> AttributeSpec:

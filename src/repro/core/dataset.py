@@ -46,30 +46,33 @@ class Dataset:
     (1600.0, -4.0, 0)
     """
 
-    __slots__ = ("_schema", "_raw", "_canon", "_counts")
+    __slots__ = ("_schema", "_raw", "_canon", "_counts", "_columns")
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[object]]) -> None:
         self._schema = schema
         raw: List[Row] = []
         canon: List[CanonicalRow] = []
         encoders = _build_encoders(schema)
-        for row in rows:
+        for index, row in enumerate(rows):
             row_t = tuple(row)
             if len(row_t) != len(schema):
                 raise DatasetError(
-                    f"row {row_t!r} has {len(row_t)} values, "
+                    f"row {index} {row_t!r} has {len(row_t)} values, "
                     f"schema has {len(schema)}"
                 )
             try:
                 canon.append(
                     tuple(enc(value) for enc, value in zip(encoders, row_t))
                 )
-            except SchemaError as exc:
-                raise DatasetError(f"bad row {row_t!r}: {exc}") from exc
+            except (SchemaError, TypeError, ValueError) as exc:
+                raise DatasetError(
+                    _describe_bad_row(schema, encoders, index, row_t, exc)
+                ) from exc
             raw.append(row_t)
         self._raw: Tuple[Row, ...] = tuple(raw)
         self._canon: Tuple[CanonicalRow, ...] = tuple(canon)
         self._counts: Optional[Dict[str, Counter]] = None
+        self._columns = None
 
     # -- constructors ---------------------------------------------------------
     @classmethod
@@ -130,6 +133,27 @@ class Dataset:
     def canonical_rows(self) -> Tuple[CanonicalRow, ...]:
         """All canonical rows, indexed by point id."""
         return self._canon
+
+    @property
+    def columns(self):
+        """The column-major canonical encoding, built lazily and cached.
+
+        Returns a :class:`~repro.engine.columnar.ColumnarStore`: one
+        float64 column per universal dimension, one int32 value-id
+        column per nominal dimension.  Vectorized backends operate on
+        this store; the row tuples remain the reference encoding.
+        Raises :class:`~repro.exceptions.EngineError` when NumPy is not
+        installed (the pure-Python path never touches this property).
+        """
+        if self._columns is None:
+            from repro.engine.columnar import ColumnarStore
+
+            self._columns = ColumnarStore.from_rows(
+                self._canon,
+                self._schema.nominal_indices,
+                num_dims=len(self._schema),
+            )
+        return self._columns
 
     def value(self, point_id: int, attribute: str) -> object:
         """Raw value of one attribute of one point."""
@@ -209,6 +233,30 @@ class Dataset:
     def extended(self, rows: Iterable[Sequence[object]]) -> "Dataset":
         """A new dataset with extra rows appended (ids of old rows kept)."""
         return Dataset(self._schema, list(self._raw) + [tuple(r) for r in rows])
+
+
+def _describe_bad_row(
+    schema: Schema,
+    encoders,
+    index: int,
+    row: Row,
+    exc: Exception,
+) -> str:
+    """Name the offending attribute of a row that failed to canonicalise.
+
+    The hot path encodes a row with one generator expression; only on
+    failure do we re-walk the attributes one by one to pinpoint the
+    first bad value, so good rows pay nothing for the diagnostics.
+    """
+    for spec, enc, value in zip(schema, encoders, row):
+        try:
+            enc(value)
+        except (SchemaError, TypeError, ValueError) as cause:
+            return (
+                f"row {index}: attribute {spec.name!r} rejects value "
+                f"{value!r}: {cause}"
+            )
+    return f"row {index} {row!r}: {exc}"  # pragma: no cover - defensive
 
 
 def _build_encoders(schema: Schema):

@@ -181,6 +181,31 @@ class RankTable:
             for table, a in zip(self._dims, p)
         )
 
+    def remap_columns(self, columns):
+        """Apply the compiled table to a whole columnar store at once.
+
+        ``columns`` is a :class:`~repro.engine.columnar.ColumnarStore`
+        over rows of this schema.  Returns a *new* ``(n, m)`` float64
+        rank matrix: universal dimensions keep their canonical floats,
+        nominal columns are remapped value-id -> rank with one gather
+        per dimension.  Requires NumPy.
+
+        The matrix alone is **not** enough for dominance: two distinct
+        unlisted nominal values remap to the same default rank ``c``
+        yet are incomparable (Section 4.2).  Kernels must consult the
+        store's ``keys`` matrix and treat "equal rank, different key"
+        as blocking dominance in both directions.
+        """
+        from repro.engine.columnar import require_numpy
+
+        np = require_numpy()
+        ranks = np.array(columns.matrix, dtype=np.float64, copy=True)
+        for dim, table in enumerate(self._dims):
+            if table is not None:
+                lut = np.asarray(table, dtype=np.float64)
+                ranks[:, dim] = lut[columns.keys[:, dim]]
+        return ranks
+
     def nominal_rank(self, dim: int, value_id: int) -> int:
         """Rank of one nominal value id on dimension ``dim``."""
         table = self._dims[dim]

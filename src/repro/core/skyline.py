@@ -14,6 +14,7 @@ from repro.algorithms import ALGORITHMS
 from repro.core.dataset import Dataset, Row
 from repro.core.dominance import RankTable
 from repro.core.preferences import Preference
+from repro.engine import resolve_backend
 from repro.exceptions import ReproError
 
 
@@ -58,6 +59,7 @@ def skyline(
     template: Optional[Preference] = None,
     algorithm: str = "sfs",
     ids: Optional[Iterable[int]] = None,
+    backend=None,
 ) -> SkylineResult:
     """Compute ``SKY(R~')`` for ``dataset`` (Definition 3 of the paper).
 
@@ -77,6 +79,11 @@ def skyline(
     ids:
         Restrict the computation to a subset of point ids (used by the
         indexes, which search inside ``SKY(R~)`` only - Theorem 1).
+    backend:
+        Execution backend: a name (``"python"`` | ``"numpy"``), a
+        resolved :class:`~repro.engine.Backend`, or ``None`` for the
+        process default (``REPRO_BACKEND`` env var, else NumPy when
+        available).  All backends return the same skyline.
 
     Examples
     --------
@@ -98,9 +105,14 @@ def skyline(
             f"unknown algorithm {algorithm!r}; "
             f"choose one of {sorted(ALGORITHMS)}"
         ) from None
+    engine = resolve_backend(backend)
     table = RankTable.compile(dataset.schema, preference, template=template)
     point_ids = dataset.ids if ids is None else list(ids)
-    result = algo(dataset.canonical_rows, point_ids, table)
+    store = dataset.columns if engine.vectorized else None
+    result = algo(
+        dataset.canonical_rows, point_ids, table,
+        backend=engine, store=store,
+    )
     return SkylineResult(
         dataset=dataset,
         preference=table.preference,

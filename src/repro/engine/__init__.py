@@ -1,0 +1,58 @@
+"""repro.engine - the pluggable columnar execution engine.
+
+Public surface:
+
+* :func:`get_backend` / :func:`resolve_backend` - resolve a backend by
+  name (``"python"`` | ``"numpy"``), by the ``REPRO_BACKEND``
+  environment variable, by the process default, or automatically
+  (NumPy when available, pure Python otherwise).
+* :func:`set_default_backend` - process-wide default (the benchmark
+  CLI's ``--backend`` axis).
+* :func:`register_backend` - plug in a new backend implementation.
+* :class:`Backend` - the kernel contract backends implement.
+* :class:`ColumnarStore` - the column-major canonical encoding shared
+  by vectorized backends (see ``README.md`` in this package).
+* :func:`numpy_available` - dependency probe used for test/CI gating.
+
+See ``src/repro/engine/README.md`` for the design and the backend
+authoring guide.
+"""
+
+from repro.engine.base import (
+    BACKEND_ENV_VAR,
+    Backend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.engine.columnar import ColumnarStore, numpy_available
+from repro.engine.python_backend import PythonBackend
+
+
+def _make_numpy_backend() -> Backend:
+    from repro.engine.numpy_backend import NumpyBackend
+
+    return NumpyBackend()
+
+
+register_backend("python", PythonBackend)
+register_backend("numpy", _make_numpy_backend)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "Backend",
+    "ColumnarStore",
+    "PythonBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "numpy_available",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "set_default_backend",
+]

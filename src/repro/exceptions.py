@@ -21,6 +21,15 @@ class DatasetError(ReproError):
     """A dataset operation failed (bad row shape, unknown value, bad id)."""
 
 
+class EngineError(ReproError):
+    """An execution-backend problem (unknown backend, missing dependency).
+
+    Raised by :mod:`repro.engine` when a backend is requested that is not
+    registered, or whose optional dependency (e.g. NumPy for the
+    ``"numpy"`` backend) is not importable in this environment.
+    """
+
+
 class PreferenceError(ReproError):
     """A preference is malformed or incompatible with a schema."""
 

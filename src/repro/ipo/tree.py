@@ -41,6 +41,7 @@ from repro.algorithms.sfs import sfs_skyline
 from repro.core.dataset import Dataset
 from repro.core.dominance import RankTable
 from repro.core.preferences import ImplicitPreference, Preference
+from repro.engine import resolve_backend
 from repro.exceptions import PreferenceError, UnsupportedQueryError
 from repro.ipo.node import IPONode
 from repro.ipo.query import evaluate_bitmap, evaluate_sets, evaluate_survivors
@@ -132,6 +133,7 @@ class IPOTree:
         engine: str = "mdc",
         payload: str = "set",
         values_per_attribute: Union[None, int, Mapping[str, int]] = None,
+        backend=None,
     ) -> "IPOTree":
         """Construct the IPO-tree for ``dataset`` under ``template``.
 
@@ -139,6 +141,10 @@ class IPOTree:
         ----------
         engine:
             ``"mdc"`` (paper's construction, default) or ``"direct"``.
+        backend:
+            Execution backend for the construction-time skyline runs
+            and MDC computation (name, instance or ``None`` for the
+            process default).
         payload:
             ``"set"`` stores each ``A`` as a frozenset of ids;
             ``"bitmap"`` additionally packs them into integer bit masks
@@ -163,20 +169,34 @@ class IPOTree:
         started = time.perf_counter()
         schema = dataset.schema
         nominal_dims = schema.nominal_indices
+        engine_backend = resolve_backend(backend)
+        store = dataset.columns if engine_backend.vectorized else None
 
         template_table = RankTable.compile(schema, None, template)
         skyline_ids = tuple(
             sorted(
-                sfs_skyline(dataset.canonical_rows, dataset.ids, template_table)
+                sfs_skyline(
+                    dataset.canonical_rows,
+                    dataset.ids,
+                    template_table,
+                    backend=engine_backend,
+                    store=store,
+                )
             )
         )
 
         candidates = _candidate_values(dataset, template, values_per_attribute)
 
         if engine == "mdc":
-            builder = _MDCBuilder(dataset, template, nominal_dims, skyline_ids)
+            builder = _MDCBuilder(
+                dataset, template, nominal_dims, skyline_ids,
+                backend=engine_backend,
+            )
         else:
-            builder = _DirectBuilder(dataset, template, nominal_dims, skyline_ids)
+            builder = _DirectBuilder(
+                dataset, template, nominal_dims, skyline_ids,
+                backend=engine_backend,
+            )
         root = IPONode(None, frozenset())
         _grow(root, 0, {}, nominal_dims, candidates, builder)
 
@@ -317,11 +337,16 @@ class _DirectBuilder:
         template: Preference,
         nominal_dims: Tuple[int, ...],
         skyline_ids: Tuple[int, ...],
+        backend=None,
     ) -> None:
         self._dataset = dataset
         self._template = template
         self._skyline_ids = skyline_ids
         self._skyline_set = frozenset(skyline_ids)
+        self._backend = resolve_backend(backend)
+        self._store = (
+            dataset.columns if self._backend.vectorized else None
+        )
 
     def disqualified(self, labels: Mapping[int, int]) -> frozenset:
         schema = self._dataset.schema
@@ -333,7 +358,11 @@ class _DirectBuilder:
             )
         table = RankTable.compile(schema, pref)
         surviving = sfs_skyline(
-            self._dataset.canonical_rows, self._skyline_ids, table
+            self._dataset.canonical_rows,
+            self._skyline_ids,
+            table,
+            backend=self._backend,
+            store=self._store,
         )
         return frozenset(self._skyline_set - set(surviving))
 
@@ -347,11 +376,12 @@ class _MDCBuilder:
         template: Preference,
         nominal_dims: Tuple[int, ...],
         skyline_ids: Tuple[int, ...],
+        backend=None,
     ) -> None:
         self._rows = dataset.canonical_rows
         self._skyline_ids = skyline_ids
         self._mdcs: Dict[int, List[DisqualifyingCondition]] = compute_mdcs(
-            dataset, skyline_ids
+            dataset, skyline_ids, backend=backend
         )
         self._template_positions = template_positions(template, dataset.schema)
 

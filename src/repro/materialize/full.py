@@ -35,6 +35,7 @@ from repro.algorithms.sfs import sfs_skyline
 from repro.core.dataset import Dataset
 from repro.core.dominance import RankTable
 from repro.core.preferences import ImplicitPreference, Preference
+from repro.engine import resolve_backend
 from repro.exceptions import IndexError_, UnsupportedQueryError
 
 
@@ -86,6 +87,7 @@ class FullMaterialization:
         max_order: int = 2,
         *,
         max_entries: int = 200_000,
+        backend=None,
     ) -> None:
         if max_order < 0:
             raise IndexError_("max_order must be non-negative")
@@ -112,10 +114,19 @@ class FullMaterialization:
         # redundancy compression).
         pool: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         rows = dataset.canonical_rows
+        engine = resolve_backend(backend)
+        store = dataset.columns if engine.vectorized else None
         for chains in self._enumerate_chains():
             pref = self._preference_for(chains)
             table = RankTable.compile(schema, pref)
-            result = tuple(sorted(sfs_skyline(rows, dataset.ids, table)))
+            result = tuple(
+                sorted(
+                    sfs_skyline(
+                        rows, dataset.ids, table,
+                        backend=engine, store=store,
+                    )
+                )
+            )
             self._table[chains] = pool.setdefault(result, result)
         self.unique_skylines = len(pool)
         self.preprocessing_seconds = time.perf_counter() - started

@@ -30,6 +30,7 @@ from repro.algorithms.sfs import sfs_skyline
 from repro.core.dataset import Dataset
 from repro.core.dominance import RankTable
 from repro.core.preferences import Preference
+from repro.engine import resolve_backend
 from repro.mdc.mdc import DisqualifyingCondition, compute_mdcs
 
 
@@ -47,24 +48,31 @@ class MDCFilter:
         self,
         dataset: Dataset,
         template: Optional[Preference] = None,
+        backend=None,
     ) -> None:
         started = time.perf_counter()
         self.dataset = dataset
         self.template = template if template is not None else Preference.empty()
         self.template.validate_against(dataset.schema)
+        self.backend = resolve_backend(backend)
 
         template_table = RankTable.compile(
             dataset.schema, None, self.template
         )
+        store = dataset.columns if self.backend.vectorized else None
         self.skyline_ids: Tuple[int, ...] = tuple(
             sorted(
                 sfs_skyline(
-                    dataset.canonical_rows, dataset.ids, template_table
+                    dataset.canonical_rows,
+                    dataset.ids,
+                    template_table,
+                    backend=self.backend,
+                    store=store,
                 )
             )
         )
         self._mdcs: Dict[int, List[DisqualifyingCondition]] = compute_mdcs(
-            dataset, self.skyline_ids
+            dataset, self.skyline_ids, backend=self.backend
         )
         self.preprocessing_seconds = time.perf_counter() - started
 

@@ -151,6 +151,7 @@ def compute_mdcs(
     points: Iterable[int],
     *,
     candidates: Optional[Sequence[int]] = None,
+    backend=None,
 ) -> Dict[int, List[DisqualifyingCondition]]:
     """Compute ``MDC(p)`` for each ``p`` in ``points``.
 
@@ -168,6 +169,13 @@ def compute_mdcs(
     candidates:
         Ids allowed as dominators.  Defaults to the base skyline
         ``SKY(R0)``, which is sufficient (see module docstring).
+    backend:
+        Execution backend (name, instance or ``None`` for the process
+        default).  A vectorized backend screens the candidate set per
+        point with columnar comparisons - the numeric not-worse test
+        and the strictness test run over whole candidate blocks at
+        once - and only the surviving dominator candidates take the
+        tuple-at-a-time path that builds their condition.
 
     Returns
     -------
@@ -176,22 +184,40 @@ def compute_mdcs(
     represented by a :class:`DisqualifyingCondition` with no winners and
     subsumes everything else.
     """
+    from repro.engine import resolve_backend
+
+    engine = resolve_backend(backend)
+    points = list(points)
     schema = dataset.schema
     rows = dataset.canonical_rows
     base_table = RankTable.compile(schema, None, None)
+    store = dataset.columns if engine.vectorized else None
     if candidates is None:
-        candidates = sfs_skyline(rows, dataset.ids, base_table)
+        candidates = sfs_skyline(
+            rows, dataset.ids, base_table, backend=engine, store=store
+        )
 
     nominal_dims = set(schema.nominal_indices)
     numeric_dims = [
         i for i in range(len(schema)) if i not in nominal_dims
     ]
 
+    if engine.vectorized:
+        viable_per_point = _viable_candidates_columnar(
+            store, points, list(candidates), numeric_dims,
+            sorted(nominal_dims),
+        )
+    else:
+        viable_per_point = None
+
     out: Dict[int, List[DisqualifyingCondition]] = {}
     for p_id in points:
         p = rows[p_id]
         conditions: List[DisqualifyingCondition] = []
-        for q_id in candidates:
+        pool = (
+            candidates if viable_per_point is None else viable_per_point[p_id]
+        )
+        for q_id in pool:
             if q_id == p_id:
                 continue
             condition = _condition_from(
@@ -200,6 +226,53 @@ def compute_mdcs(
             if condition is not None:
                 conditions.append(condition)
         out[p_id] = minimal_conditions(conditions)
+    return out
+
+
+def _viable_candidates_columnar(
+    store,
+    points: List[int],
+    candidates: List[int],
+    numeric_dims: Sequence[int],
+    nominal_dims: Sequence[int],
+) -> Dict[int, List[int]]:
+    """Columnar pre-filter: per point, the candidates that can yield a
+    condition.
+
+    A candidate ``q`` produces a disqualifying condition against ``p``
+    iff ``q`` is not worse than ``p`` on every universal dimension
+    (universal orders cannot be overridden) and ``q`` differs from
+    ``p`` somewhere (strictly better numerically, or holding a
+    different nominal value).  Both tests vectorize over the whole
+    candidate block; the surviving set is typically a small fraction,
+    which is what makes IPO-tree construction's inner loop cheap.
+    """
+    from repro.engine.columnar import require_numpy
+
+    np = require_numpy()
+    cand = np.asarray(candidates, dtype=np.int64)
+    num = np.asarray(numeric_dims, dtype=np.int64)
+    nom = np.asarray(nominal_dims, dtype=np.int64)
+    cand_num = store.matrix[cand][:, num] if num.size else None
+    cand_nom = store.keys[cand][:, nom] if nom.size else None
+
+    out: Dict[int, List[int]] = {}
+    ones = np.ones(cand.shape[0], dtype=bool)
+    zeros = np.zeros(cand.shape[0], dtype=bool)
+    for p_id in points:
+        if cand_num is not None:
+            p_num = store.matrix[p_id, num]
+            not_worse = (cand_num <= p_num).all(axis=1)
+            strictly = (cand_num < p_num).any(axis=1)
+        else:
+            not_worse = ones
+            strictly = zeros
+        if cand_nom is not None:
+            differs = (cand_nom != store.keys[p_id, nom]).any(axis=1)
+        else:
+            differs = zeros
+        viable = not_worse & (strictly | differs) & (cand != p_id)
+        out[p_id] = cand[viable].tolist()
     return out
 
 
