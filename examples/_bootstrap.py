@@ -1,0 +1,18 @@
+"""Make ``import repro`` work straight from a source checkout.
+
+The example scripts are meant to run as ``python examples/<name>.py``
+with **no** PYTHONPATH tweaks and no install step.  Importing this
+module first makes that work: if ``repro`` is already importable (pip
+install, ``python setup.py develop``, or an exported PYTHONPATH) it is
+left alone; otherwise the checkout's ``src/`` directory is prepended to
+``sys.path``.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  already installed or on PYTHONPATH
+except ImportError:  # pragma: no cover - depends on the environment
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    sys.path.insert(0, str(_SRC))

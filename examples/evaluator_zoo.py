@@ -25,6 +25,8 @@ Run:  python examples/evaluator_zoo.py
 
 import time
 
+import _bootstrap  # noqa: F401  makes `import repro` work from a checkout
+
 from repro import (
     AdaptiveSFS,
     FullMaterialization,

@@ -18,6 +18,8 @@ Run:  python examples/incremental_updates.py
 import random
 import time
 
+import _bootstrap  # noqa: F401  makes `import repro` work from a checkout
+
 from repro import AdaptiveSFS, IPOTree
 from repro.datagen import (
     SyntheticConfig,

@@ -23,6 +23,8 @@ Run:  python examples/nursery_analysis.py
 
 import time
 
+import _bootstrap  # noqa: F401  makes `import repro` work from a checkout
+
 from repro import AdaptiveSFS, IPOTree, Preference, SFSDirect
 from repro.datagen import generate_preferences, nursery_dataset
 

@@ -8,10 +8,15 @@ Table 2 three ways:
 
 1. one-shot :func:`repro.skyline`,
 2. the IPO-tree index (Section 3),
-3. the Adaptive SFS index (Section 4).
+3. the Adaptive SFS index (Section 4),
+4. the serving layer (:class:`repro.SkylineService`): planner +
+   semantic cache behind one entry point.
 
 Run:  python examples/quickstart.py
+(no install or PYTHONPATH needed - see _bootstrap.py)
 """
+
+import _bootstrap  # noqa: F401  makes `import repro` work from a checkout
 
 from repro import (
     AdaptiveSFS,
@@ -19,6 +24,7 @@ from repro import (
     IPOTree,
     Preference,
     Schema,
+    SkylineService,
     available_backends,
     get_backend,
     nominal,
@@ -134,6 +140,30 @@ def main() -> None:
     for backend in available_backends():
         result = skyline(table1, chris, backend=backend)
         print(f"  backend={backend:<7} -> {names(result.ids)}")
+
+    # --- The serving layer --------------------------------------------
+    # In a deployment nobody calls the indexes directly: SkylineService
+    # plans a route per query (IPO-tree lookup, Adaptive SFS, MDC
+    # refinement or a direct kernel run) and caches answers under the
+    # *canonical* preference, so differently spelled but semantically
+    # equal preferences hit.
+    service = SkylineService(packages, cache_capacity=16)
+    print("\nServing layer (planner + semantic cache):")
+    first = service.query(qd)
+    print(f"  QD via route {first.route!r:<9} -> {names(first.ids)}"
+          f"   ({first.reason})")
+    again = service.query(qd)
+    print(f"  QD repeated  {again.route!r:<9} -> cached={again.cached}")
+    # "M < H < T < *" lists the whole Hotel-group domain, which is the
+    # same partial order as "M < H < *" - the semantic cache knows.
+    spelled = Preference({"Hotel-group": "M < H < T",
+                          "Airline": "G < R < *"})
+    alias = service.query(spelled)
+    print(f"  QD respelled {alias.route!r:<9} -> cached={alias.cached}"
+          f"  (full-domain chain aliases its prefix)")
+    stats = service.stats()
+    print(f"  served {stats.queries} queries, cache hit-rate "
+          f"{stats.cache.hit_rate:.0%}")
 
 
 if __name__ == "__main__":

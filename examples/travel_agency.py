@@ -18,6 +18,8 @@ Run:  python examples/travel_agency.py [num_packages]
 import sys
 import time
 
+import _bootstrap  # noqa: F401  makes `import repro` work from a checkout
+
 from repro import AdaptiveSFS, HybridIndex, IPOTree, SFSDirect
 from repro.datagen import (
     SyntheticConfig,

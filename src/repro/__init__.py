@@ -20,6 +20,9 @@ Public API highlights
   dataset, regenerated exactly.
 * :mod:`repro.bench` - the harness regenerating every figure of the
   evaluation section.
+* :mod:`repro.serve` - the preference-query serving layer: per-query
+  planner over all structures, semantic result cache, concurrent
+  workload driver (``python -m repro.serve``).
 """
 
 from repro.adaptive import AdaptiveSFS
@@ -38,6 +41,7 @@ from repro.core import (
     numeric_max,
     numeric_min,
     ordinal,
+    canonical_cache_key,
     read_csv,
     skyline,
     write_csv,
@@ -51,6 +55,13 @@ from repro.hybrid import HybridIndex
 from repro.ipo import IPOTree
 from repro.materialize import FullMaterialization
 from repro.mdc import MDCFilter
+from repro.serve import (
+    Planner,
+    PlannerConfig,
+    SemanticCache,
+    ServeResult,
+    SkylineService,
+)
 
 __version__ = "1.0.0"
 
@@ -65,12 +76,18 @@ __all__ = [
     "MDCFilter",
     "ImplicitPreference",
     "PartialOrder",
+    "Planner",
+    "PlannerConfig",
     "Preference",
     "RankTable",
     "SFSDirect",
     "Schema",
+    "SemanticCache",
+    "ServeResult",
     "SkylineResult",
+    "SkylineService",
     "available_backends",
+    "canonical_cache_key",
     "get_backend",
     "set_default_backend",
     "nominal",

@@ -13,7 +13,11 @@ from repro.core.dataset import Dataset
 from repro.core.dominance import RankTable
 from repro.core.io import read_csv, write_csv
 from repro.core.orders import PartialOrder
-from repro.core.preferences import ImplicitPreference, Preference
+from repro.core.preferences import (
+    ImplicitPreference,
+    Preference,
+    canonical_cache_key,
+)
 from repro.core.skyline import SkylineResult, skyline
 
 __all__ = [
@@ -26,6 +30,7 @@ __all__ = [
     "RankTable",
     "Schema",
     "SkylineResult",
+    "canonical_cache_key",
     "nominal",
     "numeric_max",
     "numeric_min",

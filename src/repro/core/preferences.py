@@ -393,6 +393,69 @@ class Preference:
         return Preference(out)
 
 
+def canonical_cache_key(
+    schema: Schema,
+    preference: Optional[Preference] = None,
+    template: Optional[Preference] = None,
+) -> Tuple[Tuple[str, Tuple[object, ...]], ...]:
+    """The canonical, hashable identity of a compiled preference.
+
+    Two ``(preference, template)`` pairs map to the *same* key exactly
+    when they induce the same partial order ``P(R~)`` on every attribute
+    of ``schema`` - the contract the serving layer's semantic result
+    cache is built on (equal partial orders must hit regardless of
+    surface spelling).  Canonicalisation applies three rewrites:
+
+    1. **Template merge** - the preference is merged over ``template``
+       (:meth:`Preference.merged_over`), so a query that spells out the
+       template's chain and one that inherits it silently are identical.
+    2. **Empty chains dropped** - an attribute with no listed values
+       constrains nothing (``Preference`` already normalises this).
+    3. **Full-domain tail dropped** - a chain listing the *entire*
+       domain ``v1 < ... < vc`` induces exactly the pairs of its
+       ``c - 1`` prefix: the last listed value beats nothing (there are
+       no unlisted values left) and is beaten by every earlier value
+       either way.  This is the only non-trivial aliasing between
+       implicit preferences - any two chains that still differ after
+       this rewrite disagree on at least one pair of ``P(R~i)``, since
+       the pair set determines both the listed values (the left
+       elements) and their order (``vi`` beats exactly ``c - i`` other
+       values).
+
+    The key is a tuple of ``(attribute name, chain tuple)`` entries
+    sorted by name; it is hashable, order-insensitive in the input
+    mapping, and validated against ``schema`` (unknown attributes,
+    non-nominal attributes and out-of-domain values raise
+    :class:`~repro.exceptions.PreferenceError`; a preference that does
+    not refine ``template`` raises
+    :class:`~repro.exceptions.RefinementError`).
+
+    Examples
+    --------
+    >>> from repro.core.attributes import Schema, nominal
+    >>> schema = Schema([nominal("Group", ["T", "H", "M"])])
+    >>> full = Preference({"Group": "T < H < M < *"})
+    >>> prefix = Preference({"Group": "T < H"})
+    >>> canonical_cache_key(schema, full) == canonical_cache_key(schema, prefix)
+    True
+    >>> canonical_cache_key(schema, prefix)
+    (('Group', ('T', 'H')),)
+    """
+    pref = preference if preference is not None else Preference.empty()
+    if template is not None:
+        pref = pref.merged_over(template)
+    pref.validate_against(schema)
+    key = []
+    for name, chain in pref.items():
+        choices = chain.choices
+        domain = schema.spec(name).domain
+        if domain is not None and len(choices) == len(domain):
+            choices = choices[:-1]
+        if choices:
+            key.append((name, choices))
+    return tuple(key)
+
+
 def _coerce(raw: object) -> ImplicitPreference:
     """Accept ImplicitPreference | str | iterable-of-values."""
     if isinstance(raw, ImplicitPreference):

@@ -63,6 +63,13 @@ def skyline(
 ) -> SkylineResult:
     """Compute ``SKY(R~')`` for ``dataset`` (Definition 3 of the paper).
 
+    Dominance follows the implicit-preference semantics: on a nominal
+    attribute, the listed values are totally ordered and beat every
+    unlisted value, while two distinct *unlisted* values are mutually
+    **incomparable** - neither counts as "at least as good" in a
+    dominance test, so points differing only in unlisted values are
+    both kept.
+
     Parameters
     ----------
     dataset:

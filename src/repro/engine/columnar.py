@@ -73,6 +73,7 @@ class ColumnarStore:
 
     @property
     def num_dims(self) -> int:
+        """Total number of dimensions (columns of the matrix)."""
         return self.matrix.shape[1]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

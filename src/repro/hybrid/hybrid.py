@@ -36,6 +36,7 @@ class RoutingStats:
 
     @property
     def total(self) -> int:
+        """All routed queries (tree plus fallback)."""
         return self.tree_queries + self.fallback_queries
 
     @property

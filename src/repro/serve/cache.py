@@ -1,0 +1,163 @@
+"""Semantic result cache: canonical preference keys + LRU eviction.
+
+Skyline answers are pure functions of ``(dataset, template, P(R~'))``,
+so a serving deployment can reuse them across users - *if* it
+recognises that two differently spelled preferences mean the same
+partial order.  :class:`SemanticCache` therefore keys on
+:func:`repro.core.preferences.canonical_cache_key`, which the service
+computes once per query; the cache itself only sees opaque hashable
+keys, an LRU ordering, and counters.
+
+The cache is thread-safe (one lock around the ordered map and the
+counters) because the concurrent driver hits it from worker threads.
+Statistics distinguish three outcomes:
+
+* **hit** - the canonical key was cached; the stored answer is
+  returned without touching any index,
+* **miss** - the key was absent; the planner ran and the answer was
+  stored,
+* **bypass** - the caller disabled caching for this query
+  (``use_cache=False``), e.g. for freshness-critical traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """An immutable snapshot of the cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Hits plus misses (bypasses never consult the cache)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 when the cache is untouched."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter differences since ``earlier`` (size/capacity kept)."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            bypasses=self.bypasses - earlier.bypasses,
+            evictions=self.evictions - earlier.evictions,
+            size=self.size,
+            capacity=self.capacity,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly rendering used by the workload reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class SemanticCache:
+    """A bounded LRU map from canonical preference keys to skyline ids.
+
+    ``capacity=0`` disables storage entirely (every lookup is a miss
+    and nothing is retained), which keeps the service code free of
+    ``if cache is None`` branches.
+
+    Examples
+    --------
+    >>> cache = SemanticCache(capacity=2)
+    >>> cache.lookup("a") is None
+    True
+    >>> cache.store("a", (1, 2)); cache.store("b", (3,))
+    >>> cache.lookup("a")
+    (1, 2)
+    >>> cache.store("c", (4,))        # evicts "b" (LRU)
+    >>> cache.lookup("b") is None
+    True
+    >>> cache.stats().evictions
+    1
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[int, ...]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._bypasses = 0
+        self._evictions = 0
+
+    def lookup(self, key: Hashable) -> Optional[Tuple[int, ...]]:
+        """The cached answer for ``key``, or None; counts hit/miss.
+
+        A hit refreshes the entry's recency (moves it to the MRU end).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def store(self, key: Hashable, ids: Tuple[int, ...]) -> None:
+        """Insert (or refresh) an answer, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = tuple(ids)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def record_bypass(self) -> None:
+        """Count a query that deliberately skipped the cache."""
+        with self._lock:
+            self._bypasses += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of all counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                bypasses=self._bypasses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,151 @@
+"""Concurrent workload replay: throughput and latency percentiles.
+
+The driver replays a list of preferences against a
+:class:`~repro.serve.service.SkylineService` from a
+:class:`~concurrent.futures.ThreadPoolExecutor`.  Threads are the right
+concurrency model here: the NumPy kernels release the GIL for the
+array work, the pure-Python path is still correct (just not parallel),
+and all index structures are read-only at query time - so the service
+needs no per-request state beyond its lock-protected counters.
+
+Per query the driver records wall-clock latency as observed by the
+caller (queueing inside the pool excluded - the clock starts when a
+worker picks the query up, which is what a latency SLO on the service
+itself means).  The :class:`WorkloadReport` aggregates throughput,
+p50/p95/p99, the route mix and the cache counters *delta* for exactly
+this replay, so back-to-back replays against one warm service stay
+attributable.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.preferences import Preference
+from repro.serve.cache import CacheStats
+from repro.serve.service import SkylineService
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``.
+
+    0.0 for an empty sequence; the nearest-rank definition always
+    returns an actually observed value, which keeps tail percentiles
+    honest on small samples.
+    """
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Aggregated results of one replay."""
+
+    name: str
+    queries: int
+    concurrency: int
+    total_seconds: float
+    throughput_qps: float
+    latencies_ms: Dict[str, float]      # mean / p50 / p95 / p99 / max
+    route_counts: Dict[str, int]        # deltas for this replay
+    cache: CacheStats                   # deltas for this replay
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering for ``BENCH_serve.json``."""
+        return {
+            "workload": self.name,
+            "queries": self.queries,
+            "concurrency": self.concurrency,
+            "total_seconds": round(self.total_seconds, 6),
+            "throughput_qps": round(self.throughput_qps, 2),
+            "latency_ms": {k: round(v, 4) for k, v in self.latencies_ms.items()},
+            "routes": dict(self.route_counts),
+            "cache": self.cache.as_dict(),
+        }
+
+    def render(self) -> str:
+        """One aligned text row block for the CLI output."""
+        lat = self.latencies_ms
+        return (
+            f"{self.name:<10} {self.queries:>6} queries  "
+            f"x{self.concurrency:<3} {self.throughput_qps:>9.1f} q/s   "
+            f"p50 {lat['p50']:>8.3f} ms  p95 {lat['p95']:>8.3f} ms  "
+            f"p99 {lat['p99']:>8.3f} ms   "
+            f"hit-rate {self.cache.hit_rate:>5.1%}  "
+            f"routes {_compact_routes(self.route_counts)}"
+        )
+
+
+def replay(
+    service: SkylineService,
+    preferences: Sequence[Optional[Preference]],
+    *,
+    name: str = "workload",
+    concurrency: int = 4,
+    use_cache: bool = True,
+) -> WorkloadReport:
+    """Replay ``preferences`` against ``service`` concurrently.
+
+    Queries are submitted in order but complete in whatever order the
+    pool schedules them - like real traffic.  Failures propagate: a
+    route raising is a serving bug, not a data point to swallow.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    before = service.stats()
+
+    def _one(pref: Optional[Preference]) -> float:
+        result = service.query(pref, use_cache=use_cache)
+        return result.seconds
+
+    started = time.perf_counter()
+    if concurrency == 1:
+        latencies = [_one(p) for p in preferences]
+    else:
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            latencies = list(pool.map(_one, preferences))
+    total = time.perf_counter() - started
+
+    after = service.stats()
+    millis = [s * 1000.0 for s in latencies]
+    return WorkloadReport(
+        name=name,
+        queries=len(preferences),
+        concurrency=concurrency,
+        total_seconds=total,
+        throughput_qps=len(preferences) / total if total > 0 else 0.0,
+        latencies_ms={
+            "mean": sum(millis) / len(millis) if millis else 0.0,
+            "p50": percentile(millis, 50),
+            "p95": percentile(millis, 95),
+            "p99": percentile(millis, 99),
+            "max": max(millis) if millis else 0.0,
+        },
+        route_counts=_route_delta(after.route_counts, before.route_counts),
+        cache=after.cache.delta(before.cache),
+    )
+
+
+def _route_delta(
+    after: Dict[str, int], before: Dict[str, int]
+) -> Dict[str, int]:
+    """Per-route count differences, including the virtual "cache" route."""
+    return {
+        route: after.get(route, 0) - before.get(route, 0)
+        for route in sorted(set(after) | set(before))
+    }
+
+
+def _compact_routes(counts: Dict[str, int]) -> str:
+    """``ipo:120 cache:80`` - only the routes that actually served."""
+    hot = {k: v for k, v in counts.items() if v}
+    return " ".join(f"{k}:{v}" for k, v in sorted(hot.items())) or "-"

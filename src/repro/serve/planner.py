@@ -1,0 +1,232 @@
+"""The query planner: choose the cheapest route that answers a query.
+
+The paper's evaluation (Section 5) ranks four ways of answering an
+implicit-preference skyline query, each with a different cost shape:
+
+* **IPO-tree lookup** (``"ipo"``) - near-free per query, but only for
+  chains whose values the tree materialised (IPO Tree-k truncates).
+* **Adaptive SFS** (``"adaptive"``) - cost grows with the number of
+  *affected* template-skyline members (those holding a re-ranked
+  value); excellent when the query touches rare values.
+* **MDC filter** (``"mdc"``) - containment tests over every
+  template-skyline member's minimal disqualifying conditions; flat
+  cost, supports any value, no per-combination materialisation.
+* **direct kernel** (``"kernel"``) - a full backend skyline run over
+  the base data; competitive when the dataset is small or the
+  vectorized engine is available, and the only route that needs no
+  preprocessing at all.
+
+:class:`Planner` encodes that ranking as explicit decision rules over
+*cheap* signals - no route is partially executed to cost it.  Every
+decision returns a :class:`Plan` carrying the chosen route, the signal
+values and a human-readable reason, so operators (and the route-choice
+tests) can audit exactly why a query went where it went.  The rules are
+documented for operators in ``docs/architecture.md``; keep the two in
+sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.preferences import Preference
+
+#: All routes the planner can emit, in preference order.
+ROUTES = ("ipo", "adaptive", "mdc", "kernel")
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Tunable thresholds of the decision rules.
+
+    Defaults are calibrated on the scaled synthetic workloads (see
+    ``BENCH_serve.json``); operators re-tune them from the per-route
+    latency percentiles the driver reports.
+    """
+
+    #: Below this many base rows a direct kernel run beats any index
+    #: bookkeeping (both index paths still compile a rank table and walk
+    #: auxiliary structures; the kernel just scans).
+    small_dataset_rows: int = 64
+
+    #: Adaptive SFS is chosen over the MDC filter while the affected
+    #: member count stays below this fraction of the template skyline -
+    #: its re-sort/re-scan work is O(poly(affected)), the MDC filter's
+    #: is flat in the query.
+    max_affected_fraction: float = 0.25
+
+    #: Force one route unconditionally (None = decide per query).
+    #: Used by operators for incident bypasses and by the route tests.
+    forced_route: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.forced_route is not None and self.forced_route not in ROUTES:
+            raise ValueError(
+                f"unknown route {self.forced_route!r}; choose one of {ROUTES}"
+            )
+        if not 0.0 <= self.max_affected_fraction <= 1.0:
+            raise ValueError("max_affected_fraction must be within [0, 1]")
+        if self.small_dataset_rows < 0:
+            raise ValueError("small_dataset_rows must be >= 0")
+
+
+@dataclass(frozen=True)
+class PlanSignals:
+    """The cheap cost signals one decision consumed."""
+
+    dataset_rows: int
+    preference_order: int
+    tree_available: bool
+    tree_covers_query: bool
+    adaptive_available: bool
+    affected_members: int
+    template_skyline_size: int
+    mdc_available: bool
+    backend_vectorized: bool
+
+    @property
+    def affected_fraction(self) -> float:
+        """Affected members over template-skyline size (0 when empty)."""
+        if not self.template_skyline_size:
+            return 0.0
+        return self.affected_members / self.template_skyline_size
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One routing decision: where the query goes and why.
+
+    ``signals`` is ``None`` when the route was forced (by the caller or
+    by configuration) without consulting any signals - forcing exists
+    precisely to avoid touching the structures being bypassed.
+    """
+
+    route: str
+    reason: str
+    signals: Optional[PlanSignals]
+
+
+class Planner:
+    """Decide, per query, which structure answers it fastest.
+
+    The planner never executes a route; it only inspects availability
+    and the :class:`PlanSignals` handed in by the service (which owns
+    the indexes and can read them cheaply).  Rules, in order:
+
+    1. ``forced_route`` set -> that route (operator override).
+    2. Tiny dataset (``rows <= small_dataset_rows``) -> ``kernel``.
+    3. Tree available and every chain value materialised -> ``ipo``.
+    4. Adaptive SFS available and the affected fraction is at most
+       ``max_affected_fraction`` -> ``adaptive``.
+    5. MDC filter available -> ``mdc``.
+    6. Adaptive SFS available -> ``adaptive`` (better than a raw scan
+       even with many affected members: it searches inside SKY(R~)).
+    7. Otherwise -> ``kernel``.
+    """
+
+    def __init__(self, config: Optional[PlannerConfig] = None) -> None:
+        self.config = config if config is not None else PlannerConfig()
+
+    def plan(self, signals: PlanSignals) -> Plan:
+        """Apply the decision rules to one query's signals.
+
+        Pure and deterministic: the same signals always produce the
+        same :class:`Plan`, and no route is executed (or partially
+        executed) to make the decision.
+        """
+        cfg = self.config
+        if cfg.forced_route is not None:
+            return Plan(cfg.forced_route, "forced by configuration", signals)
+        if signals.dataset_rows <= cfg.small_dataset_rows:
+            return Plan(
+                "kernel",
+                f"dataset has {signals.dataset_rows} rows "
+                f"(<= {cfg.small_dataset_rows}); direct scan beats index "
+                "bookkeeping",
+                signals,
+            )
+        if signals.tree_available and signals.tree_covers_query:
+            return Plan(
+                "ipo",
+                "IPO-tree materialised every queried value; "
+                "answered by merging-property lookup",
+                signals,
+            )
+        if (
+            signals.adaptive_available
+            and signals.affected_fraction <= cfg.max_affected_fraction
+        ):
+            return Plan(
+                "adaptive",
+                f"only {signals.affected_members}/"
+                f"{signals.template_skyline_size} template-skyline members "
+                "affected; incremental re-sort is cheap",
+                signals,
+            )
+        if signals.mdc_available:
+            return Plan(
+                "mdc",
+                "many affected members; flat-cost MDC containment "
+                "refinement wins",
+                signals,
+            )
+        if signals.adaptive_available:
+            return Plan(
+                "adaptive",
+                "no MDC conditions available; Adaptive SFS still searches "
+                "inside the template skyline only",
+                signals,
+            )
+        return Plan(
+            "kernel",
+            "no auxiliary structure available; direct backend skyline"
+            + (" (vectorized)" if signals.backend_vectorized else ""),
+            signals,
+        )
+
+
+@dataclass
+class RouteCounters:
+    """Mutable per-route tallies kept by the service (under its lock)."""
+
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {route: 0 for route in ROUTES}
+    )
+
+    def record(self, route: str) -> None:
+        """Increment one route's tally."""
+        self.counts[route] = self.counts.get(route, 0) + 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy safe to hand across threads."""
+        return dict(self.counts)
+
+
+def preference_order(preference: Optional[Preference]) -> int:
+    """``order(R~')`` of a possibly-None preference (signal helper)."""
+    return preference.order if preference is not None else 0
+
+
+def chains_covered(tree, preference: Optional[Preference]) -> bool:
+    """Would ``tree`` answer ``preference`` without UnsupportedQueryError?
+
+    Mirrors :meth:`repro.ipo.tree.IPOTree._query_chains`'s coverage
+    check without building the chains twice: every value listed by the
+    merged preference must have a materialised node on its dimension.
+    Queries that do not refine the tree's template are *not* covered.
+    """
+    from repro.exceptions import RefinementError
+
+    pref = preference if preference is not None else Preference.empty()
+    try:
+        merged = pref.merged_over(tree.template)
+    except RefinementError:
+        return False
+    for depth, dim in enumerate(tree.nominal_dims):
+        spec = tree.dataset.schema[dim]
+        available = set(tree.candidates[depth])
+        for value in merged[spec.name].choices:
+            if spec.domain.index(value) not in available:
+                return False
+    return True

@@ -1,0 +1,360 @@
+"""The serving facade: one `query()` entry point over all structures.
+
+:class:`SkylineService` owns a dataset, a template, the auxiliary
+structures the paper proposes (IPO-tree, Adaptive SFS, MDC filter), a
+:class:`~repro.serve.cache.SemanticCache` and a
+:class:`~repro.serve.planner.Planner`.  Per query it:
+
+1. canonicalises the preference into a cache key
+   (:func:`~repro.core.preferences.canonical_cache_key`) - this also
+   validates the preference against the schema and the template,
+2. consults the semantic cache (equal partial orders hit regardless of
+   surface spelling),
+3. on a miss, gathers the cheap :class:`~repro.serve.planner.PlanSignals`,
+   asks the planner for a route, executes it, and stores the answer.
+
+Queries are read-only on every index, so any number of driver threads
+may call :meth:`query` concurrently; the cache and the route counters
+are the only shared mutable state and are lock-protected.
+
+The answer of every route is the identical skyline id set (Theorem 1
+guarantees the index routes search inside ``SKY(R~)`` without losing
+members); the equivalence suite in ``tests/test_serve_service.py``
+enforces this across randomized preferences.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.adaptive.adaptive_sfs import AdaptiveSFS
+from repro.core.dataset import Dataset
+from repro.core.preferences import Preference, canonical_cache_key
+from repro.core.skyline import skyline
+from repro.engine import resolve_backend
+from repro.exceptions import ReproError
+from repro.ipo.tree import IPOTree
+from repro.mdc.filter import MDCFilter
+from repro.serve.cache import CacheStats, SemanticCache
+from repro.serve.planner import (
+    Plan,
+    Planner,
+    PlannerConfig,
+    PlanSignals,
+    RouteCounters,
+    chains_covered,
+)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served query: the answer plus how it was produced."""
+
+    ids: Tuple[int, ...]
+    route: str          # "ipo" | "adaptive" | "mdc" | "kernel" | "cache"
+    reason: str
+    cached: bool
+    seconds: float
+    key: Hashable
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A snapshot of the service counters for reporting."""
+
+    queries: int
+    route_counts: Dict[str, int]
+    cache: CacheStats
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering used by the workload reports."""
+        return {
+            "queries": self.queries,
+            "routes": dict(self.route_counts),
+            "cache": self.cache.as_dict(),
+        }
+
+
+class SkylineService:
+    """Preference-query serving over one dataset + template.
+
+    Parameters
+    ----------
+    dataset, template:
+        The data and the template ``R~`` every served preference must
+        refine (``None`` = empty template, i.e. any preference).
+    backend:
+        Execution backend for index construction and the kernel route
+        (name, instance or ``None`` for the process default).
+    planner_config:
+        Decision-rule thresholds; see :class:`PlannerConfig`.
+    cache_capacity:
+        LRU capacity of the semantic result cache (0 disables it).
+    with_tree:
+        ``"auto"`` (default) builds the IPO-tree only when its estimated
+        node count stays below ``max_tree_nodes``; ``True``/``False``
+        force/skip it.
+    ipo_k:
+        Optional IPO Tree-k truncation (materialise only the ``k`` most
+        frequent values per nominal attribute).
+    with_mdc, with_adaptive:
+        Build the MDC filter / Adaptive SFS index (both default on; the
+        planner only routes to structures that exist).
+
+    Examples
+    --------
+    >>> from repro.core.attributes import Schema, nominal, numeric_min
+    >>> from repro.core.dataset import Dataset
+    >>> from repro.core.preferences import Preference
+    >>> schema = Schema([numeric_min("Price"), nominal("G", ["T", "H", "M"])])
+    >>> data = Dataset(schema, [(10, "T"), (8, "H"), (12, "M"), (9, "T")])
+    >>> service = SkylineService(data, cache_capacity=8)
+    >>> first = service.query(Preference({"G": "H < *"}))
+    >>> second = service.query(Preference({"G": "H"}))   # same partial order
+    >>> first.ids == second.ids and second.cached
+    True
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        template: Optional[Preference] = None,
+        *,
+        backend=None,
+        planner_config: Optional[PlannerConfig] = None,
+        cache_capacity: int = 256,
+        with_tree: object = "auto",
+        ipo_k: Optional[int] = None,
+        max_tree_nodes: int = 50_000,
+        with_mdc: bool = True,
+        with_adaptive: bool = True,
+    ) -> None:
+        started = time.perf_counter()
+        self.dataset = dataset
+        self.template = template if template is not None else Preference.empty()
+        self.template.validate_against(dataset.schema)
+        self.backend = resolve_backend(backend)
+        self.planner = Planner(planner_config)
+        self.cache = SemanticCache(cache_capacity)
+        self._lock = threading.Lock()
+        self._routes = RouteCounters()
+        self._queries = 0
+
+        if self.backend.vectorized:
+            # Warm the lazy columnar store once, before worker threads
+            # can race to build it.
+            dataset.columns
+
+        self.tree: Optional[IPOTree] = None
+        if self._should_build_tree(with_tree, ipo_k, max_tree_nodes):
+            self.tree = IPOTree.build(
+                dataset,
+                self.template,
+                values_per_attribute=ipo_k,
+                backend=self.backend,
+            )
+        self.adaptive: Optional[AdaptiveSFS] = (
+            AdaptiveSFS(dataset, self.template, backend=self.backend)
+            if with_adaptive
+            else None
+        )
+        self.mdc: Optional[MDCFilter] = (
+            MDCFilter(dataset, self.template, backend=self.backend)
+            if with_mdc
+            else None
+        )
+        for structure in (self.adaptive, self.tree, self.mdc):
+            if structure is not None:
+                self._template_skyline_size = len(structure.skyline_ids)
+                break
+        else:
+            self._template_skyline_size = 0
+        self.preprocessing_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        preference: Optional[Preference] = None,
+        *,
+        use_cache: bool = True,
+        route: Optional[str] = None,
+    ) -> ServeResult:
+        """Serve one preference query.
+
+        ``route`` overrides the planner for this call only (used by the
+        equivalence tests and for operator debugging).  A forced route
+        must actually *execute* - the semantic cache is not consulted
+        (serving a cached answer would mask the structure under
+        investigation) and no plan signals are gathered (they would
+        touch the structures the force bypasses) - but the fresh answer
+        is still stored for subsequent planned queries.
+        ``use_cache=False`` skips both lookup and store (counted as a
+        bypass).
+        """
+        started = time.perf_counter()
+        key = canonical_cache_key(
+            self.dataset.schema, preference, self.template
+        )
+        forced = (
+            route if route is not None else self.planner.config.forced_route
+        )
+        if not use_cache:
+            self.cache.record_bypass()
+        elif forced is None:
+            hit = self.cache.lookup(key)
+            if hit is not None:
+                self._record("cache")
+                return ServeResult(
+                    ids=hit,
+                    route="cache",
+                    reason="semantic cache hit",
+                    cached=True,
+                    seconds=time.perf_counter() - started,
+                    key=key,
+                )
+
+        if forced is not None:
+            plan = Plan(
+                forced,
+                "forced by caller"
+                if route is not None
+                else "forced by configuration",
+                None,
+            )
+        else:
+            plan = self.planner.plan(self._signals(preference))
+        ids = self._execute(plan.route, preference)
+        if use_cache:
+            self.cache.store(key, ids)
+        self._record(plan.route)
+        return ServeResult(
+            ids=ids,
+            route=plan.route,
+            reason=plan.reason,
+            cached=False,
+            seconds=time.perf_counter() - started,
+            key=key,
+        )
+
+    def _signals(self, preference: Optional[Preference]) -> PlanSignals:
+        """Gather the cheap cost signals for one query."""
+        pref = preference if preference is not None else Preference.empty()
+        tree_ok = self.tree is not None
+        return PlanSignals(
+            dataset_rows=len(self.dataset),
+            preference_order=pref.order,
+            tree_available=tree_ok,
+            tree_covers_query=(
+                chains_covered(self.tree, preference) if tree_ok else False
+            ),
+            adaptive_available=self.adaptive is not None,
+            affected_members=(
+                self.adaptive.affect_count(preference)
+                if self.adaptive is not None
+                else 0
+            ),
+            template_skyline_size=self._template_skyline_size,
+            mdc_available=self.mdc is not None,
+            backend_vectorized=self.backend.vectorized,
+        )
+
+    def _execute(
+        self, route: str, preference: Optional[Preference]
+    ) -> Tuple[int, ...]:
+        """Run one route; every route returns the same sorted id tuple."""
+        if route == "ipo":
+            if self.tree is None:
+                raise ReproError("route 'ipo' requested but no tree was built")
+            return tuple(sorted(self.tree.query(preference)))
+        if route == "adaptive":
+            if self.adaptive is None:
+                raise ReproError(
+                    "route 'adaptive' requested but Adaptive SFS is disabled"
+                )
+            return tuple(self.adaptive.query(preference))
+        if route == "mdc":
+            if self.mdc is None:
+                raise ReproError(
+                    "route 'mdc' requested but the MDC filter is disabled"
+                )
+            return tuple(sorted(self.mdc.query(preference)))
+        if route == "kernel":
+            return skyline(
+                self.dataset,
+                preference,
+                template=self.template,
+                backend=self.backend,
+            ).ids
+        raise ReproError(f"unknown route {route!r}")
+
+    def _record(self, route: str) -> None:
+        with self._lock:
+            self._queries += 1
+            self._routes.record(route)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def template_skyline_size(self) -> int:
+        """``|SKY(R~)|`` - the search space of every index route."""
+        return self._template_skyline_size
+
+    def available_routes(self) -> Tuple[str, ...]:
+        """The executable routes given which structures were built."""
+        routes = []
+        if self.tree is not None:
+            routes.append("ipo")
+        if self.adaptive is not None:
+            routes.append("adaptive")
+        if self.mdc is not None:
+            routes.append("mdc")
+        routes.append("kernel")
+        return tuple(routes)
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of query/route/cache counters (thread-safe)."""
+        with self._lock:
+            queries = self._queries
+            routes = self._routes.snapshot()
+        return ServiceStats(
+            queries=queries, route_counts=routes, cache=self.cache.stats()
+        )
+
+    def _should_build_tree(
+        self, with_tree: object, ipo_k: Optional[int], max_tree_nodes: int
+    ) -> bool:
+        if with_tree is True:
+            return True
+        if with_tree is False:
+            return False
+        if with_tree != "auto":
+            raise ReproError(
+                f"with_tree must be True, False or 'auto', got {with_tree!r}"
+            )
+        return self._estimated_tree_nodes(ipo_k) <= max_tree_nodes
+
+    def _estimated_tree_nodes(self, ipo_k: Optional[int]) -> int:
+        """Upper bound on the node count: ``prod(k_d + 1)`` per level.
+
+        Each level of the IPO-tree fans out into one child per
+        materialised value plus the phi child, so the full tree has at
+        most ``prod (k_d + 1)`` leaves and fewer internal nodes than
+        leaves times the depth; the product is the cheap O(m') signal
+        the auto-build decision needs.
+        """
+        total = 1
+        for dim in self.dataset.schema.nominal_indices:
+            spec = self.dataset.schema[dim]
+            cardinality = len(spec.domain)  # type: ignore[arg-type]
+            k = cardinality if ipo_k is None else min(ipo_k, cardinality)
+            total *= k + 1
+        return total

@@ -1,0 +1,236 @@
+"""Synthetic query workloads for the serving layer.
+
+Each shape stresses a different part of the service:
+
+* ``"hot"`` - heavy-tailed repetition over a small pool of popular
+  preferences (real traffic: most users want the same few orderings).
+  Exercises the semantic cache; hit-rate should approach
+  ``1 - distinct/queries``.
+* ``"cold"`` - every query freshly randomized; cache hits only by
+  coincidence.  Exercises the planner + index routes end to end.
+* ``"churn"`` - adversarial preference churn: a pool of *distinct*
+  preferences strictly larger than the cache, replayed round-robin.
+  The worst case for LRU (each key is evicted right before its reuse),
+  so the measured hit-rate stays ~0 while eviction counters spin.
+* ``"aliased"`` - semantically equal preferences under maximally
+  different surface spellings (full-domain chains vs their dropped-tail
+  prefix, template chains spelled out vs inherited).  A *plain* cache
+  keyed on the raw preference would miss every second query; the
+  canonical key must hit.
+
+All generators are deterministic in ``seed`` and reuse
+:mod:`repro.datagen.queries` for the underlying random preferences, so
+the workloads inherit the paper's frequency-weighted value drawing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.dataset import Dataset
+from repro.core.preferences import (
+    ImplicitPreference,
+    Preference,
+    canonical_cache_key,
+)
+from repro.datagen.queries import generate_preference, generate_preferences
+
+
+def hot_workload(
+    dataset: Dataset,
+    template: Optional[Preference] = None,
+    *,
+    queries: int = 200,
+    order: int = 2,
+    distinct: int = 8,
+    seed: int = 0,
+) -> List[Preference]:
+    """Zipf-skewed draws from a pool of ``distinct`` preferences."""
+    pool = _distinct_pool(dataset, template, order, distinct, seed)
+    rng = random.Random(seed + 1)
+    weights = [1.0 / (rank + 1) for rank in range(len(pool))]
+    return rng.choices(pool, weights=weights, k=queries)
+
+
+def cold_workload(
+    dataset: Dataset,
+    template: Optional[Preference] = None,
+    *,
+    queries: int = 200,
+    order: int = 2,
+    seed: int = 0,
+) -> List[Preference]:
+    """Fresh random preferences - the cache-hostile baseline."""
+    return generate_preferences(
+        dataset, order, queries, template=template, seed=seed
+    )
+
+
+def churn_workload(
+    dataset: Dataset,
+    template: Optional[Preference] = None,
+    *,
+    queries: int = 200,
+    order: int = 2,
+    cache_capacity: int = 256,
+    seed: int = 0,
+) -> List[Preference]:
+    """Round-robin over ``2 * cache_capacity + 1`` distinct preferences.
+
+    Every key's reuse distance is twice the cache capacity, so by the
+    time a key comes around again it was evicted long ago - and stays
+    evicted even when concurrent execution reorders the store/evict
+    interleaving (with a pool of exactly ``capacity + 1`` the sequential
+    replay thrashes perfectly, but any reordering breaks the eviction
+    alignment and lets keys survive).  If the domain cannot produce that
+    many distinct preferences the pool is as large as the domain allows
+    (the workload then degrades towards ``hot`` - the report's eviction
+    counter shows which regime ran).
+    """
+    pool = _distinct_pool(
+        dataset, template, order, 2 * cache_capacity + 1, seed
+    )
+    return [pool[i % len(pool)] for i in range(queries)]
+
+
+def aliased_workload(
+    dataset: Dataset,
+    template: Optional[Preference] = None,
+    *,
+    queries: int = 200,
+    order: Optional[int] = None,
+    distinct: int = 8,
+    seed: int = 0,
+) -> List[Preference]:
+    """Pairs of distinct spellings of the same partial order.
+
+    Every drawn preference is emitted in alternating spellings: the
+    original, then a rewrite that is a *different* ``Preference`` object
+    (unequal, different hash) yet induces the same partial order - the
+    chain is extended to the full domain where possible (the dropped-
+    tail aliasing of the canonical key) and template dimensions are
+    spelled out explicitly.
+
+    The tail alias only exists for chains of length ``cardinality - 1``,
+    so the default ``order`` is ``min(cardinalities) - 1`` - every
+    dimension of that cardinality then has a distinct second spelling.
+    """
+    if order is None:
+        cards = [
+            dataset.cardinality(name)
+            for name in dataset.schema.nominal_names
+        ] or [2]
+        order = max(1, min(cards) - 1)
+    base = hot_workload(
+        dataset,
+        template,
+        queries=(queries + 1) // 2,
+        order=order,
+        distinct=distinct,
+        seed=seed,
+    )
+    out: List[Preference] = []
+    for pref in base:
+        out.append(pref)
+        if len(out) < queries:
+            out.append(_respell(dataset, pref, template))
+    return out[:queries]
+
+
+def _respell(
+    dataset: Dataset, pref: Preference, template: Optional[Preference]
+) -> Preference:
+    """An equivalent preference under a different surface spelling."""
+    spelled: Dict[str, ImplicitPreference] = {}
+    merged = pref.merged_over(template) if template is not None else pref
+    for name in dataset.schema.nominal_names:
+        chain = merged[name]
+        if chain.is_empty:
+            continue
+        domain = dataset.schema.spec(name).domain
+        if chain.order == len(domain) - 1:
+            # Dropped-tail alias: append the single unlisted value.
+            missing = next(v for v in domain if v not in chain.choices)
+            chain = chain.extended_with(missing)
+        spelled[name] = chain
+    return Preference(spelled)
+
+
+def _distinct_pool(
+    dataset: Dataset,
+    template: Optional[Preference],
+    order: int,
+    size: int,
+    seed: int,
+) -> List[Preference]:
+    """Up to ``size`` preferences distinct under the canonical key."""
+    rng = random.Random(seed)
+    pool: List[Preference] = []
+    seen = set()
+    attempts = 0
+    # The domain bounds the number of distinct order-x preferences;
+    # stop once draws stop producing new keys.
+    while len(pool) < size and attempts < max(50, size * 20):
+        pref = generate_preference(
+            dataset, order, template=template, rng=rng
+        )
+        key = canonical_cache_key(dataset.schema, pref, template)
+        attempts += 1
+        if key in seen:
+            continue
+        seen.add(key)
+        pool.append(pref)
+    if not pool:
+        pool.append(
+            template if template is not None else Preference.empty()
+        )
+    return pool
+
+
+#: Shape name -> generator.  All generators share the ``dataset``,
+#: ``template``, ``queries``, ``order`` and ``seed`` keywords; extra
+#: keywords (``distinct``, ``cache_capacity``) have serving-realistic
+#: defaults.
+WORKLOADS: Dict[str, Callable[..., List[Preference]]] = {
+    "hot": hot_workload,
+    "cold": cold_workload,
+    "churn": churn_workload,
+    "aliased": aliased_workload,
+}
+
+#: Per-shape seed offsets used by :func:`build_workload`: every shape
+#: draws from its own preference stream.  With a shared stream the
+#: pools overlap, and e.g. a churn replay would start against a cache
+#: pre-warmed by a preceding cold replay's keys - one full free cycle
+#: of hits that belongs to no shape.
+SHAPE_SEEDS = {"hot": 0, "cold": 1, "churn": 2, "aliased": 3}
+
+
+def build_workload(
+    shape: str,
+    dataset: Dataset,
+    template: Optional[Preference] = None,
+    *,
+    queries: int,
+    order: int,
+    seed: int,
+    cache_capacity: int,
+) -> List[Preference]:
+    """One named shape with the standard per-shape parameterisation.
+
+    This is the single place encoding how the replay tools
+    (``python -m repro.serve`` and ``benchmarks/bench_serve.py``)
+    instantiate shapes: the per-shape seed separation (``seed *
+    10_007 + SHAPE_SEEDS[shape]``), ``aliased`` choosing its own order
+    (the tail alias needs cardinality - 1 chains) and ``churn`` sizing
+    its pool from the target cache capacity.
+    """
+    kwargs: Dict[str, object] = dict(
+        queries=queries, seed=seed * 10_007 + SHAPE_SEEDS[shape]
+    )
+    if shape != "aliased":
+        kwargs["order"] = order
+    if shape == "churn":
+        kwargs["cache_capacity"] = cache_capacity
+    return WORKLOADS[shape](dataset, template, **kwargs)

@@ -1,5 +1,6 @@
 """The example scripts must run end to end (scaled-down arguments)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -9,13 +10,17 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name: str, *args: str) -> str:
+def run_example(name: str, *args: str, strip_pythonpath: bool = False) -> str:
+    env = dict(os.environ)
+    if strip_pythonpath:
+        env.pop("PYTHONPATH", None)
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=600,
         check=True,
+        env=env,
     )
     return result.stdout
 
@@ -27,6 +32,17 @@ class TestQuickstart:
         assert "Fred" in out and "{a, c, e, f}" in out
         assert "IPO-tree     -> {a, c, e, f}" in out
         assert "Progressive" in out
+
+    def test_demonstrates_serving_layer(self):
+        out = run_example("quickstart.py")
+        assert "Serving layer" in out
+        assert "cached=True" in out
+        assert "full-domain chain aliases its prefix" in out
+
+    def test_runs_without_pythonpath(self):
+        """The scripts bootstrap sys.path themselves (_bootstrap.py)."""
+        out = run_example("quickstart.py", strip_pythonpath=True)
+        assert "Alice" in out
 
 
 class TestTravelAgency:

@@ -1,0 +1,164 @@
+"""Semantic cache: canonical keys, LRU behaviour, counters."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.attributes import Schema, nominal, numeric_min
+from repro.core.preferences import Preference, canonical_cache_key
+from repro.exceptions import PreferenceError, RefinementError
+from repro.serve.cache import SemanticCache
+
+
+class TestCanonicalCacheKey:
+    def test_equal_objects_equal_keys(self, two_nominal_schema):
+        a = Preference({"Hotel-group": "T < M < *"})
+        b = Preference.parse("Hotel-group: T < M")
+        assert canonical_cache_key(two_nominal_schema, a) == \
+            canonical_cache_key(two_nominal_schema, b)
+
+    def test_full_domain_chain_aliases_its_prefix(self, two_nominal_schema):
+        full = Preference({"Hotel-group": "T < H < M"})
+        prefix = Preference({"Hotel-group": "T < H"})
+        assert canonical_cache_key(two_nominal_schema, full) == \
+            canonical_cache_key(two_nominal_schema, prefix)
+
+    def test_different_orders_different_keys(self, two_nominal_schema):
+        a = Preference({"Hotel-group": "T < H"})
+        b = Preference({"Hotel-group": "H < T"})
+        c = Preference({"Hotel-group": "T"})
+        keys = {
+            canonical_cache_key(two_nominal_schema, p) for p in (a, b, c)
+        }
+        assert len(keys) == 3
+
+    def test_template_inherited_vs_spelled_out(self, two_nominal_schema):
+        template = Preference({"Hotel-group": "T < *"})
+        inherited = canonical_cache_key(
+            two_nominal_schema, Preference({"Airline": "G < *"}), template
+        )
+        spelled = canonical_cache_key(
+            two_nominal_schema,
+            Preference({"Airline": "G < *", "Hotel-group": "T < *"}),
+            template,
+        )
+        assert inherited == spelled
+
+    def test_empty_preference_and_none_agree(self, two_nominal_schema):
+        assert canonical_cache_key(two_nominal_schema, None) == \
+            canonical_cache_key(two_nominal_schema, Preference.empty()) == ()
+
+    def test_single_value_domain_constrains_nothing(self):
+        schema = Schema([numeric_min("p"), nominal("only", ["x"])])
+        assert canonical_cache_key(
+            schema, Preference({"only": "x < *"})
+        ) == ()
+
+    def test_key_is_hashable_and_sorted_by_name(self, two_nominal_schema):
+        key = canonical_cache_key(
+            two_nominal_schema,
+            Preference({"Hotel-group": "T", "Airline": "G"}),
+        )
+        hash(key)
+        assert [name for name, _ in key] == ["Airline", "Hotel-group"]
+
+    def test_validates_against_schema(self, two_nominal_schema):
+        with pytest.raises(PreferenceError):
+            canonical_cache_key(
+                two_nominal_schema, Preference({"Nope": "a < *"})
+            )
+        with pytest.raises(PreferenceError):
+            canonical_cache_key(
+                two_nominal_schema, Preference({"Hotel-group": "Z < *"})
+            )
+
+    def test_non_refining_preference_rejected(self, two_nominal_schema):
+        template = Preference({"Hotel-group": "T < *"})
+        with pytest.raises(RefinementError):
+            canonical_cache_key(
+                two_nominal_schema,
+                Preference({"Hotel-group": "H < *"}),
+                template,
+            )
+
+
+class TestSemanticCache:
+    def test_miss_then_hit(self):
+        cache = SemanticCache(capacity=4)
+        assert cache.lookup("k") is None
+        cache.store("k", (1, 2, 3))
+        assert cache.lookup("k") == (1, 2, 3)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = SemanticCache(capacity=2)
+        cache.store("a", (1,))
+        cache.store("b", (2,))
+        assert cache.lookup("a") == (1,)   # refreshes "a"
+        cache.store("c", (3,))             # evicts "b", the LRU
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") == (1,)
+        assert cache.lookup("c") == (3,)
+        assert cache.stats().evictions == 1
+
+    def test_zero_capacity_disables_storage(self):
+        cache = SemanticCache(capacity=0)
+        cache.store("k", (1,))
+        assert cache.lookup("k") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticCache(capacity=-1)
+
+    def test_bypass_counter(self):
+        cache = SemanticCache(capacity=2)
+        cache.record_bypass()
+        assert cache.stats().bypasses == 1
+
+    def test_stats_delta(self):
+        cache = SemanticCache(capacity=2)
+        cache.store("a", (1,))
+        cache.lookup("a")
+        before = cache.stats()
+        cache.lookup("a")
+        cache.lookup("missing")
+        delta = cache.stats().delta(before)
+        assert (delta.hits, delta.misses) == (1, 1)
+
+    def test_clear_keeps_counters(self):
+        cache = SemanticCache(capacity=2)
+        cache.store("a", (1,))
+        cache.lookup("a")
+        cache.clear()
+        assert cache.lookup("a") is None
+        assert cache.stats().hits == 1
+
+    def test_concurrent_access_is_consistent(self):
+        cache = SemanticCache(capacity=8)
+        errors = []
+
+        def worker(tag: int) -> None:
+            try:
+                for i in range(200):
+                    key = (tag, i % 16)
+                    cache.store(key, (i,))
+                    cache.lookup(key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.lookups == 800
+        assert len(cache) <= 8
