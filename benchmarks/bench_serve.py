@@ -13,6 +13,12 @@ configurations that force different planner behaviour:
 * ``no-indexes`` - every auxiliary structure disabled: the ``kernel``
   route (pure backend throughput, the no-preprocessing floor).
 
+A final section replays the hot workload sequentially and through
+``submit_batch`` (``--batch``, default chunk 32) against fresh
+services, cached and uncached, recording the batched-over-sequential
+throughput ratios; ``--workers`` additionally enables the parallel
+partitioned route in every scenario.
+
 The recorded baseline lives in ``BENCH_serve.json`` at the repo root::
 
     PYTHONPATH=src python benchmarks/bench_serve.py
@@ -43,18 +49,75 @@ from repro.serve.service import SkylineService
 from repro.serve.workloads import WORKLOADS, build_workload
 
 
-def service_configs(cache_size: int) -> Dict[str, Dict]:
+def service_configs(cache_size: int, workers=None) -> Dict[str, Dict]:
     """Name -> SkylineService keyword arguments per scenario."""
+    common = dict(cache_capacity=cache_size, workers=workers)
     return {
-        "full-tree": dict(cache_capacity=cache_size),
-        "tree-k2": dict(cache_capacity=cache_size, ipo_k=2),
+        "full-tree": dict(common),
+        "tree-k2": dict(common, ipo_k=2),
         "no-indexes": dict(
-            cache_capacity=cache_size,
+            common,
             with_tree=False,
             with_adaptive=False,
             with_mdc=False,
         ),
     }
+
+
+def run_batching(dataset, template, args) -> Dict:
+    """Batched vs sequential submission of the hot workload.
+
+    Replays the identical hot preference stream twice per cache mode -
+    one query at a time, then chunked through ``submit_batch`` - each
+    against a *fresh* service, so cache state is comparable.  The
+    ``batch_speedup`` ratios (batched qps over sequential qps, same
+    machine, same run) are the machine-portable headline metrics; the
+    ``uncached`` row isolates what in-batch dedup alone buys on
+    freshness-critical traffic that may not consult the result cache.
+    """
+    batch_size = args.batch if args.batch is not None else 32
+    preferences = build_workload(
+        "hot",
+        dataset,
+        template,
+        queries=args.queries,
+        order=args.order,
+        seed=args.seed,
+        cache_capacity=args.cache_size,
+    )
+    out: Dict[str, Dict] = {"batch_size": batch_size}
+    for label, use_cache in (("cached", True), ("uncached", False)):
+        rows = {}
+        for mode, size in (("sequential", None), ("batched", batch_size)):
+            service = SkylineService(
+                dataset,
+                template,
+                cache_capacity=args.cache_size,
+                workers=args.workers,
+            )
+            report = replay(
+                service,
+                preferences,
+                name=f"hot-{mode}-{label}",
+                concurrency=args.concurrency,
+                use_cache=use_cache,
+                batch_size=size,
+            )
+            print(f"    {report.render()}", file=sys.stderr)
+            rows[mode] = report
+        sequential_qps = rows["sequential"].throughput_qps
+        out[label] = {
+            "sequential_qps": round(sequential_qps, 2),
+            "batched_qps": round(rows["batched"].throughput_qps, 2),
+            "batch_speedup": (
+                round(rows["batched"].throughput_qps / sequential_qps, 3)
+                if sequential_qps
+                else None
+            ),
+            "sequential": rows["sequential"].as_dict(),
+            "batched": rows["batched"].as_dict(),
+        }
+    return out
 
 
 def run_scenario(
@@ -85,6 +148,7 @@ def run_scenario(
             preferences,
             name=shape,
             concurrency=args.concurrency,
+            batch_size=args.batch,
         )
         print(f"    {report.render()}", file=sys.stderr)
         reports.append(report.as_dict())
@@ -107,9 +171,20 @@ def main(argv=None) -> int:
     parser.add_argument("--concurrency", type=int, default=4)
     parser.add_argument("--cache-size", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="enable the parallel partitioned route "
+                        "with this many workers in every scenario")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="batch size of the batching comparison "
+                        "(default: 32) and of the scenario replays "
+                        "when set")
     parser.add_argument("--out", type=str, default=None,
                         help="write the JSON report here")
     args = parser.parse_args(argv)
+    if args.batch is not None and args.batch < 1:
+        parser.error(f"--batch must be >= 1, got {args.batch}")
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
     dataset = generate(
         SyntheticConfig(
@@ -128,8 +203,13 @@ def main(argv=None) -> int:
 
     scenarios = [
         run_scenario(name, kwargs, dataset, template, args)
-        for name, kwargs in service_configs(args.cache_size).items()
+        for name, kwargs in service_configs(
+            args.cache_size, workers=args.workers
+        ).items()
     ]
+    print("  [batching] hot workload, sequential vs submit_batch",
+          file=sys.stderr)
+    batching = run_batching(dataset, template, args)
     payload = {
         "benchmark": "preference-query serving layer: workload replay "
         "across service configurations",
@@ -145,8 +225,11 @@ def main(argv=None) -> int:
             "concurrency": args.concurrency,
             "cache_size": args.cache_size,
             "seed": args.seed,
+            "workers": args.workers,
+            "batch": args.batch,
         },
         "scenarios": scenarios,
+        "batching": batching,
     }
     text = json.dumps(payload, indent=2)
     if args.out:

@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Compare fresh benchmark runs against committed BENCH_*.json baselines.
+
+Fails (exit 1) when any *headline metric* of a fresh run is more than
+``--tolerance`` (default 25%) worse than the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py --sizes 1000 \
+        --out /tmp/backends.json
+    python benchmarks/check_regression.py \
+        --pair /tmp/backends.json BENCH_backends.json
+
+Multiple ``--pair fresh baseline`` arguments are checked in one go.
+Entries are matched by identity keys (dataset size for the engine
+benchmarks, scenario x workload for the serving benchmark); fresh runs
+at sizes the baseline never measured are simply skipped, and the
+checker fails when *nothing* matched (``--allow-empty`` downgrades
+that to a warning) so a silently incomparable configuration cannot
+masquerade as a pass.
+
+Headline metrics come in two classes:
+
+* **ratio metrics** (backend speedups, cache hit-rates, batched-over-
+  sequential throughput) are dimensionless same-run comparisons and
+  travel across machines;
+* **absolute metrics** (seconds, qps) only mean anything on hardware
+  comparable to the baseline's.  ``--ratios-only`` restricts the check
+  to the first class - CI runners compare against baselines recorded
+  on developer machines and would otherwise flake.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+#: (metric name, higher_is_better, is_ratio_metric)
+Metric = Tuple[str, float, bool, bool]
+
+
+def _metric(
+    name: str, value, higher_is_better: bool, ratio: bool
+) -> Iterator[Metric]:
+    """Yield one metric when its value is a usable number."""
+    if isinstance(value, (int, float)) and value > 0:
+        yield (name, float(value), higher_is_better, ratio)
+
+
+def backends_metrics(report: Dict) -> Iterator[Metric]:
+    """Headline metrics of a ``bench_backends.py`` report."""
+    for entry in report.get("results", []):
+        n = entry.get("num_points")
+        yield from _metric(
+            f"backends[n={n}].speedup", entry.get("speedup"), True, True
+        )
+        yield from _metric(
+            f"backends[n={n}].python_seconds",
+            entry.get("python_seconds"), False, False,
+        )
+        yield from _metric(
+            f"backends[n={n}].numpy_seconds",
+            entry.get("numpy_seconds"), False, False,
+        )
+
+
+def parallel_metrics(report: Dict) -> Iterator[Metric]:
+    """Headline metrics of a ``bench_parallel.py`` report."""
+    for entry in report.get("results", []):
+        n = entry.get("num_points")
+        strategy = entry.get("strategy")
+        tag = f"parallel[n={n},{strategy}]"
+        yield from _metric(
+            f"{tag}.measured_speedup",
+            entry.get("measured_speedup"), True, True,
+        )
+        yield from _metric(
+            f"{tag}.critical_path_speedup",
+            entry.get("critical_path_speedup"), True, True,
+        )
+        yield from _metric(
+            f"{tag}.parallel_seconds",
+            entry.get("parallel_seconds"), False, False,
+        )
+    batching = report.get("serve_batching", {})
+    for mode in ("cached", "uncached"):
+        yield from _metric(
+            f"parallel.batching.{mode}.batch_speedup",
+            batching.get(mode, {}).get("batch_speedup"), True, True,
+        )
+
+
+def serve_metrics(report: Dict) -> Iterator[Metric]:
+    """Headline metrics of a ``bench_serve.py`` report."""
+    for scenario in report.get("scenarios", []):
+        name = scenario.get("scenario")
+        for workload in scenario.get("workloads", []):
+            shape = workload.get("workload")
+            tag = f"serve[{name}/{shape}]"
+            yield from _metric(
+                f"{tag}.throughput_qps",
+                workload.get("throughput_qps"), True, False,
+            )
+            yield from _metric(
+                f"{tag}.p95_ms",
+                workload.get("latency_ms", {}).get("p95"), False, False,
+            )
+            if shape in ("hot", "aliased"):
+                # Only these shapes have *structural* hit rates (their
+                # distinct-preference pools are fixed); cold hits are
+                # coincidence and churn is designed to stay at zero.
+                hit_rate = workload.get("cache", {}).get("hit_rate")
+                yield from _metric(f"{tag}.hit_rate", hit_rate, True, True)
+    batching = report.get("batching", {})
+    for mode in ("cached", "uncached"):
+        yield from _metric(
+            f"serve.batching.{mode}.batch_speedup",
+            batching.get(mode, {}).get("batch_speedup"), True, True,
+        )
+
+
+#: "benchmark" field prefix -> metric extractor.
+EXTRACTORS = {
+    "sfs skyline wall-clock": backends_metrics,
+    "partitioned parallel skyline": parallel_metrics,
+    "preference-query serving layer": serve_metrics,
+}
+
+
+def extract(report: Dict) -> Dict[str, Tuple[float, bool, bool]]:
+    """Metric name -> (value, higher_is_better, is_ratio) for a report."""
+    kind = report.get("benchmark", "")
+    for prefix, extractor in EXTRACTORS.items():
+        if kind.startswith(prefix):
+            return {
+                name: (value, higher, ratio)
+                for name, value, higher, ratio in extractor(report)
+            }
+    raise SystemExit(f"unrecognised benchmark kind: {kind!r}")
+
+
+def compare(
+    fresh: Dict, baseline: Dict, tolerance: float, ratios_only: bool
+) -> Tuple[List[str], int]:
+    """(regression messages, number of compared metrics)."""
+    fresh_metrics = extract(fresh)
+    base_metrics = extract(baseline)
+    failures: List[str] = []
+    compared = 0
+    for name, (base_value, higher, ratio) in sorted(base_metrics.items()):
+        if name not in fresh_metrics:
+            continue
+        if ratios_only and not ratio:
+            continue
+        fresh_value = fresh_metrics[name][0]
+        compared += 1
+        if higher:
+            worse_by = (base_value - fresh_value) / base_value
+        else:
+            worse_by = (fresh_value - base_value) / base_value
+        if worse_by > tolerance:
+            direction = "dropped" if higher else "grew"
+            failures.append(
+                f"{name} {direction} beyond tolerance: baseline "
+                f"{base_value:g} -> fresh {fresh_value:g} "
+                f"({worse_by:+.0%} worse, tolerance {tolerance:.0%})"
+            )
+    return failures, compared
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pair",
+        nargs=2,
+        action="append",
+        metavar=("FRESH", "BASELINE"),
+        required=True,
+        help="fresh report and committed baseline to compare "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="maximum tolerated relative slowdown per headline metric "
+        "(default: 0.25)",
+    )
+    parser.add_argument(
+        "--ratios-only",
+        action="store_true",
+        help="compare only machine-portable ratio metrics (for CI "
+        "runners on different hardware than the baseline)",
+    )
+    parser.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="do not fail when no metric of a pair is comparable",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    exit_code = 0
+    for fresh_path, baseline_path in args.pair:
+        with open(fresh_path) as handle:
+            fresh = json.load(handle)
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        failures, compared = compare(
+            fresh, baseline, args.tolerance, args.ratios_only
+        )
+        label = f"{fresh_path} vs {baseline_path}"
+        if compared == 0:
+            message = f"{label}: no comparable headline metrics"
+            if args.allow_empty:
+                print(f"WARNING: {message}")
+            else:
+                print(f"FAIL: {message} (pass --allow-empty to tolerate)")
+                exit_code = 1
+            continue
+        if failures:
+            print(f"FAIL: {label} ({compared} metrics compared)")
+            for failure in failures:
+                print(f"  {failure}")
+            exit_code = 1
+        else:
+            print(f"ok: {label} ({compared} metrics within tolerance)")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,9 +3,12 @@
 Public surface:
 
 * :func:`get_backend` / :func:`resolve_backend` - resolve a backend by
-  name (``"python"`` | ``"numpy"``), by the ``REPRO_BACKEND``
-  environment variable, by the process default, or automatically
-  (NumPy when available, pure Python otherwise).
+  name (``"python"`` | ``"numpy"`` | ``"parallel"``), by the
+  ``REPRO_BACKEND`` environment variable, by the process default, or
+  automatically (NumPy when available, pure Python otherwise).
+* :class:`ParallelBackend` / :func:`make_parallel_backend` - the
+  partition-skyline-merge executor wrapping either base backend
+  (:mod:`repro.engine.parallel`).
 * :func:`set_default_backend` - process-wide default (the benchmark
   CLI's ``--backend`` axis).
 * :func:`register_backend` - plug in a new backend implementation.
@@ -30,6 +33,12 @@ from repro.engine.base import (
     set_default_backend,
 )
 from repro.engine.columnar import ColumnarStore, numpy_available
+from repro.engine.parallel import (
+    EXECUTION_MODES,
+    PARTITION_STRATEGIES,
+    ParallelBackend,
+    make_parallel_backend,
+)
 from repro.engine.python_backend import PythonBackend
 
 
@@ -41,15 +50,20 @@ def _make_numpy_backend() -> Backend:
 
 register_backend("python", PythonBackend)
 register_backend("numpy", _make_numpy_backend)
+register_backend("parallel", ParallelBackend)
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "EXECUTION_MODES",
+    "PARTITION_STRATEGIES",
     "Backend",
     "ColumnarStore",
+    "ParallelBackend",
     "PythonBackend",
     "available_backends",
     "default_backend_name",
     "get_backend",
+    "make_parallel_backend",
     "numpy_available",
     "register_backend",
     "registered_backends",

@@ -131,7 +131,18 @@ def _dominates_matrix(np, nominal, a: _Cols, b: _Cols):
                 )
             else:
                 nw_j = aj <= bj
-            not_worse = nw_j if not_worse is None else (not_worse & nw_j)
+            if not_worse is None:
+                not_worse = nw_j
+            else:
+                not_worse &= nw_j
+                # Most pairs are refuted within the first dimensions;
+                # once nothing in the chunk can dominate, the remaining
+                # per-dimension comparisons are pure waste.
+                if not not_worse.any():
+                    break
+        if not not_worse.any():
+            out[chunk] = False
+            continue
         score_differs = a.scores[chunk, None] != b.scores[None, :]
         dom = not_worse & score_differs
         ties = not_worse & ~score_differs
@@ -157,25 +168,46 @@ def _dominated_any(np, nominal, window: _Cols, candidates: _Cols):
     (lowest score) first, so the first few kill the bulk of the
     candidates and later, wider stages touch only the shrinking
     survivor set instead of re-reading every candidate per window
-    column."""
-    dead = np.zeros(candidates.size, dtype=bool)
+    column.
+
+    Survivor buffers are managed lazily: the ``dead`` output and the
+    position map are allocated once up front, and the column batch is
+    only compacted (a fancy-indexing copy of every array) when at
+    least half of its remaining columns are dead.  Compacting after
+    every stage - the previous behaviour - re-copied the large early
+    survivor sets several times; deferring until the copy halves the
+    batch bounds total copy work at ~2x the input size while keeping
+    the late, wide stages dense."""
+    num_candidates = candidates.size
+    dead = np.zeros(num_candidates, dtype=bool)
     num_window = window.size
-    if num_window == 0 or candidates.size == 0:
+    if num_window == 0 or num_candidates == 0:
         return dead
-    alive = np.arange(candidates.size)
+    # Maps current batch columns back to candidate positions; grows
+    # stale entries (columns already dead but not yet compacted away)
+    # that `local_dead` masks out of each stage's verdict.
+    alive = np.arange(num_candidates)
     current = candidates
+    local_dead = np.zeros(num_candidates, dtype=bool)
+    alive_count = num_candidates
     done = 0
     stage = _FIRST_STAGE
-    while done < num_window and alive.size:
+    while done < num_window and alive_count:
         stop = min(num_window, done + stage)
         dom = _dominates_matrix(
             np, nominal, window.take(slice(done, stop)), current
         ).any(axis=0)
-        if dom.any():
-            dead[alive[dom]] = True
-            keep = ~dom
-            alive = alive[keep]
-            current = current.take(keep)
+        fresh = dom & ~local_dead
+        kills = int(fresh.sum())
+        if kills:
+            dead[alive[fresh]] = True
+            local_dead |= fresh
+            alive_count -= kills
+            if alive_count * 2 <= current.size:
+                keep = ~local_dead
+                alive = alive[keep]
+                current = current.take(keep)
+                local_dead = np.zeros(alive_count, dtype=bool)
         done = stop
         stage *= _STAGE_GROWTH
     return dead

@@ -1,0 +1,770 @@
+"""Partition-skyline-merge parallel executor (the ``"parallel"`` backend).
+
+The serving setting assumes many queries over one large table; this
+module attacks the per-query wall-clock of the direct skyline scan by
+splitting the work across a worker pool:
+
+1. **Partition** the point ids into ``k`` parts (strategies below),
+2. compute the **local skyline** of every part with the wrapped
+   (*inner*) backend's composite kernel, one part per worker,
+3. **merge**: run one final dominance-filtering sweep over the union of
+   the local skylines.
+
+Correctness is partition-independent.  A globally undominated point is
+undominated inside its own part, so the global skyline is a subset of
+the union of local skylines; and for any point ``p`` of the union that
+*is* globally dominated by some ``q``, either ``q`` survived its own
+part's local skyline (so ``q`` is in the union), or ``q`` was killed by
+some local-skyline member ``r`` - and dominance is transitive, so ``r``
+dominates ``p`` and is in the union.  Hence the merge sweep over the
+union alone reproduces the exact global skyline.  The property test in
+``tests/test_parallel.py`` asserts this against the reference backend
+across partition counts and strategies (including the paper's
+partial-order subtlety that distinct *unlisted* nominal values are
+mutually incomparable - the inner kernels own that semantics, and the
+partition/merge layer never compares points itself).
+
+Partitioning strategies
+-----------------------
+* ``"round-robin"`` - stripe the input ids.  Zero preprocessing; fine
+  for randomly ordered data.
+* ``"sorted"`` - presort ids by the monotone preference score (one
+  vectorized argsort on the numpy inner backend), then deal the sorted
+  order out like cards.  Every part receives an equal share of
+  strong (low-score) points, so every local scan prunes aggressively
+  and the local skylines stay small; robust against adversarial input
+  orderings that would starve some round-robin parts of strong points.
+* ``"entropy"`` - pick the dimension whose value distribution has
+  maximal Shannon entropy (the most discriminating dimension), sort ids
+  along it and deal strided, so each part spans that dimension's whole
+  range.  Useful when scores collapse (e.g. heavily tied rank sums).
+
+Execution modes
+---------------
+* ``"thread"`` - a :class:`~concurrent.futures.ThreadPoolExecutor`
+  sharing one prepared context, zero-copy.  The numpy kernels release
+  the GIL for the array work, so threads scale on multicore machines;
+  for the pure-python inner backend threads are the compatibility
+  fallback (correct, but serialized by the GIL).
+* ``"process"`` - a fork/spawn worker pool over *shared-memory* copies
+  of the prepared float64 rank/value columns (one
+  :class:`multiprocessing.shared_memory.SharedMemory` block per array,
+  attached read-only in every worker - the 200k-row context is shipped
+  once, not per task).  Requires the vectorized inner backend; falls
+  back to threads for the pure-python one.
+* ``"serial"`` - partition + merge on the calling thread (deterministic
+  debugging / property tests).
+* ``"auto"`` - ``process`` when the inner backend is vectorized, the
+  platform can fork and more than one CPU is available; else
+  ``thread``.
+
+Small inputs (below ``min_rows``) skip partitioning entirely and run
+the inner kernel directly - the pool would cost more than it saves.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.engine.base import Backend, get_backend
+from repro.engine.columnar import numpy_available
+from repro.exceptions import EngineError
+
+#: Recognised partitioning strategies (see module docstring).
+PARTITION_STRATEGIES = ("round-robin", "sorted", "entropy")
+
+#: Recognised execution modes (see module docstring).
+EXECUTION_MODES = ("auto", "serial", "thread", "process")
+
+#: Below this many input ids the partition/merge machinery is skipped
+#: and the inner backend runs directly (pool + merge overhead would
+#: exceed the scan itself).
+DEFAULT_MIN_ROWS = 8192
+
+#: Local-skyline unions at most this large are merged with one direct
+#: inner-kernel call instead of the chunk-parallel membership sweep.
+_MERGE_DIRECT = 1024
+
+#: Width of the strong prefilter window of the parallel merge: stage A
+#: tests every union member against only the best-scored ``head`` of
+#: the union (strong points do nearly all the killing), so the wide
+#: stage never scans the union's dominated bulk.
+_MERGE_HEAD = 1024
+
+
+def default_workers() -> int:
+    """Worker count used when none is configured: the visible CPUs."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# partitioning strategies
+# ---------------------------------------------------------------------------
+
+
+def round_robin_partitions(ids: Sequence[int], k: int):
+    """Stripe ``ids`` into ``k`` parts (``ids[i::k]``), dropping empties.
+
+    ``range`` inputs (the common whole-dataset case) are sliced into
+    strided sub-ranges - zero copies, zero per-id work.
+    """
+    id_seq = ids if isinstance(ids, (range, list)) else list(ids)
+    return [part for part in (id_seq[i::k] for i in range(k)) if len(part)]
+
+
+def score_sorted_partitions(backend: Backend, ctx, ids: Sequence[int], k: int):
+    """Deal the score-sorted id order out strided into ``k`` parts.
+
+    Sorting uses the inner backend's ``sort_by_score`` kernel (one
+    vectorized argsort on numpy), so every part receives the same share
+    of strong, low-score points - the points that do the pruning.  When
+    the prepared context exposes its score vector as an array (the
+    numpy backend), the order stays an index array end to end and the
+    parts are strided views - no per-id Python objects.
+    """
+    scores = getattr(ctx, "scores", None)
+    if scores is not None and hasattr(scores, "argsort"):
+        np = ctx.np
+        idx = (
+            np.arange(ids.start, ids.stop, ids.step or 1, dtype=np.int64)
+            if isinstance(ids, range)
+            else np.asarray(list(ids), dtype=np.int64)
+        )
+        order = idx[np.argsort(scores[idx], kind="stable")]
+    else:
+        order = backend.sort_by_score(ctx, ids)
+    return [part for part in (order[i::k] for i in range(k)) if len(part)]
+
+
+def entropy_partitions(
+    backend: Backend, ctx, ids: Sequence[int], k: int, table
+) -> List[List[int]]:
+    """Sort along the maximum-entropy dimension, then deal strided.
+
+    The dimension whose per-point ranks have the highest Shannon
+    entropy discriminates the points best; sorting along it and
+    striping gives every part full coverage of that dimension's range
+    (no part is a dominated "corner" of the data).
+    """
+    num_dims = len(table.schema)
+    best_dim, best_entropy = 0, -1.0
+    for dim in range(num_dims):
+        entropy = _column_entropy(backend.dim_ranks(ctx, ids, dim))
+        if entropy > best_entropy:
+            best_dim, best_entropy = dim, entropy
+    ranks = backend.dim_ranks(ctx, ids, best_dim)
+    id_list = list(ids)
+    order = sorted(range(len(id_list)), key=ranks.__getitem__)
+    dealt = [[id_list[j] for j in order[i::k]] for i in range(k)]
+    return [part for part in dealt if part]
+
+
+def _column_entropy(values: Sequence[float]) -> float:
+    """Shannon entropy (nats) of a value multiset."""
+    total = len(values)
+    if not total:
+        return 0.0
+    counts = Counter(values)
+    return -sum(
+        (c / total) * math.log(c / total) for c in counts.values()
+    )
+
+
+def partition_ids(
+    backend: Backend,
+    ctx,
+    ids: Sequence[int],
+    k: int,
+    strategy: str,
+    table=None,
+) -> List[List[int]]:
+    """Split ``ids`` into at most ``k`` non-empty parts per ``strategy``.
+
+    ``backend``/``ctx`` are the *inner* backend and its prepared
+    context (the data-aware strategies run kernels); ``table`` is the
+    compiled rank table (needed by ``"entropy"`` for the dimension
+    count).  Parts are disjoint and cover ``ids`` exactly.
+    """
+    if k <= 1:
+        return [list(ids)]
+    if strategy == "round-robin":
+        return round_robin_partitions(ids, k)
+    if strategy == "sorted":
+        return score_sorted_partitions(backend, ctx, ids, k)
+    if strategy == "entropy":
+        if table is None:
+            raise EngineError(
+                "the 'entropy' strategy needs the compiled rank table"
+            )
+        return entropy_partitions(backend, ctx, ids, k, table)
+    raise EngineError(
+        f"unknown partition strategy {strategy!r}; "
+        f"choose one of {PARTITION_STRATEGIES}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# shared-memory process workers
+# ---------------------------------------------------------------------------
+
+
+def _start_method() -> str:
+    """``"fork"`` when the platform offers it (cheap workers), else the
+    default start method."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def fork_available() -> bool:
+    """True when worker processes can be forked (Linux/macOS CPython)."""
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _shm_task(task):
+    """Process-pool task over shared memory: local skyline or merge chunk.
+
+    ``task`` is ``(shm_names, num_dims, num_rows, nominal, ids,
+    against)`` where ``shm_names`` name three shared-memory blocks
+    holding the prepared context's transposed rank matrix, transposed
+    value matrix and score vector.  The worker attaches the blocks (no
+    copy) and rebuilds a numpy context view; with ``against=None`` it
+    runs the accept-then-sweep skyline kernel over ``ids`` (phase 1),
+    otherwise the ``dominated_any`` membership sweep of ``ids`` against
+    the score-sorted union (phase 2, the parallel merge).
+    """
+    from multiprocessing import shared_memory
+
+    import numpy as np
+
+    from repro.engine.numpy_backend import NumpyBackend, _NumpyContext
+
+    shm_names, num_dims, num_rows, nominal, ids, against = task
+    blocks = [shared_memory.SharedMemory(name=name) for name in shm_names]
+    try:
+        ranks_t = np.ndarray(
+            (num_dims, num_rows), dtype=np.float64, buffer=blocks[0].buf
+        )
+        values_t = np.ndarray(
+            (num_dims, num_rows), dtype=np.float64, buffer=blocks[1].buf
+        )
+        scores = np.ndarray(
+            (num_rows,), dtype=np.float64, buffer=blocks[2].buf
+        )
+        ctx = _NumpyContext(
+            None, ranks_t, values_t, scores, list(nominal), None, np
+        )
+        backend = NumpyBackend()
+        if against is None:
+            return backend.skyline(ctx, ids)
+        return backend.dominated_any(ctx, ids, against)
+    finally:
+        for block in blocks:
+            block.close()
+
+
+def _prefix_chunks(candidates: List[int], k: int):
+    """Contiguous (chunk, prefix) pairs for stage B, ~4k of them.
+
+    Chunk ``j`` spans ``[b_{j-1}, b_j)`` of the score-sorted candidates
+    and is tested only against the prefix up to its own end (a
+    dominator always scores strictly less, so it sits strictly
+    earlier).  Bounds ``b_j = n * sqrt(j/m)`` split the total cell area
+    ``~n^2/2`` evenly, and cutting ``m = 4k`` chunks (rather than one
+    per worker) keeps each rectangle's overhang small and lets the pool
+    level any residual imbalance by scheduling.
+    """
+    n = len(candidates)
+    m = max(1, 4 * k)
+    pairs = []
+    prev = 0
+    for j in range(1, m + 1):
+        bound = n if j == m else min(
+            n, max(prev + 1, math.ceil(n * math.sqrt(j / m)))
+        )
+        if bound > prev:
+            pairs.append((candidates[prev:bound], candidates[:bound]))
+            prev = bound
+        if prev >= n:
+            break
+    return pairs
+
+
+def _reassemble(order, dead_chunks, k: int) -> List[int]:
+    """Survivors of the strided merge chunks, back in score order.
+
+    Chunk ``i`` covered ``order[i::k]``; writing its verdicts back to
+    the same stride reconstructs the per-position death mask.
+    """
+    order_list = order if isinstance(order, list) else order.tolist()
+    dead = [False] * len(order_list)
+    for i, chunk_dead in enumerate(dead_chunks):
+        dead[i :: k] = chunk_dead
+    return [pid for pid, is_dead in zip(order_list, dead) if not is_dead]
+
+
+class _SharedContext:
+    """Shared-memory export of a prepared numpy context.
+
+    Copies the three context arrays into named shared-memory blocks
+    once; every worker process then attaches them zero-copy.  Use as a
+    context manager so the blocks are always unlinked.
+    """
+
+    def __init__(self, inner_ctx) -> None:
+        from multiprocessing import shared_memory
+
+        np = inner_ctx.np
+        self._blocks = []
+        self.names: List[str] = []
+        for array in (inner_ctx.ranks_t, inner_ctx.values_t, inner_ctx.scores):
+            source = np.ascontiguousarray(array, dtype=np.float64)
+            block = shared_memory.SharedMemory(
+                create=True, size=max(1, source.nbytes)
+            )
+            np.ndarray(
+                source.shape, dtype=source.dtype, buffer=block.buf
+            )[...] = source
+            self._blocks.append(block)
+            self.names.append(block.name)
+        self.num_dims, self.num_rows = inner_ctx.ranks_t.shape
+        self.nominal = tuple(inner_ctx.nominal)
+
+    def task(self, ids, against):
+        """A picklable :func:`_shm_task` payload for one pool task.
+
+        ``against=None`` requests a local skyline of ``ids``; a list
+        requests the membership sweep of ``ids`` against it.  Index
+        arrays are converted to plain lists so the pickled task stays
+        independent of numpy view internals.
+        """
+        if not isinstance(ids, (list, range)):
+            ids = ids.tolist() if hasattr(ids, "tolist") else list(ids)
+        return (
+            self.names,
+            self.num_dims,
+            self.num_rows,
+            self.nominal,
+            ids,
+            against,
+        )
+
+    def __enter__(self) -> "_SharedContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for block in self._blocks:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+# ---------------------------------------------------------------------------
+# the backend
+# ---------------------------------------------------------------------------
+
+
+class _ParallelContext:
+    """The inner backend's context plus what partition/merge needs."""
+
+    __slots__ = ("inner", "table")
+
+    def __init__(self, inner, table) -> None:
+        self.inner = inner
+        self.table = table
+
+
+class ParallelBackend(Backend):
+    """Partition-skyline-merge execution over a wrapped inner backend.
+
+    Every primitive kernel delegates to the inner backend (the parallel
+    layer never compares points itself), so the backend is drop-in
+    anywhere a ``"numpy"`` or ``"python"`` backend is accepted and is
+    observationally equivalent to its inner backend.  Only the
+    composite :meth:`skyline` kernel is overridden with the
+    partition-local skyline-merge plan described in the module
+    docstring.
+
+    Parameters
+    ----------
+    inner:
+        Backend to wrap (name or instance).  ``None`` picks numpy when
+        available, else python.  Wrapping another parallel backend is
+        rejected.
+    workers:
+        Worker pool size; defaults to the visible CPU count.
+    partitions:
+        Number of parts ``k``; defaults to ``workers``.
+    strategy:
+        One of :data:`PARTITION_STRATEGIES` (default ``"sorted"``).
+    mode:
+        One of :data:`EXECUTION_MODES` (default ``"auto"``).
+    min_rows:
+        Inputs smaller than this run on the inner backend directly.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        inner=None,
+        *,
+        workers: Optional[int] = None,
+        partitions: Optional[int] = None,
+        strategy: str = "sorted",
+        mode: str = "auto",
+        min_rows: int = DEFAULT_MIN_ROWS,
+    ) -> None:
+        if inner is None:
+            inner = "numpy" if numpy_available() else "python"
+        self.inner = get_backend(inner)
+        if isinstance(self.inner, ParallelBackend):
+            raise EngineError(
+                "a parallel backend cannot wrap another parallel backend"
+            )
+        if strategy not in PARTITION_STRATEGIES:
+            raise EngineError(
+                f"unknown partition strategy {strategy!r}; "
+                f"choose one of {PARTITION_STRATEGIES}"
+            )
+        if mode not in EXECUTION_MODES:
+            raise EngineError(
+                f"unknown execution mode {mode!r}; "
+                f"choose one of {EXECUTION_MODES}"
+            )
+        if workers is not None and workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        if partitions is not None and partitions < 1:
+            raise EngineError(f"partitions must be >= 1, got {partitions}")
+        if min_rows < 0:
+            raise EngineError(f"min_rows must be >= 0, got {min_rows}")
+        self.vectorized = self.inner.vectorized
+        self.workers = workers if workers is not None else default_workers()
+        self.partitions = partitions if partitions is not None else self.workers
+        self.strategy = strategy
+        self.mode = mode
+        self.min_rows = min_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelBackend(inner={self.inner.name!r}, "
+            f"workers={self.workers}, partitions={self.partitions}, "
+            f"strategy={self.strategy!r}, mode={self.resolved_mode()!r})"
+        )
+
+    def resolved_mode(self) -> str:
+        """The concrete execution mode ``"auto"`` resolves to here.
+
+        ``process`` needs the vectorized inner backend (the shared-
+        memory blocks hold its columnar context); the pure-python inner
+        backend always falls back to the thread pool, as does ``auto``
+        on single-CPU or fork-less hosts where worker processes cannot
+        pay for themselves.
+        """
+        mode = self.mode
+        if mode == "auto":
+            multicore = default_workers() > 1
+            if self.inner.vectorized and fork_available() and multicore:
+                mode = "process"
+            else:
+                mode = "thread"
+        if mode == "process" and not self.inner.vectorized:
+            mode = "thread"
+        return mode
+
+    # -- context ----------------------------------------------------------
+    def prepare(self, rows: Sequence[tuple], table, store=None):
+        """Prepare the inner context; partitioning state is per-call."""
+        return _ParallelContext(
+            self.inner.prepare(rows, table, store=store), table
+        )
+
+    # -- delegating kernels ------------------------------------------------
+    def scores(self, ctx, ids: Sequence[int]) -> List[float]:
+        """Delegates to the inner backend."""
+        return self.inner.scores(ctx.inner, ids)
+
+    def score_rows(self, table, rows: Sequence[tuple]) -> List[float]:
+        """Delegates to the inner backend."""
+        return self.inner.score_rows(table, rows)
+
+    def sort_by_score(self, ctx, ids: Sequence[int]) -> List[int]:
+        """Delegates to the inner backend."""
+        return self.inner.sort_by_score(ctx.inner, ids)
+
+    def dominates_mask(self, ctx, p: int, block: Sequence[int]) -> List[bool]:
+        """Delegates to the inner backend."""
+        return self.inner.dominates_mask(ctx.inner, p, block)
+
+    def dominated_mask(self, ctx, p: int, block: Sequence[int]) -> List[bool]:
+        """Delegates to the inner backend."""
+        return self.inner.dominated_mask(ctx.inner, p, block)
+
+    def any_dominates(self, ctx, p: int, block: Sequence[int]) -> bool:
+        """Delegates to the inner backend."""
+        return self.inner.any_dominates(ctx.inner, p, block)
+
+    def dominated_any(
+        self, ctx, targets: Sequence[int], against: Sequence[int]
+    ) -> List[bool]:
+        """Delegates to the inner backend."""
+        return self.inner.dominated_any(ctx.inner, targets, against)
+
+    def compare_many(self, ctx, p: int, block: Sequence[int]) -> List:
+        """Delegates to the inner backend."""
+        return self.inner.compare_many(ctx.inner, p, block)
+
+    def dim_ranks(self, ctx, ids: Sequence[int], dim: int) -> List[float]:
+        """Delegates to the inner backend."""
+        return self.inner.dim_ranks(ctx.inner, ids, dim)
+
+    # -- the composite parallel kernel -------------------------------------
+    def skyline(self, ctx, ids: Sequence[int]) -> List[int]:
+        """Partitioned skyline: local skylines per part, parallel merge.
+
+        Equivalent (as an id *set*) to the inner backend's skyline; see
+        the module docstring for the transitivity argument.  Inputs
+        below ``min_rows``, or a configuration with a single part, run
+        the inner kernel directly.  The merge phase is itself
+        parallel: the union of the local skylines is score-sorted and
+        split into ``k`` strided chunks, and each worker answers "is
+        this chunk member dominated by *any* union point?" - the same
+        membership test the transitivity argument justifies - so the
+        sequential tail of the plan is just the partitioning and the
+        final sort.
+        """
+        id_list = ids if isinstance(ids, (list, range)) else list(ids)
+        k = min(self.partitions, max(1, len(id_list)))
+        if len(id_list) < self.min_rows or k <= 1:
+            return self.inner.skyline(ctx.inner, id_list)
+        mode = self.resolved_mode()
+        parts = partition_ids(
+            self.inner, ctx.inner, id_list, k, self.strategy, table=ctx.table
+        )
+        if mode == "process":
+            return self._process_skyline(ctx, parts, k)
+        local_skylines = self._map(
+            parts, lambda part: self.inner.skyline(ctx.inner, part), mode
+        )
+        union = [i for part in local_skylines for i in part]
+        return self._merge(ctx, union, k, mode)
+
+    def instrumented_skyline(self, ctx, ids: Sequence[int]):
+        """Instrumented serial run: (skyline ids, phase-seconds dict).
+
+        Used by ``benchmarks/bench_parallel.py`` to report the critical
+        path (partitioning + slowest part + sort + slowest merge
+        chunk) next to the measured wall-clock, so the recorded
+        baseline stays interpretable on hosts with fewer cores than
+        workers.  Parts and merge chunks run serially here - the
+        timings are uncontended per-task costs, not wall-clock.
+        """
+        import time
+
+        id_list = ids if isinstance(ids, (list, range)) else list(ids)
+        k = min(self.partitions, max(1, len(id_list)))
+        started = time.perf_counter()
+        parts = partition_ids(
+            self.inner, ctx.inner, id_list, k, self.strategy, table=ctx.table
+        )
+        timings = {"partition_seconds": time.perf_counter() - started}
+        part_seconds = []
+        union: List[int] = []
+        for part in parts:
+            started = time.perf_counter()
+            union.extend(self.inner.skyline(ctx.inner, part))
+            part_seconds.append(time.perf_counter() - started)
+        timings["part_seconds"] = part_seconds
+        started = time.perf_counter()
+        order = self._score_order(ctx, union)
+        head = order[:_MERGE_HEAD]
+        timings["order_seconds"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        head_sky = self.inner.skyline(ctx.inner, head)
+        timings["head_seconds"] = time.perf_counter() - started
+
+        stage_a = []
+        dead_chunks = []
+        for chunk in (order[i::k] for i in range(k)):
+            chunk_started = time.perf_counter()
+            dead_chunks.append(
+                self.inner.dominated_any(ctx.inner, chunk, head_sky)
+            )
+            stage_a.append(time.perf_counter() - chunk_started)
+        survivors = _reassemble(order, dead_chunks, k)
+        timings["prefilter_chunk_seconds"] = stage_a
+
+        stage_b = []
+        dead: List[bool] = []
+        for chunk, prefix in _prefix_chunks(survivors, k):
+            chunk_started = time.perf_counter()
+            dead.extend(self.inner.dominated_any(ctx.inner, chunk, prefix))
+            stage_b.append(time.perf_counter() - chunk_started)
+        timings["membership_chunk_seconds"] = stage_b
+        merged = [
+            pid for pid, is_dead in zip(survivors, dead) if not is_dead
+        ]
+        return merged, timings
+
+    def _map(self, items, task, mode: str) -> List:
+        """Apply ``task`` to every item, per the execution mode."""
+        if mode == "serial" or len(items) == 1:
+            return [task(item) for item in items]
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(items))
+        ) as pool:
+            return list(pool.map(task, items))
+
+    def _score_order(self, ctx, union: List[int]):
+        """The union sorted strongest (lowest score) first.
+
+        The staged sweep inside ``dominated_any`` scans its ``against``
+        window in input order; strongest-first makes the early stages
+        kill the bulk of each chunk.
+        """
+        scores = getattr(ctx.inner, "scores", None)
+        if scores is not None and hasattr(scores, "argsort"):
+            np = ctx.inner.np
+            idx = np.asarray(union, dtype=np.int64)
+            return idx[np.argsort(scores[idx], kind="stable")]
+        return self.inner.sort_by_score(ctx.inner, union)
+
+    def _merge(self, ctx, union: List[int], k: int, mode: str) -> List[int]:
+        """Global skyline of the local-skyline union (parallel sweep).
+
+        Small unions run the inner skyline kernel directly.  Larger
+        ones merge in two chunk-parallel membership stages:
+
+        * **Stage A - strong prefilter.**  The whole (score-sorted)
+          union is tested, in ``k`` strided chunks, against the skyline
+          of its best-scored ``_MERGE_HEAD`` head.  ``SKY(head)`` kills
+          exactly what ``head`` kills (a dominated head member's
+          dominator dominates everything it did - transitivity), with
+          a window roughly half the size.  Only removes dominated
+          points, so the survivor set stays a superset of the global
+          skyline.
+        * **Stage B - exact membership.**  Survivors are tested against
+          each other in contiguous, sqrt-balanced chunks: a dominator
+          always has a *strictly smaller* score (monotonicity), hence
+          a strictly earlier position, so each chunk only needs the
+          survivor *prefix* up to its own end - the sqrt spacing
+          equalises ``|chunk| * |prefix|`` work across workers.  Exact
+          because every dominance chain ends in a global-skyline point,
+          which stage A kept and which precedes anything it dominates.
+        """
+        if len(union) <= _MERGE_DIRECT or k <= 1:
+            return self.inner.skyline(ctx.inner, union)
+        order = self._score_order(ctx, union)
+        head_sky = self.inner.skyline(ctx.inner, order[:_MERGE_HEAD])
+        chunks = [order[i::k] for i in range(k)]
+        dead_chunks = self._map(
+            chunks,
+            lambda chunk: self.inner.dominated_any(
+                ctx.inner, chunk, head_sky
+            ),
+            mode,
+        )
+        survivors = _reassemble(order, dead_chunks, k)
+        if len(survivors) <= _MERGE_DIRECT:
+            return self.inner.skyline(ctx.inner, survivors)
+        dead_parts = self._map(
+            _prefix_chunks(survivors, k),
+            lambda pair: self.inner.dominated_any(
+                ctx.inner, pair[0], pair[1]
+            ),
+            mode,
+        )
+        dead = [is_dead for part in dead_parts for is_dead in part]
+        return [
+            pid for pid, is_dead in zip(survivors, dead) if not is_dead
+        ]
+
+    def _process_skyline(self, ctx, parts, k: int) -> List[int]:
+        """Both phases on a shared-memory process pool (one shm session)."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        mp_context = multiprocessing.get_context(_start_method())
+        with _SharedContext(ctx.inner) as shared:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, max(1, len(parts))),
+                mp_context=mp_context,
+            ) as pool:
+                local_skylines = list(
+                    pool.map(
+                        _shm_task,
+                        [shared.task(part, None) for part in parts],
+                    )
+                )
+                union = [i for part in local_skylines for i in part]
+                if len(union) <= _MERGE_DIRECT:
+                    return self.inner.skyline(ctx.inner, union)
+                order = self._score_order(ctx, union)
+                order_list = (
+                    order if isinstance(order, list) else order.tolist()
+                )
+
+                head_sky = self.inner.skyline(
+                    ctx.inner, order_list[:_MERGE_HEAD]
+                )
+                chunks = [order_list[i::k] for i in range(k)]
+                dead_chunks = list(
+                    pool.map(
+                        _shm_task,
+                        [shared.task(chunk, head_sky) for chunk in chunks],
+                    )
+                )
+                survivors = _reassemble(order_list, dead_chunks, k)
+                if len(survivors) <= _MERGE_DIRECT:
+                    return self.inner.skyline(ctx.inner, survivors)
+                dead_parts = list(
+                    pool.map(
+                        _shm_task,
+                        [
+                            shared.task(chunk, prefix)
+                            for chunk, prefix in _prefix_chunks(survivors, k)
+                        ],
+                    )
+                )
+        dead = [is_dead for part in dead_parts for is_dead in part]
+        return [
+            pid for pid, is_dead in zip(survivors, dead) if not is_dead
+        ]
+
+
+def make_parallel_backend(
+    inner=None,
+    *,
+    workers: Optional[int] = None,
+    partitions: Optional[int] = None,
+    strategy: str = "sorted",
+    mode: str = "auto",
+    min_rows: int = DEFAULT_MIN_ROWS,
+) -> ParallelBackend:
+    """Build a configured :class:`ParallelBackend` (keyword conveniences).
+
+    The registry's ``"parallel"`` entry is the all-defaults instance;
+    use this factory when the serving layer (or a benchmark) needs a
+    specific worker count, partition count, strategy or mode.
+    """
+    return ParallelBackend(
+        inner,
+        workers=workers,
+        partitions=partitions,
+        strategy=strategy,
+        mode=mode,
+        min_rows=min_rows,
+    )

@@ -8,7 +8,9 @@ between precomputed structures and on-the-fly refinement.
 Public surface:
 
 * :class:`SkylineService` - dataset + template + indexes + cache behind
-  one thread-safe ``query()`` entry point.
+  one thread-safe ``query()`` entry point, plus batched evaluation
+  (``evaluate_batch`` / ``submit_batch`` -> :class:`BatchReport`) and
+  an optional parallel partitioned-scan route (``workers=...``).
 * :class:`Planner` / :class:`PlannerConfig` / :class:`Plan` /
   :class:`PlanSignals` - the routing decision rules (documented in
   ``docs/architecture.md``).
@@ -36,7 +38,12 @@ from repro.serve.planner import (
     PlannerConfig,
     PlanSignals,
 )
-from repro.serve.service import ServeResult, ServiceStats, SkylineService
+from repro.serve.service import (
+    BatchReport,
+    ServeResult,
+    ServiceStats,
+    SkylineService,
+)
 from repro.serve.workloads import (
     SHAPE_SEEDS,
     WORKLOADS,
@@ -51,6 +58,7 @@ __all__ = [
     "ROUTES",
     "SHAPE_SEEDS",
     "WORKLOADS",
+    "BatchReport",
     "CacheStats",
     "Plan",
     "Planner",

@@ -7,6 +7,7 @@ per workload shape::
     python -m repro.serve                          # default replay
     python -m repro.serve --points 4000 --queries 400 --concurrency 8
     python -m repro.serve --workloads hot,churn --cache-size 32
+    python -m repro.serve --workers 4 --batch 32   # parallel + batched
     python -m repro.serve --json BENCH_serve.json  # machine-readable
     python -m repro.serve --selftest               # CI smoke check
 
@@ -60,6 +61,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "preference space, keeping the cold workload cold)")
     parser.add_argument("--concurrency", type=int, default=4,
                         help="driver worker threads (default: 4)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="enable the parallel partitioned-skyline "
+                        "route with this many workers (default: off)")
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="partition count of the parallel route "
+                        "(default: same as --workers)")
+    parser.add_argument("--strategy",
+                        choices=["round-robin", "sorted", "entropy"],
+                        default="sorted",
+                        help="partitioning strategy of the parallel "
+                        "route (default: sorted)")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="submit queries in batches of this size "
+                        "via submit_batch (default: one query at a "
+                        "time)")
     parser.add_argument("--workloads", type=str, default="hot,cold,churn",
                         help="comma-separated shapes out of "
                         f"{','.join(sorted(WORKLOADS))} "
@@ -108,6 +124,9 @@ def build_service(args) -> SkylineService:
         cache_capacity=args.cache_size,
         ipo_k=args.ipo_k,
         planner_config=PlannerConfig(forced_route=args.route),
+        workers=args.workers,
+        partitions=args.partitions,
+        partition_strategy=args.strategy,
     )
 
 
@@ -136,6 +155,7 @@ def run_workloads(
                 preferences,
                 name=shape,
                 concurrency=args.concurrency,
+                batch_size=args.batch,
             )
         )
     return reports
@@ -176,6 +196,8 @@ def as_json(service: SkylineService, reports: List[WorkloadReport], args) -> Dic
             "cache_size": args.cache_size,
             "template_order": args.template_order,
             "seed": args.seed,
+            "workers": args.workers,
+            "batch": args.batch,
         },
         "preprocessing_seconds": round(service.preprocessing_seconds, 6),
         "workloads": [report.as_dict() for report in reports],
@@ -186,9 +208,12 @@ def selftest(args) -> int:
     """Small fixed smoke run asserting the serving layer's invariants.
 
     1. every available planner route returns the identical skyline for
-       randomized preferences (includes the cache-key/planner plumbing),
+       randomized preferences (includes the cache-key/planner plumbing;
+       the parallel partitioned route is enabled with two workers so it
+       participates),
     2. the hot workload achieves a cache hit-rate > 0,
-    3. every workload shape replays without error under concurrency.
+    3. every workload shape replays without error under concurrency,
+    4. batched evaluation returns exactly the per-query answers.
 
     The dataset/cache/query-shape flags are pinned (that is what makes
     it a *self*test with known-good expectations); ``--backend``,
@@ -209,7 +234,12 @@ def selftest(args) -> int:
     # far larger than the cache, so the shapes behave distinctly even in
     # this small smoke configuration.
     args.order = 3
+    # Two workers enable the parallel route so the equivalence sweep
+    # covers it; dropping the executor's small-input cutoff makes the
+    # forced route genuinely partition + merge even at this tiny n.
+    args.workers, args.partitions = 2, 2
     service = build_service(args)
+    service.parallel.min_rows = 0
 
     failures = []
     for pref in generate_preferences(
@@ -224,6 +254,24 @@ def selftest(args) -> int:
             failures.append(f"route disagreement for {pref}: {answers}")
     print(f"route equivalence: {len(failures)} disagreements "
           f"across {', '.join(service.available_routes())}")
+
+    batch_prefs = generate_preferences(
+        service.dataset, 2, 24, template=service.template, seed=9
+    )
+    batch_prefs = batch_prefs + batch_prefs[:8]  # guaranteed duplicates
+    sequential = [
+        service.query(pref, use_cache=False).ids for pref in batch_prefs
+    ]
+    batch = service.submit_batch(batch_prefs, use_cache=False)
+    if [r.ids for r in batch.results] != sequential:
+        failures.append("batched evaluation disagrees with sequential")
+    if batch.duplicate_queries < 8:
+        failures.append(
+            f"batch dedup found only {batch.duplicate_queries} duplicates"
+        )
+    print(f"batched evaluation: {len(batch.results)} queries, "
+          f"{batch.unique_queries} unique, "
+          f"{batch.duplicate_queries} deduplicated")
 
     reports = run_workloads(
         service, sorted(WORKLOADS), args,
@@ -246,6 +294,11 @@ def selftest(args) -> int:
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    for flag in ("workers", "partitions", "batch"):
+        value = getattr(args, flag)
+        if value is not None and value < 1:
+            print(f"--{flag} must be >= 1, got {value}", file=sys.stderr)
+            return 2
     if args.backend != "auto":
         set_default_backend(args.backend)
     print(f"backend: {get_backend().name}", file=sys.stderr)

@@ -15,6 +15,10 @@ implicit-preference skyline query, each with a different cost shape:
   the base data; competitive when the dataset is small or the
   vectorized engine is available, and the only route that needs no
   preprocessing at all.
+* **parallel kernel** (``"parallel"``) - the same full scan executed
+  by the partition-skyline-merge executor
+  (:mod:`repro.engine.parallel`); wins over ``"kernel"`` on large,
+  moderate-dimensional datasets when a worker pool is configured.
 
 :class:`Planner` encodes that ranking as explicit decision rules over
 *cheap* signals - no route is partially executed to cost it.  Every
@@ -33,7 +37,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.preferences import Preference
 
 #: All routes the planner can emit, in preference order.
-ROUTES = ("ipo", "adaptive", "mdc", "kernel")
+ROUTES = ("ipo", "adaptive", "mdc", "parallel", "kernel")
 
 
 @dataclass(frozen=True)
@@ -60,6 +64,17 @@ class PlannerConfig:
     #: Used by operators for incident bypasses and by the route tests.
     forced_route: Optional[str] = None
 
+    #: The partitioned executor only pays for its pool + merge sweep on
+    #: large scans; below this many base rows the plain kernel route is
+    #: kept even when workers are available.
+    parallel_min_rows: int = 50_000
+
+    #: Above this many dimensions the per-partition skylines converge
+    #: towards their whole partitions (high-dimensional data is mostly
+    #: incomparable), so the merge sweep re-does the full scan and the
+    #: parallel route stops paying; fall back to the plain kernel.
+    parallel_max_dims: int = 12
+
     def __post_init__(self) -> None:
         if self.forced_route is not None and self.forced_route not in ROUTES:
             raise ValueError(
@@ -69,6 +84,10 @@ class PlannerConfig:
             raise ValueError("max_affected_fraction must be within [0, 1]")
         if self.small_dataset_rows < 0:
             raise ValueError("small_dataset_rows must be >= 0")
+        if self.parallel_min_rows < 0:
+            raise ValueError("parallel_min_rows must be >= 0")
+        if self.parallel_max_dims < 1:
+            raise ValueError("parallel_max_dims must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -84,6 +103,16 @@ class PlanSignals:
     template_skyline_size: int
     mdc_available: bool
     backend_vectorized: bool
+    #: A configured partition-skyline-merge executor exists on the
+    #: service (``SkylineService(workers=...)``); defaulted so older
+    #: signal producers keep working unchanged.
+    parallel_available: bool = False
+    #: Its worker-pool size (0 when unavailable); one worker cannot
+    #: outrun the plain kernel, so the gate requires at least two.
+    parallel_workers: int = 0
+    #: Dimensionality of the dataset (the parallel gate degrades with
+    #: ``d`` - see ``PlannerConfig.parallel_max_dims``).
+    dimensions: int = 0
 
     @property
     def affected_fraction(self) -> float:
@@ -122,7 +151,11 @@ class Planner:
     5. MDC filter available -> ``mdc``.
     6. Adaptive SFS available -> ``adaptive`` (better than a raw scan
        even with many affected members: it searches inside SKY(R~)).
-    7. Otherwise -> ``kernel``.
+    7. No auxiliary structure left: a base-data scan is due.  When a
+       partitioned executor is configured with at least two workers,
+       the dataset is at least ``parallel_min_rows`` and at most
+       ``parallel_max_dims``-dimensional -> ``parallel``.
+    8. Otherwise -> ``kernel``.
     """
 
     def __init__(self, config: Optional[PlannerConfig] = None) -> None:
@@ -176,6 +209,19 @@ class Planner:
                 "adaptive",
                 "no MDC conditions available; Adaptive SFS still searches "
                 "inside the template skyline only",
+                signals,
+            )
+        if (
+            signals.parallel_available
+            and signals.parallel_workers >= 2
+            and signals.dataset_rows >= cfg.parallel_min_rows
+            and signals.dimensions <= cfg.parallel_max_dims
+        ):
+            return Plan(
+                "parallel",
+                f"full scan over {signals.dataset_rows} rows with "
+                f"{signals.parallel_workers} workers available; "
+                "partition-local skylines + merge sweep beat one core",
                 signals,
             )
         return Plan(

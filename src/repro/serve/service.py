@@ -28,18 +28,19 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.adaptive.adaptive_sfs import AdaptiveSFS
 from repro.core.dataset import Dataset
 from repro.core.preferences import Preference, canonical_cache_key
 from repro.core.skyline import skyline
-from repro.engine import resolve_backend
+from repro.engine import make_parallel_backend, resolve_backend
 from repro.exceptions import ReproError
 from repro.ipo.tree import IPOTree
 from repro.mdc.filter import MDCFilter
 from repro.serve.cache import CacheStats, SemanticCache
 from repro.serve.planner import (
+    ROUTES,
     Plan,
     Planner,
     PlannerConfig,
@@ -54,7 +55,9 @@ class ServeResult:
     """One served query: the answer plus how it was produced."""
 
     ids: Tuple[int, ...]
-    route: str          # "ipo" | "adaptive" | "mdc" | "kernel" | "cache"
+    #: One of the planner ROUTES, or the virtual routes "cache" (served
+    #: from the semantic cache) / "batch" (deduplicated inside a batch).
+    route: str
     reason: str
     cached: bool
     seconds: float
@@ -62,6 +65,32 @@ class ServeResult:
 
     def __len__(self) -> int:
         return len(self.ids)
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """One evaluated batch: per-query results plus dedup accounting.
+
+    ``results`` is positional (``results[i]`` answers
+    ``preferences[i]``).  ``unique_queries`` counts distinct canonical
+    keys in the batch; ``duplicate_queries`` the submissions answered
+    by sharing another submission's execution; ``cache_hits`` the
+    unique keys served straight from the semantic cache.
+    """
+
+    results: Tuple[ServeResult, ...]
+    unique_queries: int
+    duplicate_queries: int
+    cache_hits: int
+    seconds: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def executed_queries(self) -> int:
+        """Unique keys that actually ran a route this batch."""
+        return self.unique_queries - self.cache_hits
 
 
 @dataclass(frozen=True)
@@ -106,6 +135,16 @@ class SkylineService:
     with_mdc, with_adaptive:
         Build the MDC filter / Adaptive SFS index (both default on; the
         planner only routes to structures that exist).
+    workers:
+        Enable the ``"parallel"`` route with a worker pool of this
+        size (``None`` disables it; the planner additionally requires
+        at least two workers before routing there).  The pool executes
+        full scans as partition-local skylines plus one merge sweep
+        (:mod:`repro.engine.parallel`).
+    partitions, partition_strategy:
+        Partition count (defaults to ``workers``) and strategy
+        (``"round-robin"`` | ``"sorted"`` | ``"entropy"``) of that
+        executor.
 
     Examples
     --------
@@ -134,12 +173,32 @@ class SkylineService:
         max_tree_nodes: int = 50_000,
         with_mdc: bool = True,
         with_adaptive: bool = True,
+        workers: Optional[int] = None,
+        partitions: Optional[int] = None,
+        partition_strategy: str = "sorted",
     ) -> None:
         started = time.perf_counter()
         self.dataset = dataset
         self.template = template if template is not None else Preference.empty()
         self.template.validate_against(dataset.schema)
         self.backend = resolve_backend(backend)
+        # Thread mode, explicitly: the service executes routes from the
+        # driver's worker threads, and forking a process pool out of a
+        # multithreaded server (auto mode's multicore choice) risks
+        # classic fork-with-threads deadlocks and pays pool + shared-
+        # memory setup per query.  The numpy kernels release the GIL,
+        # so threads are also the fast choice here.
+        self.parallel = (
+            make_parallel_backend(
+                self.backend,
+                workers=workers,
+                partitions=partitions,
+                strategy=partition_strategy,
+                mode="thread",
+            )
+            if workers is not None
+            else None
+        )
         self.planner = Planner(planner_config)
         self.cache = SemanticCache(cache_capacity)
         self._lock = threading.Lock()
@@ -244,6 +303,156 @@ class SkylineService:
             key=key,
         )
 
+    def evaluate_batch(
+        self,
+        preferences: Sequence[Optional[Preference]],
+        *,
+        use_cache: bool = True,
+    ) -> List[ServeResult]:
+        """Serve a batch of queries in one shared pass.
+
+        Positional: ``result[i]`` answers ``preferences[i]``.  The
+        batch path factors the per-query overhead of sequential
+        submission into one pass per concern:
+
+        1. **Canonicalize up front** - every preference is turned into
+           its canonical cache key first (validating it against the
+           schema and template), so duplicates are visible before any
+           execution.
+        2. **Deduplicate** - submissions sharing a canonical key are
+           grouped; each distinct partial order is planned and executed
+           at most once per batch.  Duplicate submissions reuse the
+           group's answer and are reported with route ``"batch"``.
+        3. **One cache pass** - each unique key consults the semantic
+           cache exactly once (sequential submission pays one lookup
+           per submission).
+        4. **Group-by-route execution** - the remaining misses are
+           planned (one signal gathering per unique query), grouped by
+           planned route and executed group by group, so route state -
+           the shared columnar store and that route's index structures
+           - stays hot across one group's scan instead of being
+           revisited per interleaved submission.  (Each unique query
+           still compiles its own rank table; cross-query result reuse
+           is the semantic cache's job.)
+
+        With ``use_cache=False`` (freshness-critical traffic) one
+        bypass is recorded per *unique* key and nothing is read or
+        stored - in-batch dedup is then the only sharing, which is
+        exactly what makes batching profitable on hot workloads.
+
+        A configured forced route (``PlannerConfig.forced_route``)
+        keeps :meth:`query`'s contract: the semantic cache is not
+        consulted and no plan signals are gathered - every unique key
+        executes the forced route (duplicates still share that one
+        execution; dedup is the batch semantic, not a cache) - but
+        fresh answers are still stored for subsequent planned queries.
+        """
+        forced = self.planner.config.forced_route
+        keys = [
+            canonical_cache_key(self.dataset.schema, pref, self.template)
+            for pref in preferences
+        ]
+        groups: Dict[Hashable, List[int]] = {}
+        for pos, key in enumerate(keys):
+            groups.setdefault(key, []).append(pos)
+
+        results: List[Optional[ServeResult]] = [None] * len(keys)
+        pending: List[Tuple[Hashable, Optional[Preference]]] = []
+        for key, positions in groups.items():
+            pref = preferences[positions[0]]
+            if not use_cache:
+                self.cache.record_bypass()
+                pending.append((key, pref))
+                continue
+            if forced is not None:
+                # A forced route must actually execute; serving a
+                # cached answer would mask the structure under test.
+                pending.append((key, pref))
+                continue
+            started = time.perf_counter()
+            hit = self.cache.lookup(key)
+            if hit is None:
+                pending.append((key, pref))
+                continue
+            self._record("cache")
+            results[positions[0]] = ServeResult(
+                ids=hit,
+                route="cache",
+                reason="semantic cache hit (batched lookup pass)",
+                cached=True,
+                seconds=time.perf_counter() - started,
+                key=key,
+            )
+
+        plans: Dict[Hashable, Plan] = {}
+        route_groups: Dict[str, List[Tuple[Hashable, Optional[Preference]]]] = {}
+        for key, pref in pending:
+            plan = (
+                Plan(forced, "forced by configuration", None)
+                if forced is not None
+                else self.planner.plan(self._signals(pref))
+            )
+            plans[key] = plan
+            route_groups.setdefault(plan.route, []).append((key, pref))
+
+        for route in [r for r in ROUTES if r in route_groups]:
+            for key, pref in route_groups[route]:
+                started = time.perf_counter()
+                ids = self._execute(route, pref)
+                seconds = time.perf_counter() - started
+                if use_cache:
+                    self.cache.store(key, ids)
+                self._record(route)
+                results[groups[key][0]] = ServeResult(
+                    ids=ids,
+                    route=route,
+                    reason=plans[key].reason,
+                    cached=False,
+                    seconds=seconds,
+                    key=key,
+                )
+
+        for key, positions in groups.items():
+            primary = results[positions[0]]
+            assert primary is not None  # every unique key was answered
+            for pos in positions[1:]:
+                self._record("batch")
+                results[pos] = ServeResult(
+                    ids=primary.ids,
+                    route="batch",
+                    reason=f"deduplicated within batch "
+                    f"(shares a {primary.route!r} execution)",
+                    cached=True,
+                    seconds=0.0,
+                    key=key,
+                )
+        return list(results)  # type: ignore[arg-type]
+
+    def submit_batch(
+        self,
+        preferences: Sequence[Optional[Preference]],
+        *,
+        use_cache: bool = True,
+    ) -> BatchReport:
+        """Evaluate a batch and report the dedup/cache accounting.
+
+        Thin wrapper over :meth:`evaluate_batch` that times the whole
+        batch and summarises how much work the batch path shared; the
+        driver's batched replay mode and the benchmarks consume this.
+        """
+        started = time.perf_counter()
+        results = self.evaluate_batch(preferences, use_cache=use_cache)
+        seconds = time.perf_counter() - started
+        unique = len({result.key for result in results})
+        hits = sum(1 for result in results if result.route == "cache")
+        return BatchReport(
+            results=tuple(results),
+            unique_queries=unique,
+            duplicate_queries=len(results) - unique,
+            cache_hits=hits,
+            seconds=seconds,
+        )
+
     def _signals(self, preference: Optional[Preference]) -> PlanSignals:
         """Gather the cheap cost signals for one query."""
         pref = preference if preference is not None else Preference.empty()
@@ -264,6 +473,11 @@ class SkylineService:
             template_skyline_size=self._template_skyline_size,
             mdc_available=self.mdc is not None,
             backend_vectorized=self.backend.vectorized,
+            parallel_available=self.parallel is not None,
+            parallel_workers=(
+                self.parallel.workers if self.parallel is not None else 0
+            ),
+            dimensions=len(self.dataset.schema),
         )
 
     def _execute(
@@ -286,6 +500,18 @@ class SkylineService:
                     "route 'mdc' requested but the MDC filter is disabled"
                 )
             return tuple(sorted(self.mdc.query(preference)))
+        if route == "parallel":
+            if self.parallel is None:
+                raise ReproError(
+                    "route 'parallel' requested but no worker pool was "
+                    "configured (SkylineService(workers=...))"
+                )
+            return skyline(
+                self.dataset,
+                preference,
+                template=self.template,
+                backend=self.parallel,
+            ).ids
         if route == "kernel":
             return skyline(
                 self.dataset,
@@ -317,6 +543,8 @@ class SkylineService:
             routes.append("adaptive")
         if self.mdc is not None:
             routes.append("mdc")
+        if self.parallel is not None:
+            routes.append("parallel")
         routes.append("kernel")
         return tuple(routes)
 

@@ -1,0 +1,342 @@
+"""Partition-skyline-merge executor: equivalence, strategies, modes.
+
+The heart of the file is the hypothesis property test asserting that
+the parallel route returns the *identical* skyline to the reference
+backend across partition counts and strategies - including datasets
+dense in ties, duplicates and distinct unlisted nominal values (the
+paper's incomparability subtlety, which the merge sweep must not
+collapse).  Execution modes (serial / thread / shared-memory process)
+and the registry integration are covered separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Schema, nominal, numeric_min
+from repro.core.dataset import Dataset
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.core.skyline import skyline
+from repro.datagen.generator import SyntheticConfig, generate
+from repro.engine import (
+    ParallelBackend,
+    available_backends,
+    get_backend,
+    make_parallel_backend,
+    numpy_available,
+    registered_backends,
+)
+from repro.engine.parallel import (
+    EXECUTION_MODES,
+    PARTITION_STRATEGIES,
+    entropy_partitions,
+    fork_available,
+    partition_ids,
+    round_robin_partitions,
+    score_sorted_partitions,
+)
+from repro.exceptions import EngineError
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+DOMAIN_A = ("a0", "a1", "a2", "a3")
+DOMAIN_B = ("b0", "b1", "b2")
+
+SCHEMA = Schema(
+    [
+        numeric_min("x"),
+        numeric_min("y"),
+        nominal("A", DOMAIN_A),
+        nominal("B", DOMAIN_B),
+    ]
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Small integer coordinates force ties and duplicates; small domains
+# force dense preference interactions - the regimes where a wrong merge
+# (e.g. one treating equal-ranked unlisted values as comparable) would
+# drop or keep the wrong points.
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.sampled_from(DOMAIN_A),
+        st.sampled_from(DOMAIN_B),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+chain_a = st.lists(
+    st.sampled_from(DOMAIN_A), unique=True, min_size=0, max_size=4
+)
+chain_b = st.lists(
+    st.sampled_from(DOMAIN_B), unique=True, min_size=0, max_size=3
+)
+
+
+@st.composite
+def preferences(draw):
+    """A random implicit preference over the two nominal attributes."""
+    pref = {}
+    listed_a = draw(chain_a)
+    listed_b = draw(chain_b)
+    if listed_a:
+        pref["A"] = ImplicitPreference(tuple(listed_a))
+    if listed_b:
+        pref["B"] = ImplicitPreference(tuple(listed_b))
+    return Preference(pref)
+
+
+class TestPartitionMergeEquivalence:
+    """The satellite property test: parallel == reference, always."""
+
+    @SETTINGS
+    @given(
+        rows=rows_strategy,
+        pref=preferences(),
+        partitions=st.integers(1, 6),
+        strategy=st.sampled_from(PARTITION_STRATEGIES),
+    )
+    def test_matches_reference_across_counts_and_strategies(
+        self, rows, pref, partitions, strategy
+    ):
+        dataset = Dataset(SCHEMA, rows)
+        expected = skyline(dataset, pref, backend="python").ids
+        backend = make_parallel_backend(
+            "python",
+            workers=2,
+            partitions=partitions,
+            strategy=strategy,
+            mode="serial",
+            min_rows=0,
+        )
+        assert skyline(dataset, pref, backend=backend).ids == expected
+
+    @needs_numpy
+    @SETTINGS
+    @given(
+        rows=rows_strategy,
+        pref=preferences(),
+        partitions=st.integers(2, 5),
+    )
+    def test_numpy_inner_matches_reference(self, rows, pref, partitions):
+        dataset = Dataset(SCHEMA, rows)
+        expected = skyline(dataset, pref, backend="python").ids
+        backend = make_parallel_backend(
+            "numpy",
+            workers=2,
+            partitions=partitions,
+            strategy="sorted",
+            mode="serial",
+            min_rows=0,
+        )
+        assert skyline(dataset, pref, backend=backend).ids == expected
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    """A mid-size workload where partitioning actually kicks in."""
+    return generate(
+        SyntheticConfig(
+            num_points=2500,
+            num_numeric=2,
+            num_nominal=2,
+            cardinality=5,
+            distribution="anticorrelated",
+            seed=17,
+        )
+    )
+
+
+def full_order_preference(dataset) -> Preference:
+    """Full-order chains on every nominal attribute."""
+    return Preference(
+        {
+            name: ImplicitPreference(dataset.schema.spec(name).domain)
+            for name in dataset.schema.nominal_names
+        }
+    )
+
+
+class TestExecutionModes:
+    """Thread / process / serial all return the reference answer."""
+
+    def reference(self, dataset, pref):
+        return skyline(dataset, pref, backend="python").ids
+
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_thread_and_serial(self, synthetic, mode):
+        pref = full_order_preference(synthetic)
+        backend = make_parallel_backend(
+            workers=3, partitions=3, mode=mode, min_rows=0
+        )
+        assert (
+            skyline(synthetic, pref, backend=backend).ids
+            == self.reference(synthetic, pref)
+        )
+
+    @needs_numpy
+    @pytest.mark.skipif(
+        not fork_available(), reason="no fork start method on this platform"
+    )
+    def test_shared_memory_process_pool(self, synthetic):
+        pref = full_order_preference(synthetic)
+        backend = make_parallel_backend(
+            "numpy", workers=2, partitions=3, mode="process", min_rows=0
+        )
+        assert (
+            skyline(synthetic, pref, backend=backend).ids
+            == self.reference(synthetic, pref)
+        )
+
+    def test_process_mode_falls_back_to_threads_for_python_inner(self):
+        backend = make_parallel_backend("python", workers=2, mode="process")
+        assert backend.resolved_mode() == "thread"
+
+    def test_small_inputs_skip_partitioning(self, synthetic):
+        # With min_rows above the dataset size the inner kernel runs
+        # directly - same answer, and the member *order* of the inner
+        # backend is preserved (the partitioned path only guarantees
+        # the set).
+        pref = full_order_preference(synthetic)
+        inner = get_backend("python")
+        backend = make_parallel_backend(
+            "python", workers=2, partitions=4, min_rows=10**9
+        )
+        table_ids = skyline(synthetic, pref, backend=backend).ids
+        assert table_ids == skyline(synthetic, pref, backend=inner).ids
+
+
+class TestPartitioning:
+    """Partitions are disjoint, covering, and respect the strategy."""
+
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    @pytest.mark.parametrize("k", [1, 2, 3, 7])
+    def test_disjoint_cover(self, synthetic, strategy, k):
+        backend = get_backend("python")
+        from repro.core.dominance import RankTable
+
+        table = RankTable.compile(synthetic.schema, None)
+        ctx = backend.prepare(synthetic.canonical_rows, table)
+        ids = list(synthetic.ids)
+        parts = partition_ids(backend, ctx, ids, k, strategy, table=table)
+        assert len(parts) <= k
+        flat = [i for part in parts for i in part]
+        assert sorted(flat) == ids
+        assert all(part for part in parts)
+
+    def test_round_robin_stripes(self):
+        parts = round_robin_partitions(range(7), 3)
+        assert [list(part) for part in parts] == [
+            [0, 3, 6],
+            [1, 4],
+            [2, 5],
+        ]
+
+    def test_round_robin_drops_empty_parts(self):
+        parts = round_robin_partitions([1, 2], 4)
+        assert [list(part) for part in parts] == [[1], [2]]
+
+    def test_sorted_deals_strong_points_to_every_part(self, synthetic):
+        from repro.core.dominance import RankTable
+
+        backend = get_backend("python")
+        table = RankTable.compile(synthetic.schema, None)
+        ctx = backend.prepare(synthetic.canonical_rows, table)
+        ids = list(synthetic.ids)
+        parts = score_sorted_partitions(backend, ctx, ids, 4)
+        # The four best-scored points land in four different parts.
+        best = backend.sort_by_score(ctx, ids)[:4]
+        holders = [
+            next(n for n, part in enumerate(parts) if i in set(part))
+            for i in best
+        ]
+        assert len(set(holders)) == 4
+
+    def test_entropy_partitions_cover(self, synthetic):
+        from repro.core.dominance import RankTable
+
+        backend = get_backend("python")
+        table = RankTable.compile(synthetic.schema, None)
+        ctx = backend.prepare(synthetic.canonical_rows, table)
+        ids = list(synthetic.ids)
+        parts = entropy_partitions(backend, ctx, ids, 5, table)
+        assert sorted(i for part in parts for i in part) == ids
+
+    def test_unknown_strategy_rejected(self, synthetic):
+        backend = get_backend("python")
+        with pytest.raises(EngineError):
+            partition_ids(backend, None, [1, 2], 2, "zigzag")
+
+
+class TestRegistryIntegration:
+    """The 'parallel' name composes with the registry like any backend."""
+
+    def test_registered_and_available(self):
+        assert "parallel" in registered_backends()
+        assert "parallel" in available_backends()
+
+    def test_default_instance_wraps_best_available_inner(self):
+        backend = get_backend("parallel")
+        assert isinstance(backend, ParallelBackend)
+        expected = "numpy" if numpy_available() else "python"
+        assert backend.inner.name == expected
+        assert backend.vectorized == backend.inner.vectorized
+
+    def test_nesting_rejected(self):
+        with pytest.raises(EngineError):
+            ParallelBackend("parallel")
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            make_parallel_backend(workers=0)
+        with pytest.raises(EngineError):
+            make_parallel_backend(partitions=0)
+        with pytest.raises(EngineError):
+            make_parallel_backend(strategy="bogus")
+        with pytest.raises(EngineError):
+            make_parallel_backend(mode="bogus")
+        with pytest.raises(EngineError):
+            make_parallel_backend(min_rows=-1)
+
+    def test_modes_and_strategies_enumerated(self):
+        assert set(EXECUTION_MODES) == {"auto", "serial", "thread", "process"}
+        assert set(PARTITION_STRATEGIES) == {
+            "round-robin",
+            "sorted",
+            "entropy",
+        }
+
+    def test_delegating_kernels_match_inner(self, synthetic):
+        from repro.core.dominance import RankTable
+
+        pref = full_order_preference(synthetic)
+        table = RankTable.compile(synthetic.schema, pref)
+        inner = get_backend("python")
+        wrapped = make_parallel_backend("python", workers=2)
+        ictx = inner.prepare(synthetic.canonical_rows, table)
+        wctx = wrapped.prepare(synthetic.canonical_rows, table)
+        ids = list(synthetic.ids)[:50]
+        assert wrapped.scores(wctx, ids) == inner.scores(ictx, ids)
+        assert wrapped.sort_by_score(wctx, ids) == inner.sort_by_score(
+            ictx, ids
+        )
+        assert wrapped.dominates_mask(wctx, 0, ids) == inner.dominates_mask(
+            ictx, 0, ids
+        )
+        assert wrapped.compare_many(wctx, 0, ids) == inner.compare_many(
+            ictx, 0, ids
+        )
+        assert wrapped.dim_ranks(wctx, ids, 0) == inner.dim_ranks(
+            ictx, ids, 0
+        )

@@ -162,3 +162,80 @@ class TestSemanticCache:
         stats = cache.stats()
         assert stats.lookups == 800
         assert len(cache) <= 8
+
+    def test_stats_exact_under_thread_pool_hammering(self):
+        """Regression: hit/miss/bypass counters stay exact under load.
+
+        Every counter mutation shares the cache's one lock, so after a
+        storm of concurrent lookups/stores/bypasses from a
+        ThreadPoolExecutor the counters must satisfy exact arithmetic -
+        no lost increments, no double counts.  Guaranteed hits use keys
+        stored up front into an amply sized cache; guaranteed misses
+        use keys that are never stored.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers, rounds = 8, 300
+        cache = SemanticCache(capacity=workers * 4)
+        for tag in range(workers):
+            cache.store(("hot", tag), (tag,))
+        barrier = threading.Barrier(workers)
+
+        def hammer(tag: int):
+            barrier.wait()  # maximise interleaving
+            for i in range(rounds):
+                assert cache.lookup(("hot", tag)) == (tag,)
+                assert cache.lookup(("never-stored", tag, i)) is None
+                cache.record_bypass()
+                cache.store(("hot", tag), (tag,))  # refresh, no eviction
+            return tag
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            assert sorted(pool.map(hammer, range(workers))) == list(
+                range(workers)
+            )
+
+        stats = cache.stats()
+        assert stats.hits == workers * rounds
+        assert stats.misses == workers * rounds
+        assert stats.bypasses == workers * rounds
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.evictions == 0
+        assert stats.size == workers
+        assert stats.hit_rate == 0.5
+
+    def test_stats_snapshots_consistent_while_hammered(self):
+        """stats() taken mid-storm never shows torn counter relations."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = SemanticCache(capacity=4)
+        stop = threading.Event()
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                cache.store(("k", i % 8), (i,))
+                cache.lookup(("k", i % 8))
+                i += 1
+
+        def observe():
+            snapshots = []
+            while not stop.is_set():
+                snapshots.append(cache.stats())
+            return snapshots
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            futures = [pool.submit(mutate), pool.submit(mutate)]
+            observer = pool.submit(observe)
+            import time as _time
+
+            _time.sleep(0.2)
+            stop.set()
+            for f in futures:
+                f.result()
+            snapshots = observer.result()
+
+        assert snapshots
+        for snap in snapshots:
+            assert snap.lookups == snap.hits + snap.misses
+            assert 0 <= snap.size <= snap.capacity
