@@ -119,11 +119,28 @@ def serve_metrics(report: Dict) -> Iterator[Metric]:
         )
 
 
+def updates_metrics(report: Dict) -> Iterator[Metric]:
+    """Headline metrics of a ``bench_updates.py`` report."""
+    for entry in report.get("results", []):
+        n = entry.get("num_points")
+        churn = entry.get("churn")
+        tag = f"updates[n={n},churn={churn}]"
+        yield from _metric(
+            f"{tag}.maintain_speedup",
+            entry.get("maintain_speedup"), True, True,
+        )
+        yield from _metric(
+            f"{tag}.maintain_seconds",
+            entry.get("maintain_seconds"), False, False,
+        )
+
+
 #: "benchmark" field prefix -> metric extractor.
 EXTRACTORS = {
     "sfs skyline wall-clock": backends_metrics,
     "partitioned parallel skyline": parallel_metrics,
     "preference-query serving layer": serve_metrics,
+    "incremental skyline maintenance": updates_metrics,
 }
 
 

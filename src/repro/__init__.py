@@ -23,6 +23,11 @@ Public API highlights
 * :mod:`repro.serve` - the preference-query serving layer: per-query
   planner over all structures, semantic result cache, concurrent
   workload driver (``python -m repro.serve``).
+* :mod:`repro.updates` - incremental maintenance under row churn:
+  :class:`repro.DynamicDataset` (append/delete/compact) and
+  :class:`repro.IncrementalSkyline` (insert/delete skyline
+  maintenance), wired into the service via
+  ``SkylineService.insert_rows`` / ``delete_rows``.
 """
 
 from repro.adaptive import AdaptiveSFS
@@ -61,7 +66,9 @@ from repro.serve import (
     SemanticCache,
     ServeResult,
     SkylineService,
+    UpdateReport,
 )
+from repro.updates import DynamicDataset, IncrementalSkyline
 
 __version__ = "1.0.0"
 
@@ -70,7 +77,9 @@ __all__ = [
     "AttributeKind",
     "AttributeSpec",
     "Dataset",
+    "DynamicDataset",
     "FullMaterialization",
+    "IncrementalSkyline",
     "HybridIndex",
     "IPOTree",
     "MDCFilter",
@@ -86,6 +95,7 @@ __all__ = [
     "ServeResult",
     "SkylineResult",
     "SkylineService",
+    "UpdateReport",
     "available_backends",
     "canonical_cache_key",
     "get_backend",

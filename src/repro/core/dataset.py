@@ -50,25 +50,7 @@ class Dataset:
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[object]]) -> None:
         self._schema = schema
-        raw: List[Row] = []
-        canon: List[CanonicalRow] = []
-        encoders = _build_encoders(schema)
-        for index, row in enumerate(rows):
-            row_t = tuple(row)
-            if len(row_t) != len(schema):
-                raise DatasetError(
-                    f"row {index} {row_t!r} has {len(row_t)} values, "
-                    f"schema has {len(schema)}"
-                )
-            try:
-                canon.append(
-                    tuple(enc(value) for enc, value in zip(encoders, row_t))
-                )
-            except (SchemaError, TypeError, ValueError) as exc:
-                raise DatasetError(
-                    _describe_bad_row(schema, encoders, index, row_t, exc)
-                ) from exc
-            raw.append(row_t)
+        raw, canon = _encode_rows(schema, _build_encoders(schema), rows)
         self._raw: Tuple[Row, ...] = tuple(raw)
         self._canon: Tuple[CanonicalRow, ...] = tuple(canon)
         self._counts: Optional[Dict[str, Counter]] = None
@@ -226,13 +208,97 @@ class Dataset:
         return list(ranked[: max(0, k)])
 
     # -- derivation ---------------------------------------------------------------
+    @classmethod
+    def from_encoded(
+        cls,
+        schema: Schema,
+        raw: Sequence[Row],
+        canon: Sequence[CanonicalRow],
+    ) -> "Dataset":
+        """Assemble a dataset from rows that are *already* canonicalised.
+
+        The constructor re-validates and re-encodes every row; derivation
+        paths (:meth:`subset`, :meth:`extended`, the dynamic-update
+        wrapper) already hold both encodings for the rows they keep, so
+        this bypass makes them O(rows copied) instead of O(rows
+        re-encoded).  ``raw`` and ``canon`` must be position-aligned and
+        previously produced by a :class:`Dataset` over the same
+        ``schema``; nothing is checked here.
+        """
+        out = cls.__new__(cls)
+        out._schema = schema
+        out._raw = tuple(raw)
+        out._canon = tuple(canon)
+        out._counts = None
+        out._columns = None
+        return out
+
     def subset(self, point_ids: Iterable[int]) -> "Dataset":
-        """A new dataset holding only the given points (ids re-assigned)."""
-        return Dataset(self._schema, [self.row(i) for i in point_ids])
+        """A new dataset holding only the given points (ids re-assigned).
+
+        Reuses the existing encodings - selected rows are not re-walked.
+        """
+        ids = list(point_ids)
+        return Dataset.from_encoded(
+            self._schema,
+            [self.row(i) for i in ids],
+            [self.canonical(i) for i in ids],
+        )
 
     def extended(self, rows: Iterable[Sequence[object]]) -> "Dataset":
-        """A new dataset with extra rows appended (ids of old rows kept)."""
-        return Dataset(self._schema, list(self._raw) + [tuple(r) for r in rows])
+        """A new dataset with extra rows appended (ids of old rows kept).
+
+        Only the *new* rows are validated and encoded; the existing
+        prefix reuses this dataset's canonical store untouched (appends
+        cost O(new rows), not O(total rows)).  Error messages index the
+        offending row by its id in the extended dataset.
+        """
+        new_raw, new_canon = _encode_rows(
+            self._schema,
+            _build_encoders(self._schema),
+            rows,
+            offset=len(self._raw),
+        )
+        return Dataset.from_encoded(
+            self._schema,
+            self._raw + tuple(new_raw),
+            self._canon + tuple(new_canon),
+        )
+
+
+def _encode_rows(
+    schema: Schema,
+    encoders,
+    rows: Iterable[Sequence[object]],
+    offset: int = 0,
+) -> Tuple[List[Row], List[CanonicalRow]]:
+    """Validate and canonicalise ``rows``; shared by every ingest path.
+
+    ``offset`` is added to the reported row index so callers appending
+    to existing storage (:meth:`Dataset.extended`, the dynamic-update
+    wrapper) name the offending row by its id in the *combined* data.
+    Raises :class:`DatasetError` with the offending attribute named
+    (via :func:`_describe_bad_row`) on the first bad row.
+    """
+    raw: List[Row] = []
+    canon: List[CanonicalRow] = []
+    for index, row in enumerate(rows):
+        row_t = tuple(row)
+        if len(row_t) != len(schema):
+            raise DatasetError(
+                f"row {offset + index} {row_t!r} has {len(row_t)} values, "
+                f"schema has {len(schema)}"
+            )
+        try:
+            canon.append(
+                tuple(enc(value) for enc, value in zip(encoders, row_t))
+            )
+        except (SchemaError, TypeError, ValueError) as exc:
+            raise DatasetError(
+                _describe_bad_row(schema, encoders, offset + index, row_t, exc)
+            ) from exc
+        raw.append(row_t)
+    return raw, canon
 
 
 def _describe_bad_row(

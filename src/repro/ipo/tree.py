@@ -69,6 +69,24 @@ class TreeStats:
     storage_bytes: int
 
 
+@dataclass(frozen=True)
+class RefreshStats:
+    """What one :meth:`IPOTree.refresh` call changed and what it cost.
+
+    ``entries_updated`` counts per-node membership flips - the work a
+    full rebuild would redo for *every* (node, member) pair; the ratio
+    against ``node_count * skyline_size`` is the refresh's saving.
+    """
+
+    skyline_size: int
+    added: int
+    removed: int
+    dirty: int
+    nodes_visited: int
+    entries_updated: int
+    seconds: float
+
+
 class IPOTree:
     """The partial-materialisation index of Section 3.
 
@@ -120,6 +138,12 @@ class IPOTree:
         self._value_masks: Optional[List[Dict[int, int]]] = None
         if payload == "bitmap":
             self._attach_masks()
+        # Per-member MDCs retained for refresh(); filled by the "mdc"
+        # construction engine, recomputed lazily on the first refresh of
+        # a "direct"-built tree.
+        self._refresh_mdcs: Optional[
+            Dict[int, List[DisqualifyingCondition]]
+        ] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -211,7 +235,7 @@ class IPOTree:
             build_seconds=elapsed,
             storage_bytes=storage,
         )
-        return cls(
+        tree = cls(
             dataset,
             template,
             nominal_dims,
@@ -221,6 +245,186 @@ class IPOTree:
             payload,
             stats,
         )
+        if engine == "mdc":
+            tree._refresh_mdcs = builder._mdcs
+        return tree
+
+    # ------------------------------------------------------------------
+    # incremental refresh
+    # ------------------------------------------------------------------
+    def refresh(
+        self,
+        dirty_ids: Iterable[int] = (),
+        *,
+        data=None,
+        skyline_ids: Optional[Iterable[int]] = None,
+        base_skyline_ids: Optional[Iterable[int]] = None,
+        backend=None,
+    ) -> RefreshStats:
+        """Re-align the tree with mutated data, reworking only dirty members.
+
+        After rows were inserted into / deleted from the underlying
+        data, the tree's root skyline ``S`` and the per-node
+        disqualified sets may be stale.  A full rebuild re-enumerates
+        every (node, member) pair - ``O(node_count * |S|)`` condition
+        tests, the dominant cost of construction.  Refresh instead:
+
+        1. recomputes ``S`` (or takes it from ``skyline_ids`` when an
+           :class:`~repro.updates.incremental.IncrementalSkyline`
+           maintainer already has it),
+        2. recomputes the minimal disqualifying conditions in one
+           vectorized pass and diffs them against the retained set -
+           members whose conditions changed (a new base-skyline
+           dominator appeared, or one vanished) join the **dirty set**
+           alongside ``dirty_ids``, the members that entered and the
+           members that left,
+        3. walks the tree rewriting per-node membership **only for
+           dirty members**; subtrees see no work at all for the
+           (typically vast) clean majority, and a refresh with an empty
+           dirty set skips the walk entirely.
+
+        Parameters
+        ----------
+        dirty_ids:
+            Member ids the caller already knows flipped (e.g. an
+            update's :attr:`~repro.updates.incremental.UpdateEffect.dirty`
+            set); ids outside the old and new skylines are ignored.
+        data:
+            The mutated data (anything exposing ``schema`` /
+            ``canonical_rows`` / ``ids`` / ``columns``, e.g. a
+            :class:`~repro.updates.dataset.DynamicDataset`).  Defaults
+            to the tree's current dataset; the tree adopts it.
+        skyline_ids:
+            The already-maintained new template skyline; recomputed via
+            the backend kernel when omitted.
+        base_skyline_ids:
+            The already-maintained base skyline ``SKY(R0)`` (candidate
+            dominators for the MDC recompute).  When omitted,
+            :func:`compute_mdcs` recomputes it with a full O(n) kernel
+            scan - callers maintaining it incrementally (the serving
+            layer's base maintainer) should pass it so a refresh costs
+            O(|S| x |base|) condition work, never a base-data scan.
+        backend:
+            Execution backend for the recomputations (name, instance or
+            ``None`` for the process default).
+        """
+        started = time.perf_counter()
+        engine = resolve_backend(backend)
+        source = data if data is not None else self.dataset
+        rows = source.canonical_rows
+        if skyline_ids is None:
+            table = RankTable.compile(source.schema, None, self.template)
+            store = source.columns if engine.vectorized else None
+            new_s = tuple(
+                sorted(
+                    sfs_skyline(
+                        rows, source.ids, table,
+                        backend=engine, store=store,
+                    )
+                )
+            )
+        else:
+            new_s = tuple(sorted(skyline_ids))
+        old_set = frozenset(self.skyline_ids)
+        new_set = frozenset(new_s)
+        removed = old_set - new_set
+        added = new_set - old_set
+
+        old_mdcs = self._refresh_mdcs
+        if old_mdcs is None:
+            # "direct"-built tree: self.dataset is still the pre-mutation
+            # data on the first refresh, so the retained baseline can be
+            # reconstructed once here.
+            old_mdcs = compute_mdcs(
+                self.dataset, self.skyline_ids, backend=engine
+            )
+        new_mdcs = compute_mdcs(
+            source,
+            new_s,
+            candidates=(
+                list(base_skyline_ids)
+                if base_skyline_ids is not None
+                else None
+            ),
+            backend=engine,
+        )
+
+        dirty = (set(dirty_ids) | removed | added) & (old_set | new_set)
+        for point_id in new_set & old_set:
+            if set(new_mdcs[point_id]) != set(old_mdcs.get(point_id, ())):
+                dirty.add(point_id)
+
+        self.dataset = source
+        self._refresh_mdcs = new_mdcs
+        nodes_visited = entries_updated = 0
+        if dirty:
+            positions = template_positions(self.template, source.schema)
+            addable = frozenset(dirty & new_set)
+            nodes_visited, entries_updated = self._refresh_node(
+                self.root, 0, {}, frozenset(dirty), addable,
+                new_mdcs, positions, rows,
+            )
+        self.skyline_ids = new_s
+        self._positions = {
+            point_id: pos for pos, point_id in enumerate(new_s)
+        }
+        self._value_masks = None
+        if self.payload == "bitmap":
+            self._attach_masks()
+        return RefreshStats(
+            skyline_size=len(new_s),
+            added=len(added),
+            removed=len(removed),
+            dirty=len(dirty),
+            nodes_visited=nodes_visited,
+            entries_updated=entries_updated,
+            seconds=time.perf_counter() - started,
+        )
+
+    def _refresh_node(
+        self,
+        node: IPONode,
+        depth: int,
+        labels: Dict[int, int],
+        dirty: frozenset,
+        addable: frozenset,
+        mdcs: Dict[int, List[DisqualifyingCondition]],
+        positions: Dict[int, Dict[int, int]],
+        rows,
+    ) -> Tuple[int, int]:
+        """Rewrite dirty members' membership in this subtree's ``A`` sets."""
+        re_add = set()
+        for point_id in addable:
+            loser = rows[point_id]
+            if any(
+                cond.satisfied_by(labels, positions, loser)
+                for cond in mdcs[point_id]
+            ):
+                re_add.add(point_id)
+        updated = frozenset((node.disqualified - dirty) | re_add)
+        entries = len(node.disqualified ^ updated)
+        if entries:
+            node.disqualified = updated
+        visited = 1
+        if depth < len(self.nominal_dims):
+            dim = self.nominal_dims[depth]
+            for vid, child in node.children.items():
+                labels[dim] = vid
+                child_stats = self._refresh_node(
+                    child, depth + 1, labels, dirty, addable,
+                    mdcs, positions, rows,
+                )
+                del labels[dim]
+                visited += child_stats[0]
+                entries += child_stats[1]
+            if node.phi_child is not None:
+                child_stats = self._refresh_node(
+                    node.phi_child, depth + 1, labels, dirty, addable,
+                    mdcs, positions, rows,
+                )
+                visited += child_stats[0]
+                entries += child_stats[1]
+        return visited, entries
 
     # ------------------------------------------------------------------
     # querying

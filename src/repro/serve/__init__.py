@@ -9,8 +9,10 @@ Public surface:
 
 * :class:`SkylineService` - dataset + template + indexes + cache behind
   one thread-safe ``query()`` entry point, plus batched evaluation
-  (``evaluate_batch`` / ``submit_batch`` -> :class:`BatchReport`) and
-  an optional parallel partitioned-scan route (``workers=...``).
+  (``evaluate_batch`` / ``submit_batch`` -> :class:`BatchReport`), an
+  optional parallel partitioned-scan route (``workers=...``), and
+  incremental row churn (``insert_rows`` / ``delete_rows`` ->
+  :class:`UpdateReport`, backed by :mod:`repro.updates`).
 * :class:`Planner` / :class:`PlannerConfig` / :class:`Plan` /
   :class:`PlanSignals` - the routing decision rules (documented in
   ``docs/architecture.md``).
@@ -43,6 +45,7 @@ from repro.serve.service import (
     ServeResult,
     ServiceStats,
     SkylineService,
+    UpdateReport,
 )
 from repro.serve.workloads import (
     SHAPE_SEEDS,
@@ -68,6 +71,7 @@ __all__ = [
     "ServeResult",
     "ServiceStats",
     "SkylineService",
+    "UpdateReport",
     "WorkloadReport",
     "aliased_workload",
     "build_workload",

@@ -18,6 +18,16 @@ Statistics distinguish three outcomes:
   stored,
 * **bypass** - the caller disabled caching for this query
   (``use_cache=False``), e.g. for freshness-critical traffic.
+
+Mutable data adds a **versioning** layer.  Skyline answers are pure
+functions of the data *version* as well, so the cache carries a
+monotone version counter: :meth:`SemanticCache.revise` applies an
+update's consequences to every entry under the lock (patch the answer
+in place, keep it untouched, or drop it) and bumps the version in the
+same critical section; :meth:`SemanticCache.store` rejects answers
+computed at an older version (counted as ``stale_stores``), which
+closes the race where a query executes against version ``v`` but
+finishes after an update moved the data to ``v+1``.
 """
 
 from __future__ import annotations
@@ -38,6 +48,14 @@ class CacheStats:
     evictions: int = 0
     size: int = 0
     capacity: int = 0
+    #: Data version the cache is serving (bumped by :meth:`SemanticCache.revise`).
+    version: int = 0
+    #: Entries rewritten in place by revisions (answer changed, key kept).
+    patches: int = 0
+    #: Entries dropped by revisions (answer could not be patched).
+    invalidations: int = 0
+    #: Stores rejected because their answer was computed at a stale version.
+    stale_stores: int = 0
 
     @property
     def lookups(self) -> int:
@@ -50,7 +68,7 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
-        """Counter differences since ``earlier`` (size/capacity kept)."""
+        """Counter differences since ``earlier`` (size/capacity/version kept)."""
         return CacheStats(
             hits=self.hits - earlier.hits,
             misses=self.misses - earlier.misses,
@@ -58,6 +76,10 @@ class CacheStats:
             evictions=self.evictions - earlier.evictions,
             size=self.size,
             capacity=self.capacity,
+            version=self.version,
+            patches=self.patches - earlier.patches,
+            invalidations=self.invalidations - earlier.invalidations,
+            stale_stores=self.stale_stores - earlier.stale_stores,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -70,6 +92,10 @@ class CacheStats:
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": round(self.hit_rate, 4),
+            "version": self.version,
+            "patches": self.patches,
+            "invalidations": self.invalidations,
+            "stale_stores": self.stale_stores,
         }
 
 
@@ -105,6 +131,10 @@ class SemanticCache:
         self._misses = 0
         self._bypasses = 0
         self._evictions = 0
+        self._version = 0
+        self._patches = 0
+        self._invalidations = 0
+        self._stale_stores = 0
 
     def lookup(self, key: Hashable) -> Optional[Tuple[int, ...]]:
         """The cached answer for ``key``, or None; counts hit/miss.
@@ -120,17 +150,70 @@ class SemanticCache:
             self._hits += 1
             return entry
 
-    def store(self, key: Hashable, ids: Tuple[int, ...]) -> None:
-        """Insert (or refresh) an answer, evicting the LRU entry if full."""
+    def store(
+        self,
+        key: Hashable,
+        ids: Tuple[int, ...],
+        version: Optional[int] = None,
+    ) -> None:
+        """Insert (or refresh) an answer, evicting the LRU entry if full.
+
+        ``version`` is the data version the answer was computed at
+        (``None`` = unversioned, always accepted).  An answer older
+        than the cache's current version is silently rejected and
+        counted - the data changed while the query executed, and
+        :meth:`revise` has already rewritten the entries the change
+        affected, so storing the stale answer would undo that.
+        """
         if self.capacity == 0:
             return
         with self._lock:
+            if version is not None and version < self._version:
+                self._stale_stores += 1
+                return
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = tuple(ids)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+
+    @property
+    def version(self) -> int:
+        """The data version the cached answers are valid for."""
+        with self._lock:
+            return self._version
+
+    def revise(self, fn) -> Tuple[int, int, int]:
+        """Apply a data change to every entry atomically; bump the version.
+
+        ``fn(key, ids)`` is called per entry under the cache lock and
+        returns the entry's new answer: the same tuple (entry
+        retained), a different tuple (entry *patched* in place), or
+        ``None`` (entry *invalidated* - dropped because patching it
+        would cost as much as recomputing).  Returns the
+        ``(retained, patched, invalidated)`` counts.  The version bump
+        and every rewrite happen in one critical section, so lookups
+        never observe a half-revised cache, and in-flight answers from
+        the previous version are fenced out by :meth:`store`'s version
+        check.
+        """
+        retained = patched = invalidated = 0
+        with self._lock:
+            self._version += 1
+            for key in list(self._entries):
+                revised = fn(key, self._entries[key])
+                if revised is None:
+                    del self._entries[key]
+                    invalidated += 1
+                elif tuple(revised) != self._entries[key]:
+                    self._entries[key] = tuple(revised)
+                    patched += 1
+                else:
+                    retained += 1
+            self._patches += patched
+            self._invalidations += invalidated
+        return retained, patched, invalidated
 
     def record_bypass(self) -> None:
         """Count a query that deliberately skipped the cache."""
@@ -160,4 +243,8 @@ class SemanticCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                version=self._version,
+                patches=self._patches,
+                invalidations=self._invalidations,
+                stale_stores=self._stale_stores,
             )

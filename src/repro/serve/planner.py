@@ -19,6 +19,12 @@ implicit-preference skyline query, each with a different cost shape:
   by the partition-skyline-merge executor
   (:mod:`repro.engine.parallel`); wins over ``"kernel"`` on large,
   moderate-dimensional datasets when a worker pool is configured.
+* **incremental** (``"incremental"``) - a kernel scan restricted to
+  the *incrementally maintained* template skyline
+  (:mod:`repro.updates`).  Under heavy churn the materialised indexes
+  go stale faster than their refreshes amortise; the per-update
+  maintainer stays exact at O(update) cost, and Theorem 1 licenses
+  answering any template refinement from inside ``SKY(R~)``.
 
 :class:`Planner` encodes that ranking as explicit decision rules over
 *cheap* signals - no route is partially executed to cost it.  Every
@@ -37,7 +43,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.preferences import Preference
 
 #: All routes the planner can emit, in preference order.
-ROUTES = ("ipo", "adaptive", "mdc", "parallel", "kernel")
+ROUTES = ("incremental", "ipo", "adaptive", "mdc", "parallel", "kernel")
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,15 @@ class PlannerConfig:
     #: parallel route stops paying; fall back to the plain kernel.
     parallel_max_dims: int = 12
 
+    #: Once the service has seen at least this many row updates per
+    #: served query, it is churn-heavy: queries route to the
+    #: incrementally maintained template skyline (always exact, O(1) to
+    #: keep fresh per update) and the service stops refreshing the
+    #: IPO-tree eagerly (its refresh would run once per update batch
+    #: and never amortise).  Below the ratio, updates are rare enough
+    #: that eager index refreshes pay for themselves.
+    incremental_update_ratio: float = 0.25
+
     def __post_init__(self) -> None:
         if self.forced_route is not None and self.forced_route not in ROUTES:
             raise ValueError(
@@ -88,6 +103,8 @@ class PlannerConfig:
             raise ValueError("parallel_min_rows must be >= 0")
         if self.parallel_max_dims < 1:
             raise ValueError("parallel_max_dims must be >= 1")
+        if self.incremental_update_ratio < 0:
+            raise ValueError("incremental_update_ratio must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -113,6 +130,13 @@ class PlanSignals:
     #: Dimensionality of the dataset (the parallel gate degrades with
     #: ``d`` - see ``PlannerConfig.parallel_max_dims``).
     dimensions: int = 0
+    #: An :class:`~repro.updates.incremental.IncrementalSkyline`
+    #: maintainer tracks the template skyline (the service has entered
+    #: mutable mode); defaulted so older signal producers keep working.
+    incremental_available: bool = False
+    #: Row updates absorbed per query served so far (the churn gate's
+    #: input; see ``PlannerConfig.incremental_update_ratio``).
+    update_query_ratio: float = 0.0
 
     @property
     def affected_fraction(self) -> float:
@@ -145,17 +169,21 @@ class Planner:
 
     1. ``forced_route`` set -> that route (operator override).
     2. Tiny dataset (``rows <= small_dataset_rows``) -> ``kernel``.
-    3. Tree available and every chain value materialised -> ``ipo``.
-    4. Adaptive SFS available and the affected fraction is at most
+    3. Churn-heavy (a maintainer exists and the update-to-query ratio
+       is at least ``incremental_update_ratio``) -> ``incremental``:
+       scan the maintained template skyline; materialised indexes are
+       stale or paying non-amortising refreshes in this regime.
+    4. Tree available and every chain value materialised -> ``ipo``.
+    5. Adaptive SFS available and the affected fraction is at most
        ``max_affected_fraction`` -> ``adaptive``.
-    5. MDC filter available -> ``mdc``.
-    6. Adaptive SFS available -> ``adaptive`` (better than a raw scan
+    6. MDC filter available -> ``mdc``.
+    7. Adaptive SFS available -> ``adaptive`` (better than a raw scan
        even with many affected members: it searches inside SKY(R~)).
-    7. No auxiliary structure left: a base-data scan is due.  When a
+    8. No auxiliary structure left: a base-data scan is due.  When a
        partitioned executor is configured with at least two workers,
        the dataset is at least ``parallel_min_rows`` and at most
        ``parallel_max_dims``-dimensional -> ``parallel``.
-    8. Otherwise -> ``kernel``.
+    9. Otherwise -> ``kernel``.
     """
 
     def __init__(self, config: Optional[PlannerConfig] = None) -> None:
@@ -177,6 +205,17 @@ class Planner:
                 f"dataset has {signals.dataset_rows} rows "
                 f"(<= {cfg.small_dataset_rows}); direct scan beats index "
                 "bookkeeping",
+                signals,
+            )
+        if (
+            signals.incremental_available
+            and signals.update_query_ratio >= cfg.incremental_update_ratio
+        ):
+            return Plan(
+                "incremental",
+                f"churn-heavy ({signals.update_query_ratio:.2f} updates "
+                f"per query >= {cfg.incremental_update_ratio:.2f}); "
+                "scanning the incrementally maintained template skyline",
                 signals,
             )
         if signals.tree_available and signals.tree_covers_query:

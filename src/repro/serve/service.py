@@ -15,7 +15,18 @@ structures the paper proposes (IPO-tree, Adaptive SFS, MDC filter), a
 
 Queries are read-only on every index, so any number of driver threads
 may call :meth:`query` concurrently; the cache and the route counters
-are the only shared mutable state and are lock-protected.
+are lock-protected.  Row churn enters through :meth:`insert_rows` /
+:meth:`delete_rows`: the service then shifts into *mutable mode* - the
+dataset is wrapped in a :class:`~repro.updates.dataset.DynamicDataset`,
+the template skyline is kept current by an
+:class:`~repro.updates.incremental.IncrementalSkyline` maintainer, and
+a writer-preferring read-write lock keeps queries concurrent with each
+other while updates run exclusively.  Semantic-cache entries are
+*revised* per update under a data version counter: inserts patch every
+cached skyline in place (exact - a new point can only evict what it
+dominates), deletes drop exactly the entries whose skyline contained a
+deleted row, and answers computed against a superseded version are
+fenced out of the cache.
 
 The answer of every route is the identical skyline id set (Theorem 1
 guarantees the index routes search inside ``SKY(R~)`` without losing
@@ -31,14 +42,23 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.adaptive.adaptive_sfs import AdaptiveSFS
+from repro.algorithms.sfs import sfs_skyline
 from repro.core.dataset import Dataset
-from repro.core.preferences import Preference, canonical_cache_key
+from repro.core.dominance import RankTable
+from repro.core.preferences import (
+    ImplicitPreference,
+    Preference,
+    canonical_cache_key,
+)
 from repro.core.skyline import skyline
 from repro.engine import make_parallel_backend, resolve_backend
 from repro.exceptions import ReproError
 from repro.ipo.tree import IPOTree
 from repro.mdc.filter import MDCFilter
 from repro.serve.cache import CacheStats, SemanticCache
+from repro.updates.dataset import DynamicDataset
+from repro.updates.incremental import IncrementalSkyline, UpdateEffect
+from repro.updates.rwlock import ReadWriteLock
 from repro.serve.planner import (
     ROUTES,
     Plan,
@@ -62,9 +82,36 @@ class ServeResult:
     cached: bool
     seconds: float
     key: Hashable
+    #: Data version the answer reflects (0 until the first mutation;
+    #: cached answers report the version the cache is serving).
+    version: int = 0
 
     def __len__(self) -> int:
         return len(self.ids)
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """One applied mutation batch: ids, skyline delta, cache accounting."""
+
+    kind: str
+    point_ids: Tuple[int, ...]
+    #: Data version after the batch.
+    version: int
+    #: Template-skyline members that entered / left because of the batch.
+    skyline_entered: Tuple[int, ...]
+    skyline_evicted: Tuple[int, ...]
+    #: Semantic-cache revision outcome (entries kept / rewritten / dropped).
+    cache_retained: int
+    cache_patched: int
+    cache_invalidated: int
+    #: Whether the IPO-tree was refreshed eagerly (False = left stale
+    #: because the workload is churn-heavy, or no tree was built).
+    tree_refreshed: bool
+    seconds: float
+
+    def __len__(self) -> int:
+        return len(self.point_ids)
 
 
 @dataclass(frozen=True)
@@ -100,6 +147,8 @@ class ServiceStats:
     queries: int
     route_counts: Dict[str, int]
     cache: CacheStats
+    #: Rows inserted + deleted since construction (0 for a static service).
+    updates: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly rendering used by the workload reports."""
@@ -107,6 +156,7 @@ class ServiceStats:
             "queries": self.queries,
             "routes": dict(self.route_counts),
             "cache": self.cache.as_dict(),
+            "updates": self.updates,
         }
 
 
@@ -204,6 +254,27 @@ class SkylineService:
         self._lock = threading.Lock()
         self._routes = RouteCounters()
         self._queries = 0
+        self._ipo_k = ipo_k
+        # Mutable-mode state: lazily engaged by the first insert/delete.
+        self._rw = ReadWriteLock()
+        self._dynamic: Optional[DynamicDataset] = None
+        self._maintainer: Optional[IncrementalSkyline] = None
+        self._base_maintainer: Optional[IncrementalSkyline] = None
+        self._updates = 0
+        # Churn-gate window: recent updates/queries with halving decay,
+        # reset by refresh_structures()/compact() so regime changes
+        # (and explicit re-alignments) move the ratio promptly instead
+        # of being damped by the whole service history.
+        self._gate_updates = 0
+        self._gate_queries = 0
+        self._tree_stale = False
+        self._mdc_stale = False
+        # Per-cached-key rank tables for the insert patcher, memoised
+        # for the service lifetime: a table depends only on the
+        # immutable (key, schema) pair, so recompiling per batch would
+        # redo identical work inside the write lock.  Mutated only
+        # under that lock; bounded below.
+        self._patch_tables: Dict[Hashable, RankTable] = {}
 
         if self.backend.vectorized:
             # Warm the lazy columnar store once, before worker threads
@@ -254,7 +325,10 @@ class SkylineService:
         (serving a cached answer would mask the structure under
         investigation) and no plan signals are gathered (they would
         touch the structures the force bypasses) - but the fresh answer
-        is still stored for subsequent planned queries.
+        is still stored for subsequent planned queries, *unless* the
+        forced structure is currently marked stale (mutable mode):
+        that answer may be outdated yet carries the current data
+        version, so storing it would poison the revised cache.
         ``use_cache=False`` skips both lookup and store (counted as a
         bypass).
         """
@@ -267,32 +341,36 @@ class SkylineService:
         )
         if not use_cache:
             self.cache.record_bypass()
-        elif forced is None:
-            hit = self.cache.lookup(key)
-            if hit is not None:
-                self._record("cache")
-                return ServeResult(
-                    ids=hit,
-                    route="cache",
-                    reason="semantic cache hit",
-                    cached=True,
-                    seconds=time.perf_counter() - started,
-                    key=key,
+        with self._rw.read():
+            version = self._data_version()
+            cache_version = self.cache.version
+            if use_cache and forced is None:
+                hit = self.cache.lookup(key)
+                if hit is not None:
+                    self._record("cache")
+                    return ServeResult(
+                        ids=hit,
+                        route="cache",
+                        reason="semantic cache hit",
+                        cached=True,
+                        seconds=time.perf_counter() - started,
+                        key=key,
+                        version=version,
+                    )
+            if forced is not None:
+                plan = Plan(
+                    forced,
+                    "forced by caller"
+                    if route is not None
+                    else "forced by configuration",
+                    None,
                 )
-
-        if forced is not None:
-            plan = Plan(
-                forced,
-                "forced by caller"
-                if route is not None
-                else "forced by configuration",
-                None,
-            )
-        else:
-            plan = self.planner.plan(self._signals(preference))
-        ids = self._execute(plan.route, preference)
-        if use_cache:
-            self.cache.store(key, ids)
+            else:
+                plan = self.planner.plan(self._signals(preference))
+            storable = forced is None or not self._route_is_stale(forced)
+            ids = self._execute(plan.route, preference)
+        if use_cache and storable:
+            self.cache.store(key, ids, version=cache_version)
         self._record(plan.route)
         return ServeResult(
             ids=ids,
@@ -301,6 +379,7 @@ class SkylineService:
             cached=False,
             seconds=time.perf_counter() - started,
             key=key,
+            version=version,
         )
 
     def evaluate_batch(
@@ -345,7 +424,8 @@ class SkylineService:
         consulted and no plan signals are gathered - every unique key
         executes the forced route (duplicates still share that one
         execution; dedup is the batch semantic, not a cache) - but
-        fresh answers are still stored for subsequent planned queries.
+        fresh answers are still stored for subsequent planned queries
+        (again unless the forced structure is marked stale).
         """
         forced = self.planner.config.forced_route
         keys = [
@@ -358,59 +438,73 @@ class SkylineService:
 
         results: List[Optional[ServeResult]] = [None] * len(keys)
         pending: List[Tuple[Hashable, Optional[Preference]]] = []
-        for key, positions in groups.items():
-            pref = preferences[positions[0]]
-            if not use_cache:
-                self.cache.record_bypass()
-                pending.append((key, pref))
-                continue
-            if forced is not None:
-                # A forced route must actually execute; serving a
-                # cached answer would mask the structure under test.
-                pending.append((key, pref))
-                continue
-            started = time.perf_counter()
-            hit = self.cache.lookup(key)
-            if hit is None:
-                pending.append((key, pref))
-                continue
-            self._record("cache")
-            results[positions[0]] = ServeResult(
-                ids=hit,
-                route="cache",
-                reason="semantic cache hit (batched lookup pass)",
-                cached=True,
-                seconds=time.perf_counter() - started,
-                key=key,
-            )
-
-        plans: Dict[Hashable, Plan] = {}
-        route_groups: Dict[str, List[Tuple[Hashable, Optional[Preference]]]] = {}
-        for key, pref in pending:
-            plan = (
-                Plan(forced, "forced by configuration", None)
-                if forced is not None
-                else self.planner.plan(self._signals(pref))
-            )
-            plans[key] = plan
-            route_groups.setdefault(plan.route, []).append((key, pref))
-
-        for route in [r for r in ROUTES if r in route_groups]:
-            for key, pref in route_groups[route]:
+        with self._rw.read():
+            lookup_version = self._data_version()
+            for key, positions in groups.items():
+                pref = preferences[positions[0]]
+                if not use_cache:
+                    self.cache.record_bypass()
+                    pending.append((key, pref))
+                    continue
+                if forced is not None:
+                    # A forced route must actually execute; serving a
+                    # cached answer would mask the structure under test.
+                    pending.append((key, pref))
+                    continue
                 started = time.perf_counter()
-                ids = self._execute(route, pref)
-                seconds = time.perf_counter() - started
-                if use_cache:
-                    self.cache.store(key, ids)
-                self._record(route)
-                results[groups[key][0]] = ServeResult(
-                    ids=ids,
-                    route=route,
-                    reason=plans[key].reason,
-                    cached=False,
-                    seconds=seconds,
+                hit = self.cache.lookup(key)
+                if hit is None:
+                    pending.append((key, pref))
+                    continue
+                self._record("cache")
+                results[positions[0]] = ServeResult(
+                    ids=hit,
+                    route="cache",
+                    reason="semantic cache hit (batched lookup pass)",
+                    cached=True,
+                    seconds=time.perf_counter() - started,
                     key=key,
+                    version=lookup_version,
                 )
+
+            plans: Dict[Hashable, Plan] = {}
+            route_groups: Dict[
+                str, List[Tuple[Hashable, Optional[Preference]]]
+            ] = {}
+            for key, pref in pending:
+                plan = (
+                    Plan(forced, "forced by configuration", None)
+                    if forced is not None
+                    else self.planner.plan(self._signals(pref))
+                )
+                plans[key] = plan
+                route_groups.setdefault(plan.route, []).append((key, pref))
+
+            # Execution stays inside the same read section as planning:
+            # a writer slipping in between would leave a plan made
+            # against fresh structures executing against stale ones,
+            # and the answer would carry the *new* data version - a
+            # poisoned cache entry the stale-store fence cannot catch.
+            version = self._data_version()
+            cache_version = self.cache.version
+            storable = forced is None or not self._route_is_stale(forced)
+            for route in [r for r in ROUTES if r in route_groups]:
+                for key, pref in route_groups[route]:
+                    started = time.perf_counter()
+                    ids = self._execute(route, pref)
+                    seconds = time.perf_counter() - started
+                    if use_cache and storable:
+                        self.cache.store(key, ids, version=cache_version)
+                    self._record(route)
+                    results[groups[key][0]] = ServeResult(
+                        ids=ids,
+                        route=route,
+                        reason=plans[key].reason,
+                        cached=False,
+                        seconds=seconds,
+                        key=key,
+                        version=version,
+                    )
 
         for key, positions in groups.items():
             primary = results[positions[0]]
@@ -425,6 +519,7 @@ class SkylineService:
                     cached=True,
                     seconds=0.0,
                     key=key,
+                    version=primary.version,
                 )
         return list(results)  # type: ignore[arg-type]
 
@@ -453,12 +548,382 @@ class SkylineService:
             seconds=seconds,
         )
 
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert_rows(self, rows: Sequence[Sequence[object]]) -> UpdateReport:
+        """Insert rows; maintain every structure and the cache incrementally.
+
+        Under the exclusive write lock the batch is appended to the
+        dynamic dataset (validated all-or-nothing), absorbed by the
+        template-skyline and base-skyline maintainers and by Adaptive
+        SFS, and every semantic-cache entry is *patched in place* - an
+        insert's effect on any cached skyline is exact and local (the
+        new point joins unless dominated and evicts exactly what it
+        dominates), so no entry is dropped.  The IPO-tree is refreshed
+        eagerly while the workload stays below the churn gate
+        (``PlannerConfig.incremental_update_ratio``) and left stale
+        above it; the MDC filter goes stale whenever the base or
+        template skyline changed (rebuild via :meth:`refresh_structures`
+        or :meth:`compact`).
+        """
+        started = time.perf_counter()
+        batch = [tuple(row) for row in rows]
+        if not batch:
+            return self._empty_report("insert", started)
+        with self._rw.write():
+            dyn = self._ensure_dynamic()
+            ids = dyn.append(batch)
+            effects = []
+            base_changed = False
+            for point_id in ids:
+                if self.adaptive is not None:
+                    self.adaptive.insert(dyn.row(point_id))
+                effects.append(self._maintainer.insert(point_id))
+                base_changed |= self._base_maintainer.insert(
+                    point_id
+                ).changed
+            report = self._absorb(
+                "insert", ids, effects, base_changed, started
+            )
+        return report
+
+    def delete_rows(self, point_ids: Sequence[int]) -> UpdateReport:
+        """Delete rows; maintain every structure and the cache incrementally.
+
+        Rows are tombstoned (ids stay stable until :meth:`compact`).
+        The skyline maintainers recompute only each removed point's
+        exclusive dominance region; semantic-cache entries are dropped
+        *only* when their cached skyline actually contained a deleted
+        row - a deleted non-member cannot change that entry's answer,
+        so everything else is retained as-is.
+        """
+        started = time.perf_counter()
+        ids = [int(p) for p in point_ids]
+        if not ids:
+            return self._empty_report("delete", started)
+        with self._rw.write():
+            dyn = self._ensure_dynamic()
+            dyn.delete(ids)
+            effects = []
+            base_changed = False
+            for point_id in ids:
+                if self.adaptive is not None:
+                    self.adaptive.delete(point_id)
+                effects.append(self._maintainer.delete(point_id))
+                base_changed |= self._base_maintainer.delete(
+                    point_id
+                ).changed
+            report = self._absorb(
+                "delete", ids, effects, base_changed, started
+            )
+        return report
+
+    def refresh_structures(self) -> None:
+        """Bring any stale index structure back in sync (exclusive).
+
+        The churn gate leaves the IPO-tree stale and any
+        skyline-affecting mutation leaves the MDC filter stale; this
+        re-aligns both so the planner may route to them again.  Called
+        by operators at churn lulls and by :meth:`compact`.
+        """
+        with self._rw.write():
+            self._refresh_structures_locked()
+
+    def compact(self) -> Dict[int, int]:
+        """Compact tombstones away and rebuild id-bearing state.
+
+        Returns the ``{old id: new id}`` remap.  Compaction reassigns
+        every point id, so the semantic cache is cleared and the
+        structures are rebuilt over the compacted data - this is the
+        *periodic* cost that keeps delete tombstones from accumulating;
+        steady-state churn is absorbed incrementally.  A no-op for a
+        service that was never mutated.
+        """
+        with self._rw.write():
+            if self._dynamic is None:
+                return {}
+            dyn = self._dynamic
+            if dyn.deleted_fraction == 0.0:
+                # No tombstones: the id space is unchanged, so the
+                # warm cache stays valid; still honour the re-alignment
+                # contract (refresh stale structures, reset the gate).
+                self._refresh_structures_locked()
+                return dyn.compact()  # identity remap, no version bump
+            remap = dyn.compact()
+            backend = self.backend
+            self._maintainer = IncrementalSkyline(
+                dyn, None, template=self.template, backend=backend
+            )
+            self._base_maintainer = IncrementalSkyline(
+                dyn, None, backend=backend
+            )
+            snapshot = dyn.snapshot()
+            if self.adaptive is not None:
+                self.adaptive = AdaptiveSFS(
+                    snapshot, self.template, backend=backend
+                )
+            if self.tree is not None:
+                self.tree = IPOTree.build(
+                    snapshot,
+                    self.template,
+                    values_per_attribute=self._ipo_k,
+                    backend=backend,
+                )
+                self._tree_stale = False
+            if self.mdc is not None:
+                self.mdc = MDCFilter(snapshot, self.template, backend=backend)
+                self._mdc_stale = False
+            self._template_skyline_size = len(self._maintainer)
+            self.cache.revise(lambda key, ids: None)  # ids were remapped
+            self._reset_gate()
+            return remap
+
+    def data_snapshot(self) -> Dataset:
+        """The currently served rows as an immutable :class:`Dataset`.
+
+        Positions follow live-id order; before any mutation this is the
+        construction dataset itself.
+        """
+        with self._rw.read():
+            if self._dynamic is None:
+                return self.dataset
+            return self._dynamic.snapshot()
+
+    @property
+    def version(self) -> int:
+        """Data version served right now (0 until the first mutation)."""
+        with self._rw.read():
+            return self._data_version()
+
+    def _data_version(self) -> int:
+        """Current data version; callers must hold the read or write lock."""
+        return self._dynamic.version if self._dynamic is not None else 0
+
+    def _empty_report(self, kind: str, started: float) -> UpdateReport:
+        """An empty mutation batch: no version bump, no cache revision.
+
+        Returning early keeps the data version and the cache version in
+        lockstep (``DynamicDataset`` does not bump on empty batches, so
+        revising the cache would desynchronise the two counters).
+        """
+        with self._rw.read():
+            version = self._data_version()
+        return UpdateReport(
+            kind=kind,
+            point_ids=(),
+            version=version,
+            skyline_entered=(),
+            skyline_evicted=(),
+            cache_retained=0,
+            cache_patched=0,
+            cache_invalidated=0,
+            tree_refreshed=False,
+            seconds=time.perf_counter() - started,
+        )
+
+    def _ensure_dynamic(self) -> DynamicDataset:
+        """Enter mutable mode (idempotent); write lock must be held."""
+        if self._dynamic is None:
+            self._dynamic = DynamicDataset.from_dataset(self.dataset)
+            self._maintainer = IncrementalSkyline(
+                self._dynamic, None,
+                template=self.template, backend=self.backend,
+            )
+            self._base_maintainer = IncrementalSkyline(
+                self._dynamic, None, backend=self.backend
+            )
+        return self._dynamic
+
+    def _absorb(
+        self,
+        kind: str,
+        ids: List[int],
+        effects: List[UpdateEffect],
+        base_changed: bool,
+        started: float,
+    ) -> UpdateReport:
+        """Post-mutation bookkeeping: structures, cache, report."""
+        dyn = self._dynamic
+        assert dyn is not None and self._maintainer is not None
+        with self._lock:
+            self._updates += len(ids)
+            self._gate_updates += len(ids)
+            self._decay_gate_locked()
+        entered: List[int] = []
+        evicted: List[int] = []
+        for effect in effects:
+            entered.extend(effect.entered)
+            evicted.extend(effect.evicted)
+        dirty = set(entered) | set(evicted)
+        self._template_skyline_size = len(self._maintainer)
+
+        tree_refreshed = False
+        if self.tree is not None and (
+            dirty or base_changed or self._tree_stale
+        ):
+            # A batch with no skyline flip and an unchanged base
+            # skyline provably cannot move any tree entry: candidate
+            # dominators and member rows are both untouched - unless
+            # the tree is already stale from earlier batches, in which
+            # case a below-gate lull is exactly when to catch it up.
+            if self._update_ratio() < self.planner.config.incremental_update_ratio:
+                self.tree.refresh(
+                    dirty,
+                    data=dyn,
+                    skyline_ids=self._maintainer.ids,
+                    base_skyline_ids=self._base_maintainer.ids,
+                    backend=self.backend,
+                )
+                self._tree_stale = False
+                tree_refreshed = True
+            else:
+                self._tree_stale = True
+        if base_changed or dirty:
+            self._mdc_stale = True
+
+        if kind == "insert":
+            retained, patched, invalidated = self.cache.revise(
+                self._insert_patcher(ids)
+            )
+        else:
+            deleted = frozenset(ids)
+            retained, patched, invalidated = self.cache.revise(
+                lambda key, cached: None
+                if deleted.intersection(cached)
+                else cached
+            )
+        return UpdateReport(
+            kind=kind,
+            point_ids=tuple(ids),
+            version=dyn.version,
+            skyline_entered=tuple(sorted(set(entered) - set(evicted))),
+            skyline_evicted=tuple(sorted(set(evicted) - set(entered))),
+            cache_retained=retained,
+            cache_patched=patched,
+            cache_invalidated=invalidated,
+            tree_refreshed=tree_refreshed,
+            seconds=time.perf_counter() - started,
+        )
+
+    def _insert_patcher(self, new_ids: List[int]):
+        """Entry revision function applying an insert batch exactly.
+
+        For any preference, the skyline of ``D + {p}`` is the old
+        skyline minus the members ``p`` dominates, plus ``p`` unless a
+        member dominates it (an evicted member's former victims stay
+        dominated by transitivity) - so every cached entry can be
+        patched without recomputation.  Rank tables are compiled at
+        most once per distinct cached key over the *service lifetime*
+        (the table is a pure function of the immutable key + schema),
+        from the canonical key itself.
+        """
+        dyn = self._dynamic
+        assert dyn is not None
+        rows = dyn.canonical_rows
+        schema = self.dataset.schema
+        tables = self._patch_tables
+
+        def patch(key, cached):
+            table = tables.get(key)
+            if table is None:
+                if len(tables) > max(64, 4 * self.cache.capacity):
+                    tables.clear()  # bound the memo under key churn
+                pref = Preference(
+                    {name: ImplicitPreference(chain) for name, chain in key}
+                )
+                table = tables[key] = RankTable.compile(schema, pref)
+            dominates = table.dominates
+            members = list(cached)
+            changed = False
+            for point_id in new_ids:
+                p = rows[point_id]
+                if any(dominates(rows[m], p) for m in members):
+                    continue
+                members = [
+                    m for m in members if not dominates(p, rows[m])
+                ] + [point_id]
+                changed = True
+            return tuple(sorted(members)) if changed else cached
+
+        return patch
+
+    def _route_is_stale(self, route: str) -> bool:
+        """Would ``route`` answer from a structure marked stale?
+
+        The planner never picks a stale route, but *forced* routes
+        execute it by design (the force exists to inspect exactly that
+        structure) - their possibly-stale answer must then not be
+        stored into the versioned cache, where it would pass the
+        stale-store fence (it carries the current version) and poison
+        subsequent planned queries.  Callers must hold the read lock.
+        """
+        if route == "ipo":
+            return self._tree_stale
+        if route == "mdc":
+            return self._mdc_stale
+        return False
+
+    def _update_ratio(self) -> float:
+        """Recent updates per recent query (the churn-gate signal).
+
+        Computed over the decaying gate window, not the lifetime
+        counters: a service that served a million queries before its
+        first churn storm must see the ratio rise within
+        :data:`GATE_WINDOW` events, and one that absorbed a large
+        backfill must return to index routes once queries resume.
+        :meth:`refresh_structures` and :meth:`compact` reset the window
+        outright - after an explicit re-alignment the planner should
+        route to the rebuilt structures immediately.
+
+        With *no* queries in the window there is no latency to protect
+        and eager refresh is cheap insurance, so the ratio reports 0.0
+        - otherwise the very first update of a service's life (ratio
+        ``1/max(1, 0)``) would trip the gate and leave the tree stale
+        until an operator intervened.
+        """
+        with self._lock:
+            queries = self._gate_queries
+            updates = self._gate_updates
+        if queries == 0:
+            return 0.0
+        return updates / queries
+
+    def _reset_gate(self) -> None:
+        """Clear the churn window after an explicit re-alignment."""
+        with self._lock:
+            self._gate_updates = 0
+            self._gate_queries = 0
+
+    def _refresh_structures_locked(self) -> None:
+        if self._dynamic is None or self._maintainer is None:
+            return
+        if self._tree_stale and self.tree is not None:
+            self.tree.refresh(
+                (),
+                data=self._dynamic,
+                skyline_ids=self._maintainer.ids,
+                base_skyline_ids=self._base_maintainer.ids,
+                backend=self.backend,
+            )
+            self._tree_stale = False
+        if self._mdc_stale and self.mdc is not None:
+            self.mdc = MDCFilter(
+                self._dynamic, self.template, backend=self.backend
+            )
+            self._mdc_stale = False
+        self._reset_gate()
+
     def _signals(self, preference: Optional[Preference]) -> PlanSignals:
         """Gather the cheap cost signals for one query."""
         pref = preference if preference is not None else Preference.empty()
-        tree_ok = self.tree is not None
+        tree_ok = self.tree is not None and not self._tree_stale
         return PlanSignals(
-            dataset_rows=len(self.dataset),
+            dataset_rows=(
+                len(self._dynamic)
+                if self._dynamic is not None
+                else len(self.dataset)
+            ),
             preference_order=pref.order,
             tree_available=tree_ok,
             tree_covers_query=(
@@ -471,19 +936,53 @@ class SkylineService:
                 else 0
             ),
             template_skyline_size=self._template_skyline_size,
-            mdc_available=self.mdc is not None,
+            mdc_available=self.mdc is not None and not self._mdc_stale,
             backend_vectorized=self.backend.vectorized,
             parallel_available=self.parallel is not None,
             parallel_workers=(
                 self.parallel.workers if self.parallel is not None else 0
             ),
             dimensions=len(self.dataset.schema),
+            incremental_available=self._maintainer is not None,
+            update_query_ratio=self._update_ratio(),
         )
 
     def _execute(
         self, route: str, preference: Optional[Preference]
     ) -> Tuple[int, ...]:
-        """Run one route; every route returns the same sorted id tuple."""
+        """Run one route; every route returns the same sorted id tuple.
+
+        In mutable mode the scan routes run over the dynamic dataset's
+        live ids, and ``"incremental"`` scans only the maintained
+        template skyline (exact for any template refinement by Theorem
+        1).  The planner never routes to a stale structure; a *forced*
+        stale route answers from the stale structure by design (the
+        force exists to inspect exactly that structure) - call
+        :meth:`refresh_structures` first when freshness matters.
+        """
+        if route == "incremental":
+            if self._maintainer is None:
+                raise ReproError(
+                    "route 'incremental' requested but the service has "
+                    "never been mutated (no skyline maintainer exists)"
+                )
+            table = RankTable.compile(
+                self.dataset.schema, preference, self.template
+            )
+            dyn = self._dynamic
+            return tuple(
+                sorted(
+                    sfs_skyline(
+                        dyn.canonical_rows,
+                        self._maintainer.ids,
+                        table,
+                        backend=self.backend,
+                        store=(
+                            dyn.columns if self.backend.vectorized else None
+                        ),
+                    )
+                )
+            )
         if route == "ipo":
             if self.tree is None:
                 raise ReproError("route 'ipo' requested but no tree was built")
@@ -506,25 +1005,51 @@ class SkylineService:
                     "route 'parallel' requested but no worker pool was "
                     "configured (SkylineService(workers=...))"
                 )
-            return skyline(
-                self.dataset,
-                preference,
-                template=self.template,
-                backend=self.parallel,
-            ).ids
+            return self._scan(preference, self.parallel)
         if route == "kernel":
+            return self._scan(preference, self.backend)
+        raise ReproError(f"unknown route {route!r}")
+
+    def _scan(self, preference: Optional[Preference], backend) -> Tuple[int, ...]:
+        """Full base-data scan on ``backend``, in the live id space."""
+        if self._dynamic is None:
             return skyline(
                 self.dataset,
                 preference,
                 template=self.template,
-                backend=self.backend,
+                backend=backend,
             ).ids
-        raise ReproError(f"unknown route {route!r}")
+        table = RankTable.compile(
+            self.dataset.schema, preference, self.template
+        )
+        dyn = self._dynamic
+        store = dyn.columns if backend.vectorized else None
+        return tuple(
+            sorted(
+                sfs_skyline(
+                    dyn.canonical_rows, dyn.ids, table,
+                    backend=backend, store=store,
+                )
+            )
+        )
+
+    #: Churn-gate window size: once the recent update + query tallies
+    #: exceed this, both are halved, so the ratio tracks the recent
+    #: workload with exponentially fading memory of the past.
+    GATE_WINDOW = 4096
 
     def _record(self, route: str) -> None:
         with self._lock:
             self._queries += 1
+            self._gate_queries += 1
+            self._decay_gate_locked()
             self._routes.record(route)
+
+    def _decay_gate_locked(self) -> None:
+        """Halve the gate window once full; caller holds ``_lock``."""
+        if self._gate_updates + self._gate_queries > self.GATE_WINDOW:
+            self._gate_updates //= 2
+            self._gate_queries //= 2
 
     # ------------------------------------------------------------------
     # introspection
@@ -537,6 +1062,8 @@ class SkylineService:
     def available_routes(self) -> Tuple[str, ...]:
         """The executable routes given which structures were built."""
         routes = []
+        if self._maintainer is not None:
+            routes.append("incremental")
         if self.tree is not None:
             routes.append("ipo")
         if self.adaptive is not None:
@@ -549,12 +1076,16 @@ class SkylineService:
         return tuple(routes)
 
     def stats(self) -> ServiceStats:
-        """Snapshot of query/route/cache counters (thread-safe)."""
+        """Snapshot of query/route/cache/update counters (thread-safe)."""
         with self._lock:
             queries = self._queries
             routes = self._routes.snapshot()
+            updates = self._updates
         return ServiceStats(
-            queries=queries, route_counts=routes, cache=self.cache.stats()
+            queries=queries,
+            route_counts=routes,
+            cache=self.cache.stats(),
+            updates=updates,
         )
 
     def _should_build_tree(

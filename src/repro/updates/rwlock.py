@@ -1,0 +1,90 @@
+"""A small writer-preferring read-write lock.
+
+The serving layer's query paths are read-only over every index
+structure, so any number of them may run concurrently; the update paths
+(:meth:`~repro.serve.service.SkylineService.insert_rows` /
+``delete_rows``) mutate those structures in place and must run alone.
+A plain mutex would serialise *queries* against each other and destroy
+the concurrent driver's throughput; :class:`ReadWriteLock` keeps
+readers concurrent and only blocks them while a writer is active or
+waiting.
+
+Writer preference (readers queue behind a *waiting* writer) keeps a
+steady query storm from starving updates - exactly the regime the
+interleaved hammer test drives.  The lock is not reentrant across
+roles: a thread holding the read lock must not request the write lock
+(it would deadlock against itself).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Concurrent readers, exclusive writers, writers preferred.
+
+    Examples
+    --------
+    >>> lock = ReadWriteLock()
+    >>> with lock.read():
+    ...     pass          # shared with other readers
+    >>> with lock.write():
+    ...     pass          # exclusive
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter shared."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Leave the shared section, waking writers when last out."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until exclusive (no readers, no other writer)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Leave the exclusive section, waking everyone."""
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        """Context manager form of the shared lock."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """Context manager form of the exclusive lock."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

@@ -7,6 +7,25 @@ from repro.core.dataset import Dataset
 from repro.exceptions import DatasetError
 
 
+class CountedFloat:
+    """A numeric value that counts its canonical conversions.
+
+    Lets the derivation tests observe whether a code path re-walked
+    rows it should have reused; tests diff against a baseline, so the
+    shared class-level counter never leaks between them.
+    """
+
+    conversions = 0
+
+    def __init__(self, value):
+        self.value = value
+
+    def __float__(self):
+        CountedFloat.conversions += 1
+        return float(self.value)
+
+
+
 class TestConstruction:
     def test_canonical_encoding(self, vacation_data):
         # Price passes through, Hotel-class negates, Hotel-group encodes.
@@ -116,3 +135,39 @@ class TestDerivation:
     def test_extended_validates(self, vacation_data):
         with pytest.raises(DatasetError):
             vacation_data.extended([(100, 5, "X")])
+
+    def test_extended_reports_row_index_in_extended_dataset(
+        self, vacation_data
+    ):
+        with pytest.raises(DatasetError, match="row 7"):
+            vacation_data.extended([(100, 5, "T"), (100, 5, "X")])
+
+    def test_extended_does_not_reencode_existing_rows(self, vacation_schema):
+        """Regression: appends must cost O(new rows), not O(total rows).
+
+        ``extended`` used to hand all rows back to the constructor,
+        re-validating and re-encoding the untouched prefix on every
+        call.  A numeric value that counts its own conversions makes
+        any re-walk of the old rows observable.
+        """
+
+        data = Dataset(
+            vacation_schema,
+            [(CountedFloat(1600 + i), 4, "T") for i in range(10)],
+        )
+        baseline = CountedFloat.conversions
+        assert baseline >= 10  # construction encoded every row once
+        bigger = data.extended([(100, 5, "M")])
+        assert CountedFloat.conversions == baseline  # old rows untouched
+        assert len(bigger) == 11
+        assert bigger.canonical(0) == data.canonical(0)
+        assert bigger.canonical(10) == (100.0, -5.0, 2)
+
+    def test_subset_does_not_reencode_selected_rows(self, vacation_schema):
+        data = Dataset(
+            vacation_schema, [(CountedFloat(10), 4, "T"), (20, 3, "H")]
+        )
+        baseline = CountedFloat.conversions
+        sub = data.subset([0])
+        assert CountedFloat.conversions == baseline
+        assert sub.canonical(0) == data.canonical(0)

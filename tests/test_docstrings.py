@@ -32,6 +32,7 @@ AUDITED_PACKAGES = (
     "repro.ipo",
     "repro.mdc",
     "repro.serve",
+    "repro.updates",
 )
 
 #: Entry points that must spell out the unlisted-values-incomparable

@@ -16,6 +16,8 @@ MODULE_NAMES = [
     "repro.core.skyline",
     "repro.datagen.nominal",
     "repro.datagen.nursery",
+    "repro.updates.dataset",
+    "repro.updates.incremental",
 ]
 
 

@@ -1,7 +1,14 @@
-"""Semantic cache: canonical keys, LRU behaviour, counters."""
+"""Semantic cache: canonical keys, LRU behaviour, counters, versioning.
+
+Also home of the serving layer's torn-read regression: a thread pool
+interleaving ``query`` / ``insert_rows`` / ``delete_rows`` on one
+:class:`SkylineService`, where every returned skyline must equal a
+from-scratch rebuild at *some* data version.
+"""
 
 from __future__ import annotations
 
+import random
 import threading
 
 import pytest
@@ -239,3 +246,178 @@ class TestSemanticCache:
         for snap in snapshots:
             assert snap.lookups == snap.hits + snap.misses
             assert 0 <= snap.size <= snap.capacity
+
+
+class TestVersionedRevision:
+    def test_revise_patches_drops_and_retains(self):
+        cache = SemanticCache(capacity=8)
+        cache.store("keep", (1, 2))
+        cache.store("patch", (1, 3))
+        cache.store("drop", (4,))
+
+        def fn(key, ids):
+            if key == "drop":
+                return None
+            if key == "patch":
+                return (1, 3, 9)
+            return ids
+
+        assert cache.revise(fn) == (1, 1, 1)
+        assert cache.lookup("keep") == (1, 2)
+        assert cache.lookup("patch") == (1, 3, 9)
+        assert cache.lookup("drop") is None
+        stats = cache.stats()
+        assert stats.version == 1
+        assert stats.patches == 1
+        assert stats.invalidations == 1
+
+    def test_store_rejects_answers_from_a_stale_version(self):
+        cache = SemanticCache(capacity=4)
+        version = cache.version
+        cache.revise(lambda key, ids: ids)  # data moved on
+        cache.store("k", (1,), version=version)
+        assert cache.lookup("k") is None
+        assert cache.stats().stale_stores == 1
+        cache.store("k", (2,), version=cache.version)
+        assert cache.lookup("k") == (2,)
+
+    def test_unversioned_store_is_always_accepted(self):
+        cache = SemanticCache(capacity=4)
+        cache.revise(lambda key, ids: ids)
+        cache.store("k", (1,))
+        assert cache.lookup("k") == (1,)
+
+
+class TestInterleavedUpdatesAndQueries:
+    """The serving layer's no-torn-reads contract under churn."""
+
+    PREF_COUNT = 4
+    MUTATIONS = 30
+
+    @pytest.mark.parametrize("mode", ["single", "batch"])
+    def test_every_answer_matches_a_rebuild_at_some_version(self, mode):
+        """Hammer query/insert_rows/delete_rows; answers stay versioned.
+
+        A mutator thread applies single-row inserts and deletes while
+        query threads read continuously (cached and uncached).  The
+        mutator maintains a shadow copy of the live rows and records,
+        per data version, the brute-force skyline of every test
+        preference.  Every (preference, answer, version) triple any
+        query thread ever observed must equal the recorded rebuild at
+        exactly that version - a torn read (a scan overlapping a
+        mutation, or a cache entry surviving un-revised) would surface
+        as an answer matching *no* version.
+
+        The ``batch`` mode drives ``evaluate_batch`` instead of
+        ``query`` - the regression case for plans and executions
+        straddling a mutation (they must share one read section, or a
+        stale structure's answer gets stamped with the new version and
+        poisons the cache).
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.core.dataset import Dataset
+        from repro.core.skyline import skyline
+        from repro.datagen import SyntheticConfig, generate
+        from repro.datagen.generator import frequent_value_template
+        from repro.datagen.queries import generate_preferences
+        from repro.serve import SkylineService
+
+        base = generate(
+            SyntheticConfig(
+                num_points=150, num_numeric=2, num_nominal=2,
+                cardinality=4, seed=13,
+            )
+        )
+        extra = generate(
+            SyntheticConfig(
+                num_points=80, num_numeric=2, num_nominal=2,
+                cardinality=4, seed=14,
+            )
+        )
+        template = frequent_value_template(base)
+        prefs = generate_preferences(
+            base, order=2, count=self.PREF_COUNT, template=template, seed=5
+        )
+        service = SkylineService(base, template, cache_capacity=32)
+
+        shadow = {i: base.row(i) for i in range(len(base))}
+        oracle = {}
+
+        def record(version):
+            ordered = sorted(shadow)
+            snap = Dataset(base.schema, [shadow[i] for i in ordered])
+            oracle[version] = {
+                k: tuple(
+                    sorted(
+                        ordered[pos]
+                        for pos in skyline(
+                            snap, pref, template=template
+                        ).ids
+                    )
+                )
+                for k, pref in enumerate(prefs)
+            }
+
+        record(0)
+        done = threading.Event()
+        barrier = threading.Barrier(4)
+
+        def mutate():
+            barrier.wait()
+            rng = random.Random(99)
+            try:
+                for _ in range(self.MUTATIONS):
+                    if rng.random() < 0.5 and len(shadow) > 20:
+                        victim = rng.choice(sorted(shadow))
+                        report = service.delete_rows([victim])
+                        del shadow[victim]
+                    else:
+                        row = extra.row(rng.randrange(len(extra)))
+                        report = service.insert_rows([row])
+                        shadow[report.point_ids[0]] = row
+                    record(report.version)
+            finally:
+                done.set()
+
+        def query_worker(seed):
+            barrier.wait()
+            rng = random.Random(seed)
+            observed = []
+            while not done.is_set():
+                use_cache = bool(rng.getrandbits(1))
+                if mode == "single":
+                    k = rng.randrange(len(prefs))
+                    result = service.query(prefs[k], use_cache=use_cache)
+                    observed.append((k, result.version, result.ids))
+                else:
+                    picks = [
+                        rng.randrange(len(prefs)) for _ in range(3)
+                    ]
+                    results = service.evaluate_batch(
+                        [prefs[k] for k in picks], use_cache=use_cache
+                    )
+                    observed.extend(
+                        (k, result.version, result.ids)
+                        for k, result in zip(picks, results)
+                    )
+            return observed
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            mutator = pool.submit(mutate)
+            workers = [pool.submit(query_worker, s) for s in (1, 2, 3)]
+            mutator.result()
+            observations = [obs for w in workers for obs in w.result()]
+
+        assert observations, "query threads never ran"
+        torn = [
+            (k, version, ids)
+            for k, version, ids in observations
+            if oracle[version][k] != ids
+        ]
+        assert not torn, (
+            f"{len(torn)} answers matched no rebuild at their version; "
+            f"first: {torn[0]}"
+        )
+        # The storm must actually have interleaved with mutations.
+        assert len({version for _k, version, _ids in observations}) > 1

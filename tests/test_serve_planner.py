@@ -244,3 +244,48 @@ class TestTreeAutoBuild:
             vacation_data, with_tree=True, max_tree_nodes=0, cache_capacity=0
         )
         assert service.tree is not None
+
+
+class TestIncrementalGate:
+    """The churn gate routing to the maintained template skyline."""
+
+    def test_churn_heavy_routes_to_incremental(self):
+        plan = Planner().plan(
+            signals(incremental_available=True, update_query_ratio=0.5)
+        )
+        assert plan.route == "incremental"
+        assert "churn-heavy" in plan.reason
+
+    def test_low_churn_keeps_index_routes(self):
+        plan = Planner().plan(
+            signals(incremental_available=True, update_query_ratio=0.1)
+        )
+        assert plan.route == "ipo"
+
+    def test_requires_a_maintainer(self):
+        plan = Planner().plan(
+            signals(incremental_available=False, update_query_ratio=9.0)
+        )
+        assert plan.route == "ipo"
+
+    def test_tiny_datasets_still_go_to_kernel(self):
+        plan = Planner().plan(
+            signals(
+                dataset_rows=10,
+                incremental_available=True,
+                update_query_ratio=9.0,
+            )
+        )
+        assert plan.route == "kernel"
+
+    def test_ratio_threshold_configurable(self):
+        eager = Planner(PlannerConfig(incremental_update_ratio=0.0))
+        sig = signals(incremental_available=True, update_query_ratio=0.0)
+        assert eager.plan(sig).route == "incremental"
+        with pytest.raises(ValueError):
+            PlannerConfig(incremental_update_ratio=-0.1)
+
+    def test_incremental_is_a_known_route(self):
+        assert "incremental" in ROUTES
+        assert PlannerConfig(forced_route="incremental").forced_route == \
+            "incremental"

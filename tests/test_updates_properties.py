@@ -1,0 +1,129 @@
+"""Metamorphic (hypothesis) properties of incremental skyline maintenance.
+
+Three relations that must hold for *any* data and *any* implicit
+preference, each relating a maintained state to an independently
+computed one:
+
+1. **insert-then-delete is identity** - absorbing a row and then
+   deleting it returns the maintained skyline to exactly its previous
+   membership;
+2. **N single inserts equal one rebuild** - feeding rows one by one
+   through the maintainer lands on the same skyline as computing it
+   from scratch over the extended dataset;
+3. **deleting a non-skyline point never changes the skyline** - a
+   dominated point disqualifies nothing, so removing it is invisible.
+
+Small integer numeric values and small nominal domains force the tie
+and duplicate regimes where maintenance bugs hide (shared scores,
+incomparable unlisted values, exclusive-vs-shared dominance regions).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Schema, nominal, numeric_min
+from repro.core.dataset import Dataset
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.engine import available_backends
+from repro.updates import DynamicDataset, IncrementalSkyline
+
+DOMAIN_A = ("a0", "a1", "a2", "a3")
+DOMAIN_B = ("b0", "b1", "b2")
+
+SCHEMA = Schema(
+    [
+        numeric_min("x"),
+        numeric_min("y"),
+        nominal("A", DOMAIN_A),
+        nominal("B", DOMAIN_B),
+    ]
+)
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+row_strategy = st.tuples(
+    st.integers(0, 4),
+    st.integers(0, 4),
+    st.sampled_from(DOMAIN_A),
+    st.sampled_from(DOMAIN_B),
+)
+
+rows = st.lists(row_strategy, min_size=1, max_size=30)
+
+
+@st.composite
+def chains(draw, domain):
+    """A duplicate-free preference chain over ``domain``."""
+    length = draw(st.integers(0, len(domain)))
+    return tuple(draw(st.permutations(list(domain))))[:length]
+
+
+@st.composite
+def preferences(draw):
+    """A random implicit preference over both nominal dimensions."""
+    return Preference(
+        {
+            "A": ImplicitPreference(draw(chains(DOMAIN_A))),
+            "B": ImplicitPreference(draw(chains(DOMAIN_B))),
+        }
+    )
+
+
+def maintainer_for(base_rows, pref, backend):
+    data = DynamicDataset(SCHEMA, base_rows)
+    return data, IncrementalSkyline(data, pref, backend=backend)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+class TestMetamorphic:
+    @SETTINGS
+    @given(base=rows, extra=row_strategy, pref=preferences())
+    def test_insert_then_delete_is_identity(self, backend, base, extra, pref):
+        data, sky = maintainer_for(base, pref, backend)
+        before = sky.ids
+        pid = data.append([extra])[0]
+        insert_effect = sky.insert(pid)
+        data.delete([pid])
+        delete_effect = sky.delete(pid)
+        assert sky.ids == before
+        # The two effects must also be inverse in membership terms.
+        assert insert_effect.changed == delete_effect.changed
+
+    @SETTINGS
+    @given(base=rows, extras=st.lists(row_strategy, max_size=10),
+           pref=preferences())
+    def test_n_inserts_equal_one_rebuild(self, backend, base, extras, pref):
+        data, sky = maintainer_for(base, pref, backend)
+        for row in extras:
+            sky.insert(data.append([row])[0])
+        extended = Dataset(SCHEMA, list(base) + list(extras))
+        fresh = IncrementalSkyline(
+            DynamicDataset.from_dataset(extended), pref, backend=backend
+        )
+        assert sky.ids == fresh.ids
+        # ... and equal the maintainer's own from-scratch rebuild.
+        assert sky.ids == sky.rebuild()
+
+    @SETTINGS
+    @given(base=rows, pref=preferences())
+    def test_delete_of_non_skyline_point_changes_nothing(
+        self, backend, base, pref
+    ):
+        data, sky = maintainer_for(base, pref, backend)
+        outside = [i for i in data.ids if i not in sky]
+        if not outside:
+            return  # every point is in the skyline; nothing to test
+        before = sky.ids
+        victim = outside[len(outside) // 2]
+        data.delete([victim])
+        effect = sky.delete(victim)
+        assert not effect.changed
+        assert sky.ids == before
+        assert sky.ids == sky.rebuild()
