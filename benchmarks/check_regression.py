@@ -135,12 +135,29 @@ def updates_metrics(report: Dict) -> Iterator[Metric]:
         )
 
 
+def storage_metrics(report: Dict) -> Iterator[Metric]:
+    """Headline metrics of a ``bench_storage.py`` report."""
+    for entry in report.get("results", []):
+        n = entry.get("num_points")
+        churn = entry.get("churn")
+        tag = f"storage[n={n},churn={churn}]"
+        yield from _metric(
+            f"{tag}.recovery_speedup",
+            entry.get("recovery_speedup"), True, True,
+        )
+        yield from _metric(
+            f"{tag}.recover_seconds",
+            entry.get("recover_seconds"), False, False,
+        )
+
+
 #: "benchmark" field prefix -> metric extractor.
 EXTRACTORS = {
     "sfs skyline wall-clock": backends_metrics,
     "partitioned parallel skyline": parallel_metrics,
     "preference-query serving layer": serve_metrics,
     "incremental skyline maintenance": updates_metrics,
+    "durable snapshot + WAL recovery": storage_metrics,
 }
 
 

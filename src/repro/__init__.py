@@ -28,6 +28,9 @@ Public API highlights
   :class:`repro.IncrementalSkyline` (insert/delete skyline
   maintenance), wired into the service via
   ``SkylineService.insert_rows`` / ``delete_rows``.
+* :mod:`repro.storage` - durability: versioned binary/JSON snapshots,
+  an fsync'd write-ahead log and crash recovery
+  (``SkylineService(storage_dir=...)`` / ``SkylineService.recover``).
 """
 
 from repro.adaptive import AdaptiveSFS

@@ -109,6 +109,56 @@ class AdaptiveSFS:
         )
         self.preprocessing_seconds = time.perf_counter() - started
 
+    @classmethod
+    def restore(
+        cls,
+        dataset: Dataset,
+        template: Optional[Preference] = None,
+        *,
+        skyline_ids: Sequence[int],
+        alive: Optional[Sequence[bool]] = None,
+        backend=None,
+    ) -> "AdaptiveSFS":
+        """Re-attach an index to state it previously produced.
+
+        The expensive half of construction is the template-skyline
+        computation; a caller that persisted the member ids (the
+        durability layer's snapshots do) can skip it entirely - only
+        the |SKY(R~)| member scores are recomputed for the sorted list.
+        ``dataset`` must cover the full id space the ids were minted in
+        (position = id), with ``alive`` marking tombstoned slots
+        (default: all live).  The ids are trusted as-is; the
+        kill-and-recover differential tests verify they equal a fresh
+        rebuild.
+        """
+        started = time.perf_counter()
+        out = cls.__new__(cls)
+        out.schema = dataset.schema
+        out.template = (
+            template if template is not None else Preference.empty()
+        )
+        out.template.validate_against(out.schema)
+        out._template_table = RankTable.compile(out.schema, None, out.template)
+        out._backend = resolve_backend(backend)
+        out._raw = list(dataset)
+        out._rows = list(dataset.canonical_rows)
+        out._alive = (
+            [bool(flag) for flag in alive]
+            if alive is not None
+            else [True] * len(out._rows)
+        )
+        members = sorted(skyline_ids)
+        scores = out._backend.score_rows(
+            out._template_table, [out._rows[i] for i in members]
+        )
+        out._list = SortedSkylineList(out.schema.nominal_indices)
+        out._list.bulk_load(
+            (score, point_id, out._rows[point_id])
+            for score, point_id in zip(scores, members)
+        )
+        out.preprocessing_seconds = time.perf_counter() - started
+        return out
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

@@ -214,6 +214,36 @@ class RankTable:
             for table, a in zip(self._dims, p)
         )
 
+    def rank_rows_matrix(self, rows):
+        """Vectorized :meth:`rank_vector` over a block of canonical rows.
+
+        Returns an ``(len(rows), m)`` float64 matrix: universal
+        dimensions pass their canonical floats through, nominal columns
+        are remapped value-id -> rank with one gather per dimension -
+        the list-of-tuples twin of :meth:`remap_columns` for callers
+        holding rows rather than a columnar store (the incremental
+        maintainer's rank matrix syncs whole append blocks through
+        this).  Requires NumPy; rows must be non-empty and rectangular.
+        The caveat of :meth:`remap_columns` applies: equal ranks can
+        hide incomparable unlisted values, so dominance kernels must
+        still consult the raw value ids on rank ties.
+        """
+        from repro.engine.columnar import require_numpy
+
+        np = require_numpy()
+        # Always copy: remapping in place would corrupt a caller that
+        # hands in an existing float64 matrix (e.g. a columnar store's).
+        block = np.array(rows, dtype=np.float64)
+        if block.ndim != 2:
+            raise ValueError(
+                "rank_rows_matrix needs a non-empty rectangular block"
+            )
+        for dim, table in enumerate(self._dims):
+            if table is not None:
+                lut = np.asarray(table, dtype=np.float64)
+                block[:, dim] = lut[block[:, dim].astype(np.int64)]
+        return block
+
     def remap_columns(self, columns):
         """Apply the compiled table to a whole columnar store at once.
 

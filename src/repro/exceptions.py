@@ -52,6 +52,17 @@ class RefinementError(PreferenceError):
     """
 
 
+class StorageError(ReproError):
+    """A durability operation failed (corrupt snapshot/WAL, bad layout).
+
+    Raised by :mod:`repro.storage` when a snapshot or write-ahead-log
+    file cannot be read back consistently, when replaying the log does
+    not reproduce the recorded data versions, or when a storage
+    directory is used in an unsupported way (e.g. attaching a fresh
+    service to a directory that already holds recoverable state).
+    """
+
+
 class IndexError_(ReproError):
     """An index structure was used in an unsupported way.
 

@@ -252,6 +252,45 @@ class IPOTree:
     # ------------------------------------------------------------------
     # incremental refresh
     # ------------------------------------------------------------------
+    def prime_refresh_baseline(
+        self,
+        data=None,
+        *,
+        base_skyline_ids: Optional[Iterable[int]] = None,
+        backend=None,
+    ) -> None:
+        """Precompute the refresh diff baseline for a tree known in sync.
+
+        :meth:`refresh` diffs each member's minimal disqualifying
+        conditions against the baseline retained from the previous
+        refresh (or from an MDC-engine build).  A *deserialized* tree
+        (:func:`repro.ipo.serialize.tree_from_dict`) has no baseline,
+        so its first refresh reconstructs one with a full
+        base-skyline scan over ``self.dataset``.  A caller that knows
+        the tree is currently **in sync** with ``data`` - the recovery
+        path restoring a non-stale checkpoint - can prime the baseline
+        here instead, passing the maintained base skyline as
+        ``base_skyline_ids`` so the computation never scans the base
+        data.  Priming a tree that is *not* in sync with ``data`` would
+        make later refreshes miss flips - only do that when the very
+        next refresh marks every old and new member dirty (which
+        rewrites all entries from the new conditions, making the
+        baseline's diff irrelevant; the recovery path restoring a
+        stale checkpoint does exactly this).
+        """
+        engine = resolve_backend(backend)
+        source = data if data is not None else self.dataset
+        self._refresh_mdcs = compute_mdcs(
+            source,
+            self.skyline_ids,
+            candidates=(
+                list(base_skyline_ids)
+                if base_skyline_ids is not None
+                else None
+            ),
+            backend=engine,
+        )
+
     def refresh(
         self,
         dirty_ids: Iterable[int] = (),

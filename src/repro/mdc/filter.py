@@ -49,30 +49,52 @@ class MDCFilter:
         dataset: Dataset,
         template: Optional[Preference] = None,
         backend=None,
+        *,
+        skyline_ids=None,
+        base_skyline_ids=None,
     ) -> None:
+        """Build the filter; optionally reuse maintained skylines.
+
+        ``skyline_ids`` (the template skyline) and ``base_skyline_ids``
+        (the base skyline, the candidate dominators of the MDC
+        computation) skip the two O(n) kernel scans when a caller
+        already maintains them - the serving layer's incremental
+        maintainers and the recovery path both do.  They are trusted
+        as-is; passing stale ids yields a stale filter.
+        """
         started = time.perf_counter()
         self.dataset = dataset
         self.template = template if template is not None else Preference.empty()
         self.template.validate_against(dataset.schema)
         self.backend = resolve_backend(backend)
 
-        template_table = RankTable.compile(
-            dataset.schema, None, self.template
-        )
-        store = dataset.columns if self.backend.vectorized else None
-        self.skyline_ids: Tuple[int, ...] = tuple(
-            sorted(
-                sfs_skyline(
-                    dataset.canonical_rows,
-                    dataset.ids,
-                    template_table,
-                    backend=self.backend,
-                    store=store,
+        if skyline_ids is not None:
+            self.skyline_ids: Tuple[int, ...] = tuple(sorted(skyline_ids))
+        else:
+            template_table = RankTable.compile(
+                dataset.schema, None, self.template
+            )
+            store = dataset.columns if self.backend.vectorized else None
+            self.skyline_ids = tuple(
+                sorted(
+                    sfs_skyline(
+                        dataset.canonical_rows,
+                        dataset.ids,
+                        template_table,
+                        backend=self.backend,
+                        store=store,
+                    )
                 )
             )
-        )
         self._mdcs: Dict[int, List[DisqualifyingCondition]] = compute_mdcs(
-            dataset, self.skyline_ids, backend=self.backend
+            dataset,
+            self.skyline_ids,
+            candidates=(
+                list(base_skyline_ids)
+                if base_skyline_ids is not None
+                else None
+            ),
+            backend=self.backend,
         )
         self.preprocessing_seconds = time.perf_counter() - started
 

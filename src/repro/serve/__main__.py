@@ -10,6 +10,8 @@ per workload shape::
     python -m repro.serve --workers 4 --batch 32   # parallel + batched
     python -m repro.serve --json BENCH_serve.json  # machine-readable
     python -m repro.serve --selftest               # CI smoke check
+    python -m repro.serve --storage-dir ./state --checkpoint   # durable
+    python -m repro.serve --storage-dir ./state --recover      # restart
 
 ``--selftest`` runs a small fixed configuration, asserts that every
 planner route returns the identical skyline on randomized preferences
@@ -38,6 +40,24 @@ from repro.serve.service import SkylineService
 from repro.serve.workloads import WORKLOADS, build_workload
 
 
+def positive_int(text: str) -> int:
+    """Argparse ``type=`` validator for flags that must be >= 1.
+
+    Rejecting ``--workers 0`` / ``--batch 0`` at parse time yields a
+    proper argparse usage error (exit code 2) instead of hanging in an
+    empty pool or crashing deep inside batch chunking.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro.serve`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -59,12 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="preference order of generated queries "
                         "(default: 3; higher orders enlarge the distinct-"
                         "preference space, keeping the cold workload cold)")
-    parser.add_argument("--concurrency", type=int, default=4,
+    parser.add_argument("--concurrency", type=positive_int, default=4,
                         help="driver worker threads (default: 4)")
-    parser.add_argument("--workers", type=int, default=None,
+    parser.add_argument("--workers", type=positive_int, default=None,
                         help="enable the parallel partitioned-skyline "
                         "route with this many workers (default: off)")
-    parser.add_argument("--partitions", type=int, default=None,
+    parser.add_argument("--partitions", type=positive_int, default=None,
                         help="partition count of the parallel route "
                         "(default: same as --workers)")
     parser.add_argument("--strategy",
@@ -72,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="sorted",
                         help="partitioning strategy of the parallel "
                         "route (default: sorted)")
-    parser.add_argument("--batch", type=int, default=None,
+    parser.add_argument("--batch", type=positive_int, default=None,
                         help="submit queries in batches of this size "
                         "via submit_batch (default: one query at a "
                         "time)")
@@ -99,11 +119,52 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the machine-readable report here")
     parser.add_argument("--selftest", action="store_true",
                         help="run the fixed smoke configuration and exit")
+    parser.add_argument("--storage-dir", type=str, default=None,
+                        help="directory for durable state: snapshots + "
+                        "write-ahead log (default: in-memory only)")
+    parser.add_argument("--recover", action="store_true",
+                        help="recover the service from --storage-dir "
+                        "(snapshot + WAL replay) instead of generating "
+                        "a dataset")
+    parser.add_argument("--checkpoint", action="store_true",
+                        help="write a checkpoint to --storage-dir before "
+                        "exiting")
+    parser.add_argument("--checkpoint-every", type=positive_int,
+                        default=None, metavar="N",
+                        help="auto-checkpoint after N logged mutation "
+                        "batches (default: manual only)")
+    parser.add_argument("--checkpoint-wal-bytes", type=positive_int,
+                        default=None, metavar="M",
+                        help="auto-checkpoint once the WAL reaches M "
+                        "bytes (default: manual only)")
     return parser
 
 
 def build_service(args) -> SkylineService:
-    """Dataset + template + service from the CLI arguments."""
+    """Dataset + template + service from the CLI arguments.
+
+    With ``--recover`` the dataset, template and data version come from
+    the storage directory (snapshot + WAL replay); the generation flags
+    are ignored and a recovery summary is printed to stderr.
+    """
+    if args.recover:
+        service = SkylineService.recover(
+            args.storage_dir,
+            cache_capacity=args.cache_size,
+            planner_config=PlannerConfig(forced_route=args.route),
+            workers=args.workers,
+            partitions=args.partitions,
+            partition_strategy=args.strategy,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_wal_bytes=args.checkpoint_wal_bytes,
+        )
+        print(
+            f"recovered from {args.storage_dir}: data version "
+            f"{service.version}, {len(service.data_snapshot())} live rows, "
+            f"{service.storage.ops_since_checkpoint} WAL records replayed",
+            file=sys.stderr,
+        )
+        return service
     dataset = generate(
         SyntheticConfig(
             num_points=args.points,
@@ -127,6 +188,9 @@ def build_service(args) -> SkylineService:
         workers=args.workers,
         partitions=args.partitions,
         partition_strategy=args.strategy,
+        storage_dir=args.storage_dir,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_wal_bytes=args.checkpoint_wal_bytes,
     )
 
 
@@ -293,12 +357,18 @@ def selftest(args) -> int:
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    for flag in ("workers", "partitions", "batch"):
-        value = getattr(args, flag)
-        if value is not None and value < 1:
-            print(f"--{flag} must be >= 1, got {value}", file=sys.stderr)
-            return 2
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.storage_dir is None and (
+        args.recover
+        or args.checkpoint
+        or args.checkpoint_every is not None
+        or args.checkpoint_wal_bytes is not None
+    ):
+        parser.error(
+            "--recover/--checkpoint/--checkpoint-every/"
+            "--checkpoint-wal-bytes require --storage-dir"
+        )
     if args.backend != "auto":
         set_default_backend(args.backend)
     print(f"backend: {get_backend().name}", file=sys.stderr)
@@ -322,6 +392,9 @@ def main(argv=None) -> int:
     )
     print(render_report(service, reports))
 
+    if args.checkpoint:
+        path = service.checkpoint()
+        print(f"checkpoint written to {path}", file=sys.stderr)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(as_json(service, reports, args), handle, indent=2)

@@ -56,6 +56,11 @@ class CacheStats:
     invalidations: int = 0
     #: Stores rejected because their answer was computed at a stale version.
     stale_stores: int = 0
+    #: Stores accepted into the map (new keys and refreshes alike).
+    stores: int = 0
+    #: Entries examined by revisions (= retained + patched + invalidated
+    #: summed over every :meth:`SemanticCache.revise` call).
+    revised: int = 0
 
     @property
     def lookups(self) -> int:
@@ -80,6 +85,8 @@ class CacheStats:
             patches=self.patches - earlier.patches,
             invalidations=self.invalidations - earlier.invalidations,
             stale_stores=self.stale_stores - earlier.stale_stores,
+            stores=self.stores - earlier.stores,
+            revised=self.revised - earlier.revised,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -96,6 +103,8 @@ class CacheStats:
             "patches": self.patches,
             "invalidations": self.invalidations,
             "stale_stores": self.stale_stores,
+            "stores": self.stores,
+            "revised": self.revised,
         }
 
 
@@ -135,6 +144,8 @@ class SemanticCache:
         self._patches = 0
         self._invalidations = 0
         self._stale_stores = 0
+        self._stores = 0
+        self._revised = 0
 
     def lookup(self, key: Hashable) -> Optional[Tuple[int, ...]]:
         """The cached answer for ``key``, or None; counts hit/miss.
@@ -155,7 +166,7 @@ class SemanticCache:
         key: Hashable,
         ids: Tuple[int, ...],
         version: Optional[int] = None,
-    ) -> None:
+    ) -> bool:
         """Insert (or refresh) an answer, evicting the LRU entry if full.
 
         ``version`` is the data version the answer was computed at
@@ -164,19 +175,30 @@ class SemanticCache:
         counted - the data changed while the query executed, and
         :meth:`revise` has already rewritten the entries the change
         affected, so storing the stale answer would undo that.
+
+        Returns whether the answer was accepted.  Every store attempt
+        lands in **exactly one** counter bucket - accepted
+        (``stores``), fenced (``stale_stores``) or silently dropped
+        (``capacity == 0``, uncounted) - so the counters stay conserved
+        even when a store races a concurrent :meth:`revise`: losing the
+        fence bumps ``stale_stores`` only, never ``invalidations``
+        (those count entries *revisions* dropped, and the fenced answer
+        was never an entry).  The hammer test asserts this conservation.
         """
         if self.capacity == 0:
-            return
+            return False
         with self._lock:
             if version is not None and version < self._version:
                 self._stale_stores += 1
-                return
+                return False
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = tuple(ids)
+            self._stores += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+            return True
 
     @property
     def version(self) -> int:
@@ -213,6 +235,7 @@ class SemanticCache:
                     retained += 1
             self._patches += patched
             self._invalidations += invalidated
+            self._revised += retained + patched + invalidated
         return retained, patched, invalidated
 
     def record_bypass(self) -> None:
@@ -247,4 +270,6 @@ class SemanticCache:
                 patches=self._patches,
                 invalidations=self._invalidations,
                 stale_stores=self._stale_stores,
+                stores=self._stores,
+                revised=self._revised,
             )

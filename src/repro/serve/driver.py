@@ -39,17 +39,24 @@ from repro.serve.service import SkylineService
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile (``q`` in [0, 100]) of ``values``.
 
-    0.0 for an empty sequence; the nearest-rank definition always
-    returns an actually observed value, which keeps tail percentiles
-    honest on small samples.
+    The nearest-rank index is ``ceil(q / 100 * n) - 1`` clamped to
+    ``[0, n - 1]`` (the clamps cover ``q == 0``, where the ceiling is
+    zero, and floating-point overshoot at ``q == 100``).  Nearest rank
+    always returns an actually observed value, which keeps tail
+    percentiles honest on small samples - any rounding *down* of the
+    rank would under-report p99 exactly there.  An empty sequence has
+    no percentiles and raises :class:`ValueError`; callers with
+    possibly-empty samples must handle that explicitly rather than
+    receive a fabricated 0.0.
     """
     if not values:
-        return 0.0
+        raise ValueError("percentile of an empty sequence is undefined")
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
     ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    index = min(max(math.ceil(q / 100.0 * len(ordered)) - 1, 0),
+                len(ordered) - 1)
+    return ordered[index]
 
 
 @dataclass(frozen=True)
@@ -158,9 +165,9 @@ def replay(
         throughput_qps=len(preferences) / total if total > 0 else 0.0,
         latencies_ms={
             "mean": sum(millis) / len(millis) if millis else 0.0,
-            "p50": percentile(millis, 50),
-            "p95": percentile(millis, 95),
-            "p99": percentile(millis, 99),
+            "p50": percentile(millis, 50) if millis else 0.0,
+            "p95": percentile(millis, 95) if millis else 0.0,
+            "p99": percentile(millis, 99) if millis else 0.0,
             "max": max(millis) if millis else 0.0,
         },
         route_counts=_route_delta(after.route_counts, before.route_counts),

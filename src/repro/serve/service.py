@@ -52,10 +52,18 @@ from repro.core.preferences import (
 )
 from repro.core.skyline import skyline
 from repro.engine import make_parallel_backend, resolve_backend
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, StorageError
+from repro.ipo.serialize import (
+    preference_from_dict,
+    preference_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
 from repro.ipo.tree import IPOTree
 from repro.mdc.filter import MDCFilter
 from repro.serve.cache import CacheStats, SemanticCache
+from repro.storage.snapshot import dataset_state, restore_dataset
+from repro.storage.store import CheckpointPolicy, DurableStore
 from repro.updates.dataset import DynamicDataset
 from repro.updates.incremental import IncrementalSkyline, UpdateEffect
 from repro.updates.rwlock import ReadWriteLock
@@ -68,6 +76,33 @@ from repro.serve.planner import (
     RouteCounters,
     chains_covered,
 )
+
+
+@dataclass(frozen=True)
+class _RestoreState:
+    """Everything :meth:`SkylineService.recover` hands the constructor.
+
+    ``dynamic`` is the dataset at the *snapshot* version; ``tail`` the
+    committed WAL records to replay on top of it (in order).  The
+    maintained skyline id lists and the serialized tree let the
+    restore path skip the expensive from-scratch computations; ``None``
+    for any of them means "recompute" (e.g. a snapshot taken before the
+    service ever mutated has no maintainers yet).
+    """
+
+    store: DurableStore
+    dynamic: DynamicDataset
+    template_skyline: Optional[Tuple[int, ...]]
+    base_skyline: Optional[Tuple[int, ...]]
+    tree: Optional[dict]
+    tree_stale: bool
+    tail: Tuple[dict, ...]
+    snapshot_version: int
+
+
+def _as_id_tuple(ids) -> Optional[Tuple[int, ...]]:
+    """JSON id list -> int tuple, passing ``None`` (= recompute) through."""
+    return tuple(int(i) for i in ids) if ids is not None else None
 
 
 @dataclass(frozen=True)
@@ -195,6 +230,18 @@ class SkylineService:
         Partition count (defaults to ``workers``) and strategy
         (``"round-robin"`` | ``"sorted"`` | ``"entropy"``) of that
         executor.
+    storage_dir:
+        Directory for durable state (``None`` = in-memory only).  On
+        construction the directory must be fresh (recover an existing
+        one with :meth:`recover`); an initial snapshot is written
+        immediately and every ``insert_rows`` / ``delete_rows`` /
+        ``compact`` batch is appended to a write-ahead log and fsync'd
+        before the call returns.  See ``docs/storage.md``.
+    checkpoint_every, checkpoint_wal_bytes:
+        Automatic checkpoint policy: fold the WAL into a fresh snapshot
+        after this many logged batches / once the WAL reaches this many
+        bytes (``None``/``None`` = only explicit :meth:`checkpoint`
+        calls).
 
     Examples
     --------
@@ -226,6 +273,10 @@ class SkylineService:
         workers: Optional[int] = None,
         partitions: Optional[int] = None,
         partition_strategy: str = "sorted",
+        storage_dir: Optional[object] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_wal_bytes: Optional[int] = None,
+        _restore: Optional[_RestoreState] = None,
     ) -> None:
         started = time.perf_counter()
         self.dataset = dataset
@@ -281,30 +332,57 @@ class SkylineService:
             # can race to build it.
             dataset.columns
 
-        self.tree: Optional[IPOTree] = None
-        if self._should_build_tree(with_tree, ipo_k, max_tree_nodes):
-            self.tree = IPOTree.build(
-                dataset,
-                self.template,
-                values_per_attribute=ipo_k,
-                backend=self.backend,
+        if _restore is not None:
+            self._install_recovered(
+                _restore, with_mdc=with_mdc, with_adaptive=with_adaptive
             )
-        self.adaptive: Optional[AdaptiveSFS] = (
-            AdaptiveSFS(dataset, self.template, backend=self.backend)
-            if with_adaptive
-            else None
-        )
-        self.mdc: Optional[MDCFilter] = (
-            MDCFilter(dataset, self.template, backend=self.backend)
-            if with_mdc
-            else None
-        )
-        for structure in (self.adaptive, self.tree, self.mdc):
-            if structure is not None:
-                self._template_skyline_size = len(structure.skyline_ids)
-                break
         else:
-            self._template_skyline_size = 0
+            self.tree: Optional[IPOTree] = None
+            if self._should_build_tree(with_tree, ipo_k, max_tree_nodes):
+                self.tree = IPOTree.build(
+                    dataset,
+                    self.template,
+                    values_per_attribute=ipo_k,
+                    backend=self.backend,
+                )
+            self.adaptive: Optional[AdaptiveSFS] = (
+                AdaptiveSFS(dataset, self.template, backend=self.backend)
+                if with_adaptive
+                else None
+            )
+            self.mdc: Optional[MDCFilter] = (
+                MDCFilter(dataset, self.template, backend=self.backend)
+                if with_mdc
+                else None
+            )
+            for structure in (self.adaptive, self.tree, self.mdc):
+                if structure is not None:
+                    self._template_skyline_size = len(structure.skyline_ids)
+                    break
+            else:
+                self._template_skyline_size = 0
+
+        # Durability: attach the store last so the initial snapshot (or
+        # the WAL-tail replay of a recovery) sees fully built structures.
+        self.storage: Optional[DurableStore] = None
+        self._replaying = False
+        if _restore is not None:
+            self.storage = _restore.store
+            if _restore.tail:
+                self._replay_tail(_restore.tail)
+        elif storage_dir is not None:
+            store = DurableStore(
+                storage_dir,
+                CheckpointPolicy(checkpoint_every, checkpoint_wal_bytes),
+            )
+            if store.has_state():
+                raise StorageError(
+                    f"storage directory {store.directory} already holds "
+                    f"recoverable state; use SkylineService.recover() "
+                    f"instead of constructing over it"
+                )
+            store.checkpoint(self._durable_state(), self._data_version())
+            self.storage = store
         self.preprocessing_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------
@@ -572,6 +650,7 @@ class SkylineService:
         if not batch:
             return self._empty_report("insert", started)
         with self._rw.write():
+            self._check_storage_writable_locked()
             dyn = self._ensure_dynamic()
             ids = dyn.append(batch)
             effects = []
@@ -586,6 +665,11 @@ class SkylineService:
             report = self._absorb(
                 "insert", ids, effects, base_changed, started
             )
+            self._log_mutation_locked({
+                "op": "insert",
+                "version": report.version,
+                "rows": [list(row) for row in batch],
+            })
         return report
 
     def delete_rows(self, point_ids: Sequence[int]) -> UpdateReport:
@@ -603,6 +687,7 @@ class SkylineService:
         if not ids:
             return self._empty_report("delete", started)
         with self._rw.write():
+            self._check_storage_writable_locked()
             dyn = self._ensure_dynamic()
             dyn.delete(ids)
             effects = []
@@ -617,6 +702,11 @@ class SkylineService:
             report = self._absorb(
                 "delete", ids, effects, base_changed, started
             )
+            self._log_mutation_locked({
+                "op": "delete",
+                "version": report.version,
+                "ids": list(ids),
+            })
         return report
 
     def refresh_structures(self) -> None:
@@ -641,6 +731,7 @@ class SkylineService:
         service that was never mutated.
         """
         with self._rw.write():
+            self._check_storage_writable_locked()
             if self._dynamic is None:
                 return {}
             dyn = self._dynamic
@@ -677,7 +768,321 @@ class SkylineService:
             self._template_skyline_size = len(self._maintainer)
             self.cache.revise(lambda key, ids: None)  # ids were remapped
             self._reset_gate()
+            self._log_mutation_locked({
+                "op": "compact",
+                "version": dyn.version,
+            })
             return remap
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        storage_dir,
+        *,
+        backend=None,
+        planner_config: Optional[PlannerConfig] = None,
+        cache_capacity: int = 256,
+        with_mdc: Optional[bool] = None,
+        with_adaptive: Optional[bool] = None,
+        workers: Optional[int] = None,
+        partitions: Optional[int] = None,
+        partition_strategy: str = "sorted",
+        checkpoint_every: Optional[int] = None,
+        checkpoint_wal_bytes: Optional[int] = None,
+    ) -> "SkylineService":
+        """Rebuild a service from a storage directory after a crash.
+
+        Loads the newest snapshot, restores the dataset **without
+        re-encoding any row**, re-attaches the maintained template and
+        base skylines from their persisted id lists, deserialises the
+        IPO-tree (:mod:`repro.ipo.serialize`), and replays the
+        committed WAL tail through the normal mutation path - so the
+        recovered service answers at the exact pre-crash data version
+        with structures identical to the ones the crash destroyed (the
+        kill-and-recover differential test in ``tests/test_storage.py``
+        pins this against a from-scratch rebuild).
+
+        The template and ``ipo_k`` are part of the durable state; the
+        purely operational knobs (backend, cache capacity, worker
+        pool, checkpoint policy) are re-supplied per deployment.
+        ``with_mdc`` / ``with_adaptive`` default to what the persisted
+        service had.  Logging resumes onto the recovered WAL, so a
+        recovered service is immediately durable again.
+        """
+        store = DurableStore(
+            storage_dir,
+            CheckpointPolicy(checkpoint_every, checkpoint_wal_bytes),
+        )
+        recovered = store.recover()
+        document = recovered.snapshot
+        dyn = restore_dataset(document["data"])
+        # The service-facing dataset covers the *full slot space* so
+        # slot positions coincide with dynamic ids; in mutable mode all
+        # query paths select live ids through the dynamic dataset, so
+        # tombstoned slots are never served.
+        base = Dataset.from_encoded(
+            dyn.schema,
+            [tuple(row) for row in dyn.raw_rows],
+            [tuple(row) for row in dyn.canonical_rows],
+        )
+        template = preference_from_dict(document.get("template", {}))
+        restore = _RestoreState(
+            store=store,
+            dynamic=dyn,
+            template_skyline=_as_id_tuple(document.get("template_skyline")),
+            base_skyline=_as_id_tuple(document.get("base_skyline")),
+            tree=document.get("tree"),
+            tree_stale=bool(document.get("tree_stale")),
+            tail=tuple(recovered.tail),
+            snapshot_version=recovered.snapshot_version,
+        )
+        return cls(
+            base,
+            template,
+            backend=backend,
+            planner_config=planner_config,
+            cache_capacity=cache_capacity,
+            with_tree=False,  # restored from the snapshot document
+            ipo_k=document.get("ipo_k"),
+            with_mdc=(
+                bool(document.get("with_mdc", True))
+                if with_mdc is None
+                else with_mdc
+            ),
+            with_adaptive=(
+                bool(document.get("with_adaptive", True))
+                if with_adaptive is None
+                else with_adaptive
+            ),
+            workers=workers,
+            partitions=partitions,
+            partition_strategy=partition_strategy,
+            _restore=restore,
+        )
+
+    def checkpoint(self):
+        """Fold the WAL into a fresh snapshot now (exclusive); its path.
+
+        Also available through the automatic policy
+        (``checkpoint_every`` / ``checkpoint_wal_bytes``) and on the
+        CLI (``python -m repro.serve --storage-dir DIR --checkpoint``).
+        """
+        if self.storage is None:
+            raise StorageError(
+                "checkpoint() requires a service constructed with "
+                "storage_dir=... (or recovered from one)"
+            )
+        with self._rw.write():
+            return self.storage.checkpoint(
+                self._durable_state(), self._data_version()
+            )
+
+    def _durable_state(self) -> dict:
+        """The snapshot document for the current state (lock held).
+
+        Everything recovery needs rides in one document: the dataset's
+        full slot state *with canonical encodings*, the template, the
+        maintained skyline id lists, the serialized IPO-tree and the
+        staleness flags.  Callers must hold the write lock (or be the
+        single-threaded constructor).
+        """
+        dyn = self._dynamic
+        if dyn is None:
+            # Pre-mutation: serialise through the one authoritative
+            # shape (version 0, no tombstones, no maintainers yet).
+            data = dataset_state(DynamicDataset.from_dataset(self.dataset))
+            maintained = base_sky = None
+        else:
+            data = dataset_state(dyn)
+            maintained = list(self._maintainer.ids)
+            base_sky = list(self._base_maintainer.ids)
+        return {
+            "data": data,
+            "template": preference_to_dict(self.template),
+            "ipo_k": self._ipo_k,
+            "template_skyline": maintained,
+            "base_skyline": base_sky,
+            "tree": tree_to_dict(self.tree) if self.tree is not None else None,
+            "tree_stale": self._tree_stale,
+            # No mdc_stale field: recovery always rebuilds the MDC
+            # filter fresh from the maintained skylines, so persisted
+            # staleness would be dead payload.
+            "with_adaptive": self.adaptive is not None,
+            "with_mdc": self.mdc is not None,
+        }
+
+    def _install_recovered(
+        self, restore: _RestoreState, *, with_mdc: bool, with_adaptive: bool
+    ) -> None:
+        """Constructor tail for the recovery path (single-threaded).
+
+        The service enters mutable mode directly: the restored dynamic
+        dataset carries the snapshot's version/tombstones/compaction
+        epoch, the maintainers re-attach from their persisted id lists
+        (skipping the O(n) initial computation), Adaptive SFS is built
+        over the full slot space and then absorbs the tombstones
+        incrementally, the MDC filter is rebuilt fresh over the live
+        rows, and the IPO-tree is deserialised rather than rebuilt.
+        """
+        dyn = restore.dynamic
+        self._dynamic = dyn
+        self._maintainer = IncrementalSkyline(
+            dyn,
+            None,
+            template=self.template,
+            backend=self.backend,
+            members=restore.template_skyline,
+        )
+        self._base_maintainer = IncrementalSkyline(
+            dyn, None, backend=self.backend, members=restore.base_skyline
+        )
+        self.adaptive = None
+        if with_adaptive:
+            if restore.template_skyline is not None:
+                self.adaptive = AdaptiveSFS.restore(
+                    self.dataset,
+                    self.template,
+                    skyline_ids=restore.template_skyline,
+                    alive=dyn.alive_flags,
+                    backend=self.backend,
+                )
+            else:
+                # Pre-mutation snapshot: no maintained ids were
+                # persisted (and no tombstones exist), build normally.
+                self.adaptive = AdaptiveSFS(
+                    self.dataset, self.template, backend=self.backend
+                )
+        # Rebuilt from the *live* rows and the maintained skylines, so
+        # it is fresh by construction even when the crashed service had
+        # let it go stale.
+        self.mdc = (
+            MDCFilter(
+                dyn,
+                self.template,
+                backend=self.backend,
+                skyline_ids=self._maintainer.ids,
+                base_skyline_ids=self._base_maintainer.ids,
+            )
+            if with_mdc
+            else None
+        )
+        self._mdc_stale = False
+        self.tree = None
+        if restore.tree is not None:
+            self.tree = tree_from_dict(self.dataset, restore.tree)
+            # Prime the refresh diff baseline from the maintained base
+            # skyline - otherwise the first refresh pays a full
+            # base-data scan to reconstruct one.
+            self.tree.prime_refresh_baseline(
+                dyn,
+                base_skyline_ids=self._base_maintainer.ids,
+                backend=self.backend,
+            )
+            if restore.tree_stale:
+                # The checkpointed tree *content* lags the snapshot
+                # data, and the true baseline it would need for an
+                # incremental diff died with the crashed process - a
+                # baseline recomputed from the current data would
+                # compare old-vs-new as equal for members whose
+                # conditions changed, hiding flips.  Rework every old
+                # and new member instead (an all-dirty refresh rewrites
+                # each entry from the freshly computed conditions -
+                # equivalent to a rebuild of the per-node sets), which
+                # also brings the tree back into service immediately.
+                self.tree.refresh(
+                    set(self.tree.skyline_ids) | set(self._maintainer.ids),
+                    data=dyn,
+                    skyline_ids=self._maintainer.ids,
+                    base_skyline_ids=self._base_maintainer.ids,
+                    backend=self.backend,
+                )
+            self._tree_stale = False
+        self._template_skyline_size = len(self._maintainer)
+
+    def _replay_tail(self, tail: Sequence[dict]) -> None:
+        """Apply the committed WAL tail through the normal mutation path.
+
+        Each record re-runs the same incremental maintenance it ran
+        before the crash (maintainers, Adaptive SFS, tree refresh,
+        cache revision over the still-empty cache) with WAL logging
+        suppressed - the records are already durable; re-appending them
+        would duplicate history.  Every record's version stamp is
+        verified against the version the replay actually produced.
+        """
+        self._replaying = True
+        try:
+            for index, record in enumerate(tail):
+                op = record.get("op")
+                if op == "insert":
+                    version = self.insert_rows(
+                        [tuple(row) for row in record["rows"]]
+                    ).version
+                elif op == "delete":
+                    version = self.delete_rows(
+                        [int(point_id) for point_id in record["ids"]]
+                    ).version
+                elif op == "compact":
+                    self.compact()
+                    version = self.version
+                else:
+                    raise StorageError(
+                        f"WAL record {index} has unknown op {op!r}"
+                    )
+                if version != record.get("version"):
+                    raise StorageError(
+                        f"WAL replay diverged at record {index}: produced "
+                        f"data version {version}, log recorded "
+                        f"{record.get('version')!r}"
+                    )
+        finally:
+            self._replaying = False
+
+    def _log_mutation_locked(self, record: dict) -> None:
+        """Durably log one applied batch; auto-checkpoint if due.
+
+        Called with the write lock held, after the mutation was fully
+        absorbed (so a due checkpoint snapshots the post-batch state).
+        No-op without storage and during recovery replay.
+
+        If the append fails, the exception propagates to the mutating
+        caller - the batch is applied in memory but **not durable**,
+        and the store fail-stops: every further mutation raises until
+        a successful :meth:`checkpoint` re-syncs the durable state
+        (which re-covers the un-logged batch, since the snapshot
+        captures the in-memory state).  See
+        :meth:`repro.storage.store.DurableStore.log`.
+        """
+        if self.storage is None or self._replaying:
+            return
+        self.storage.log(record)
+        if self.storage.should_checkpoint():
+            self.storage.checkpoint(
+                self._durable_state(), self._data_version()
+            )
+
+    def _check_storage_writable_locked(self) -> None:
+        """Refuse to *apply* a mutation the store could not log.
+
+        After a failed WAL append, exactly one batch exists in memory
+        that is not durable.  Absorbing further batches would widen
+        that divergence while every call raises anyway (the store is
+        fail-stopped), so they are rejected before touching any state;
+        :meth:`checkpoint` heals both the store and the divergence.
+        """
+        if (
+            self.storage is not None
+            and not self._replaying
+            and self.storage.failed
+        ):
+            raise StorageError(
+                "mutations are fail-stopped: an earlier batch was "
+                "applied in memory but could not be logged; call "
+                "checkpoint() to make the current state durable and "
+                "resume"
+            )
 
     def data_snapshot(self) -> Dataset:
         """The currently served rows as an immutable :class:`Dataset`.
@@ -909,7 +1314,11 @@ class SkylineService:
             self._tree_stale = False
         if self._mdc_stale and self.mdc is not None:
             self.mdc = MDCFilter(
-                self._dynamic, self.template, backend=self.backend
+                self._dynamic,
+                self.template,
+                backend=self.backend,
+                skyline_ids=self._maintainer.ids,
+                base_skyline_ids=self._base_maintainer.ids,
             )
             self._mdc_stale = False
         self._reset_gate()

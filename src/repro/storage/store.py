@@ -1,0 +1,347 @@
+"""The durable store: directory layout, checkpoint policy, recovery.
+
+One :class:`DurableStore` owns one directory with the classic
+snapshot + log layout::
+
+    <dir>/snapshot-<version>.json   full state at data version <version>
+    <dir>/wal-<version>.log         batches applied on top of it
+
+A **checkpoint** writes ``snapshot-v.json`` atomically (see
+:mod:`repro.storage.snapshot`), opens a fresh ``wal-v.log`` and only
+then deletes the superseded generation - every crash window leaves at
+least one complete ``(snapshot, wal)`` pair on disk.  Between
+checkpoints, every mutation batch is appended to the active WAL and
+fsync'd before the mutation call returns (:mod:`repro.storage.wal`).
+
+**Recovery** picks the newest readable snapshot, loads it, and returns
+the WAL tail - the committed records stamped with versions *after* the
+snapshot's - for the caller to replay in order.  A torn final record
+(crash mid-append) is dropped; it never committed.  The version stamps
+double as an integrity check: replaying record ``k`` must move the
+data to exactly ``record[k]["version"]``, otherwise the store and the
+history diverged and recovery refuses to guess.
+
+The **checkpoint policy** bounds replay work: checkpoint after every
+``every_ops`` logged batches, or once the active WAL exceeds
+``wal_bytes`` bytes, whichever triggers first (either may be ``None``
+= never on that signal; the owner can always checkpoint explicitly).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import StorageError
+from repro.storage.snapshot import (
+    fsync_directory,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.storage.wal import WriteAheadLog
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
+_PAYLOAD_RE = re.compile(r"^snapshot-(\d+)\.npy$")
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to fold the WAL into a fresh snapshot automatically.
+
+    ``every_ops`` counts logged mutation *batches* since the last
+    checkpoint; ``wal_bytes`` is the active WAL's on-disk size.  Both
+    ``None`` means manual checkpoints only.
+    """
+
+    every_ops: Optional[int] = None
+    wal_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("every_ops", self.every_ops),
+                            ("wal_bytes", self.wal_bytes)):
+            if value is not None and value < 1:
+                raise StorageError(
+                    f"checkpoint policy {name} must be >= 1, got {value}"
+                )
+
+    def due(self, ops_since: int, wal_size: int) -> bool:
+        """Does either signal call for a checkpoint now?"""
+        if self.every_ops is not None and ops_since >= self.every_ops:
+            return True
+        if self.wal_bytes is not None and wal_size >= self.wal_bytes:
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class RecoveredState:
+    """What :meth:`DurableStore.recover` found on disk.
+
+    ``snapshot`` is the newest complete snapshot document; ``tail`` the
+    committed WAL records with versions after it, in apply order.
+    ``torn_tail`` reports whether a final, never-acknowledged record
+    was discarded (diagnostic only - the committed history is intact).
+    """
+
+    snapshot: Dict
+    tail: List[Dict]
+    snapshot_version: int
+    torn_tail: bool
+
+
+class DurableStore:
+    """Snapshot + WAL persistence for one serving deployment.
+
+    The store is deliberately dumb about *content*: the owner hands it
+    opaque snapshot documents and log records; the store owns naming,
+    atomicity, fsync, rotation, retention and the checkpoint policy.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        policy: Optional[CheckpointPolicy] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.policy = policy if policy is not None else CheckpointPolicy()
+        self._wal: Optional[WriteAheadLog] = None
+        self._ops_since_checkpoint = 0
+        self._failed = False
+        #: Checkpoints taken over this store's lifetime (observability).
+        self.checkpoints = 0
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def _snapshots(self) -> List[Tuple[int, Path]]:
+        """(version, path) of every snapshot present, ascending."""
+        found = []
+        for path in self.directory.iterdir():
+            match = _SNAPSHOT_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def _wal_path(self, base_version: int) -> Path:
+        return self.directory / f"wal-{base_version}.log"
+
+    def has_state(self) -> bool:
+        """Does the directory hold a recoverable snapshot already?"""
+        return bool(self._snapshots())
+
+    @property
+    def wal_size_bytes(self) -> int:
+        """On-disk size of the active WAL (0 before the first attach)."""
+        return self._wal.size_bytes if self._wal is not None else 0
+
+    @property
+    def ops_since_checkpoint(self) -> int:
+        """Mutation batches logged since the last checkpoint."""
+        return self._ops_since_checkpoint
+
+    @property
+    def failed(self) -> bool:
+        """True after a failed append until a checkpoint heals the store.
+
+        While failed, :meth:`log` refuses (see there); owners should
+        also refuse *applying* further mutations so memory does not
+        drift ever further ahead of the durable state.
+        """
+        return self._failed
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def checkpoint(self, document: Dict, version: int) -> Path:
+        """Write ``document`` as the snapshot at ``version``; rotate the WAL.
+
+        Crash-ordering: the new snapshot is durable (atomic rename)
+        *before* the fresh WAL is opened, and superseded files are
+        deleted only after both exist - recovery always finds a
+        complete generation, preferring the newest.  A successful
+        checkpoint also clears a fail-stopped WAL (see :meth:`log`):
+        the snapshot captures the exact in-memory state, so the
+        un-logged batch that tripped the failure is durable again.
+        """
+        path = write_snapshot(
+            self.directory / f"snapshot-{version}.json", document
+        )
+        self._failed = False
+        if self._wal is not None:
+            self._wal.close()
+        wal_path = self._wal_path(version)
+        wal_path.unlink(missing_ok=True)  # stale leftover from a crash
+        self._wal = WriteAheadLog(wal_path)
+        # Make the fresh WAL's *directory entry* durable: appends only
+        # fsync file data, so without this a crash could lose the whole
+        # acknowledged log as a never-created file.
+        fsync_directory(self.directory)
+        self._ops_since_checkpoint = 0
+        self.checkpoints += 1
+        self._prune(
+            keep={
+                path,
+                path.with_suffix(".npy"),  # binary canonical sidecar
+                wal_path,
+            }
+        )
+        return path
+
+    def log(self, record: Dict) -> None:
+        """Append one mutation batch to the active WAL (fsync'd).
+
+        **Fail-stop**: if an append ever fails (disk full, fsync error,
+        unserialisable value), the store marks itself failed and every
+        further ``log`` raises.  The owner has already applied the
+        batch in memory, so accepting *later* batches would append a
+        record whose version does not continue the log - a gap that
+        makes the whole directory unrecoverable.  Refusing instead
+        keeps the on-disk history a clean prefix: the failed batch's
+        caller saw an exception (so the batch was never acknowledged as
+        durable), and a subsequent successful :meth:`checkpoint`
+        re-syncs the durable state to memory and clears the condition.
+        """
+        if self._failed:
+            raise StorageError(
+                f"the write-ahead log in {self.directory} failed on an "
+                f"earlier append; further mutations would leave an "
+                f"unrecoverable version gap - checkpoint() to re-sync "
+                f"durable state, or restart and recover()"
+            )
+        if self._wal is None:
+            raise StorageError(
+                "no active WAL - checkpoint() or recover() first"
+            )
+        if "version" not in record or "op" not in record:
+            raise StorageError(
+                f"log records need 'op' and 'version' fields: {record!r}"
+            )
+        try:
+            self._wal.append(record)
+        except Exception as exc:
+            self._failed = True
+            if isinstance(exc, StorageError):
+                raise
+            raise StorageError(
+                f"write-ahead-log append failed: {exc}"
+            ) from exc
+        self._ops_since_checkpoint += 1
+
+    def should_checkpoint(self) -> bool:
+        """Is an automatic checkpoint due under the configured policy?"""
+        return self.policy.due(self._ops_since_checkpoint, self.wal_size_bytes)
+
+    def close(self) -> None:
+        """Close the active WAL handle (idempotent)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveredState:
+        """Load the newest snapshot + committed WAL tail; resume logging.
+
+        After this returns, the store appends to the recovered
+        generation's WAL (the tail records stay in place - they are
+        already durable; re-logging them would duplicate history).
+        """
+        snapshots = self._snapshots()
+        if not snapshots:
+            raise StorageError(
+                f"no snapshot found in {self.directory} - nothing to recover"
+            )
+        document, version = self._newest_readable(snapshots)
+        records, torn = WriteAheadLog.repair(self._wal_path(version))
+        tail: List[Dict] = []
+        expected = version
+        for index, record in enumerate(records):
+            got = record.get("version")
+            if not isinstance(got, int) or got != expected + 1:
+                raise StorageError(
+                    f"WAL record {index} of {self._wal_path(version)} is "
+                    f"stamped v{got!r}, expected v{expected + 1} - the log "
+                    f"does not continue this snapshot"
+                )
+            expected = got
+            tail.append(record)
+        if self._wal is not None:
+            self._wal.close()
+        self._wal = WriteAheadLog(self._wal_path(version))
+        fsync_directory(self.directory)  # the WAL may be newly created
+        self._ops_since_checkpoint = len(tail)
+        return RecoveredState(
+            snapshot=document,
+            tail=tail,
+            snapshot_version=version,
+            torn_tail=torn,
+        )
+
+    def _newest_readable(self, snapshots) -> Tuple[Dict, int]:
+        """The newest snapshot that loads cleanly; older ones fall back.
+
+        A crash between a checkpoint's renames and its directory fsync
+        can leave the newest generation partially visible (e.g. the
+        JSON document without its ``.npy`` sidecar); the superseded
+        generation is still complete because pruning runs last, and no
+        batch can have been acknowledged on top of the lost snapshot
+        (appends only start after the checkpoint - including its
+        directory fsync - returned).  That last fact is verified, not
+        assumed: falling back is refused when the broken generation's
+        WAL holds committed records, because then the unreadable
+        snapshot is *corruption* (bit rot, manual deletion), not a
+        crash artefact, and silently recovering older state would drop
+        acknowledged history.
+        """
+        errors = []
+        for index in range(len(snapshots) - 1, -1, -1):
+            version, path = snapshots[index]
+            try:
+                document = read_snapshot(path)
+                stamped = document.get("data", {}).get("data_version")
+                if stamped != version:
+                    raise StorageError(
+                        f"stamped with data version {stamped!r}, "
+                        f"expected {version}"
+                    )
+            except StorageError as exc:
+                newer_records, _torn = WriteAheadLog.read_records(
+                    self._wal_path(version)
+                )
+                if newer_records:
+                    raise StorageError(
+                        f"snapshot {path} is unreadable ({exc}) but its "
+                        f"WAL holds {len(newer_records)} committed "
+                        f"records - refusing to fall back and drop "
+                        f"acknowledged history"
+                    ) from None
+                errors.append(f"{path.name}: {exc}")
+                continue
+            return document, version
+        raise StorageError(
+            f"no readable snapshot in {self.directory}: "
+            + "; ".join(errors)
+        )
+
+    # ------------------------------------------------------------------
+    # retention
+    # ------------------------------------------------------------------
+    def _prune(self, keep) -> None:
+        """Delete superseded generations (best-effort)."""
+        for path in self.directory.iterdir():
+            if path in keep:
+                continue
+            if (
+                _SNAPSHOT_RE.match(path.name)
+                or _PAYLOAD_RE.match(path.name)
+                or (path.name.startswith("wal-") and path.suffix == ".log")
+                or path.name.endswith(".tmp")
+            ):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing cleaners
+                    pass

@@ -85,6 +85,43 @@ class DynamicDataset:
         out._alive = [True] * len(out._raw)
         return out
 
+    @classmethod
+    def restore(
+        cls,
+        schema: Schema,
+        raw: Sequence[Row],
+        canon: Sequence[CanonicalRow],
+        alive: Sequence[bool],
+        *,
+        version: int,
+        compactions: int = 0,
+    ) -> "DynamicDataset":
+        """Reassemble a dataset from previously exported state.
+
+        The inverse of the :attr:`raw_rows` / :attr:`canonical_rows` /
+        :attr:`alive_flags` / :attr:`version` / :attr:`compactions`
+        surface, used by the durability layer
+        (:mod:`repro.storage.snapshot`) to rebuild the exact slot space
+        of a snapshotted dataset - including tombstones, the mutation
+        counter and the compaction epoch - **without re-validating or
+        re-encoding any row**.  ``raw``, ``canon`` and ``alive`` must be
+        position-aligned and previously produced by a dataset over an
+        equal ``schema``; nothing is checked here.
+        """
+        if not (len(raw) == len(canon) == len(alive)):
+            raise DatasetError(
+                f"restore state is misaligned: {len(raw)} raw rows, "
+                f"{len(canon)} canonical rows, {len(alive)} liveness flags"
+            )
+        out = cls(schema)
+        out._raw = [tuple(row) for row in raw]
+        out._canon = [tuple(row) for row in canon]
+        out._alive = [bool(flag) for flag in alive]
+        out._dead = sum(1 for flag in out._alive if not flag)
+        out._version = int(version)
+        out._compactions = int(compactions)
+        return out
+
     # -- protocol ----------------------------------------------------------
     @property
     def schema(self) -> Schema:
@@ -134,6 +171,22 @@ class DynamicDataset:
     def is_live(self, point_id: int) -> bool:
         """True iff ``point_id`` names a non-deleted row."""
         return 0 <= point_id < len(self._alive) and self._alive[point_id]
+
+    @property
+    def raw_rows(self) -> List[Row]:
+        """All raw rows indexed by id - **including dead slots**.
+
+        Together with :attr:`canonical_rows` and :attr:`alive_flags`
+        this is the full exportable slot state consumed by
+        :meth:`restore`; dead slots keep their last value so ids stay
+        stable.
+        """
+        return self._raw
+
+    @property
+    def alive_flags(self) -> List[bool]:
+        """Per-slot liveness, indexed by id (False = tombstoned)."""
+        return self._alive
 
     @property
     def canonical_rows(self) -> List[CanonicalRow]:

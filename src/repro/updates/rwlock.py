@@ -11,15 +11,27 @@ waiting.
 
 Writer preference (readers queue behind a *waiting* writer) keeps a
 steady query storm from starving updates - exactly the regime the
-interleaved hammer test drives.  The lock is not reentrant across
-roles: a thread holding the read lock must not request the write lock
-(it would deadlock against itself).
+interleaved hammer test drives.  Writer preference has one classic
+starvation edge: a thread that already holds the read lock and
+re-enters it while a writer is queued would deadlock against that
+writer (the re-entering reader waits for the writer, the writer waits
+for the reader's first hold to drain).  The lock therefore tracks
+per-thread read holds and lets a thread that is *already inside* the
+shared section re-enter immediately - this cannot break exclusion
+(the thread provably holds the read lock, so no writer is active) and
+unblocks the writer the moment the thread unwinds all of its holds.
+
+Role *upgrades* stay forbidden: a thread holding the read lock that
+requests the write lock (or vice versa) would deadlock against itself,
+so both directions raise :class:`RuntimeError` with a clear message
+instead of hanging.  The write lock is likewise not reentrant.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from typing import Dict, Optional
 
 
 class ReadWriteLock:
@@ -29,7 +41,8 @@ class ReadWriteLock:
     --------
     >>> lock = ReadWriteLock()
     >>> with lock.read():
-    ...     pass          # shared with other readers
+    ...     with lock.read():
+    ...         pass      # re-entrant shared hold is fine
     >>> with lock.write():
     ...     pass          # exclusive
     """
@@ -37,38 +50,90 @@ class ReadWriteLock:
     def __init__(self) -> None:
         self._cond = threading.Condition()
         self._readers = 0
-        self._writer_active = False
+        self._writer: Optional[int] = None
         self._writers_waiting = 0
+        #: thread ident -> number of read holds (re-entrant reads).
+        self._read_holds: Dict[int, int] = {}
 
     def acquire_read(self) -> None:
-        """Block until no writer is active or waiting, then enter shared."""
+        """Block until no writer is active or waiting, then enter shared.
+
+        Re-entrant: a thread already inside the shared section enters
+        again immediately, even while a writer is queued (see module
+        docstring).  A thread holding the *write* lock must not request
+        the read lock; that raises :class:`RuntimeError`.
+        """
+        me = threading.get_ident()
         with self._cond:
-            while self._writer_active or self._writers_waiting:
+            if self._writer == me:
+                raise RuntimeError(
+                    "deadlock averted: this thread holds the write lock "
+                    "and requested the read lock (downgrades are not "
+                    "supported)"
+                )
+            if self._read_holds.get(me):
+                # Already inside the shared section: no writer can be
+                # active, and waiting for queued writers would deadlock.
+                self._read_holds[me] += 1
+                self._readers += 1
+                return
+            while self._writer is not None or self._writers_waiting:
                 self._cond.wait()
+            self._read_holds[me] = 1
             self._readers += 1
 
     def release_read(self) -> None:
         """Leave the shared section, waking writers when last out."""
+        me = threading.get_ident()
         with self._cond:
+            holds = self._read_holds.get(me, 0)
+            if holds <= 0:
+                raise RuntimeError(
+                    "release_read() by a thread that holds no read lock"
+                )
+            if holds == 1:
+                del self._read_holds[me]
+            else:
+                self._read_holds[me] = holds - 1
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
 
     def acquire_write(self) -> None:
-        """Block until exclusive (no readers, no other writer)."""
+        """Block until exclusive (no readers, no other writer).
+
+        Not reentrant, and a thread holding the read lock must not
+        request the write lock (the upgrade would deadlock against its
+        own read hold); both cases raise :class:`RuntimeError`.
+        """
+        me = threading.get_ident()
         with self._cond:
+            if self._writer == me:
+                raise RuntimeError(
+                    "deadlock averted: the write lock is not reentrant"
+                )
+            if self._read_holds.get(me):
+                raise RuntimeError(
+                    "deadlock averted: this thread holds the read lock "
+                    "and requested the write lock (upgrades are not "
+                    "supported; release the read lock first)"
+                )
             self._writers_waiting += 1
             try:
-                while self._writer_active or self._readers:
+                while self._writer is not None or self._readers:
                     self._cond.wait()
             finally:
                 self._writers_waiting -= 1
-            self._writer_active = True
+            self._writer = me
 
     def release_write(self) -> None:
         """Leave the exclusive section, waking everyone."""
         with self._cond:
-            self._writer_active = False
+            if self._writer != threading.get_ident():
+                raise RuntimeError(
+                    "release_write() by a thread that holds no write lock"
+                )
+            self._writer = None
             self._cond.notify_all()
 
     @contextmanager

@@ -287,6 +287,114 @@ class TestVersionedRevision:
         cache.store("k", (1,))
         assert cache.lookup("k") == (1,)
 
+    def test_fenced_store_counts_stale_only_never_invalidation(self):
+        """Regression: losing the store/revise race must not double-count.
+
+        A revise() that drops an entry counts one invalidation; the
+        in-flight store that then loses the version fence counts one
+        stale store - and nothing else.  The two counters must move
+        independently (one event each), not both for the same store.
+        """
+        cache = SemanticCache(capacity=4)
+        cache.store("k", (1,), version=cache.version)
+        before = cache.stats()
+        # The revise drops the entry (one invalidation)...
+        cache.revise(lambda key, ids: None)
+        mid = cache.stats()
+        assert mid.invalidations == before.invalidations + 1
+        assert mid.stale_stores == before.stale_stores
+        # ... and the racing store, fenced out, is stale - only stale.
+        accepted = cache.store("k", (1,), version=before.version)
+        after = cache.stats()
+        assert accepted is False
+        assert after.stale_stores == mid.stale_stores + 1
+        assert after.invalidations == mid.invalidations
+        assert after.stores == mid.stores
+
+    def test_store_and_revise_counters_conserve_under_hammering(self):
+        """Counter conservation under a store/revise/lookup storm.
+
+        Tracks every call's outcome from the caller side and asserts
+        the cache's own counters add up exactly afterwards:
+        ``hits + misses`` equals the lookups issued, every store
+        attempt landed in exactly one of accepted/stale, and every
+        entry a revision examined landed in exactly one of
+        retained/patched/invalidated.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers, rounds = 6, 200
+        cache = SemanticCache(capacity=64)
+        barrier = threading.Barrier(workers)
+        totals_lock = threading.Lock()
+        totals = {
+            "lookups": 0, "stores": 0, "accepted": 0,
+            "retained": 0, "patched": 0, "invalidated": 0, "revises": 0,
+        }
+
+        def hammer(tag: int):
+            rng = random.Random(tag)
+            local = dict.fromkeys(totals, 0)
+            barrier.wait()
+            for i in range(rounds):
+                action = rng.random()
+                if action < 0.5:
+                    # Versioned store racing concurrent revises: read
+                    # the version first so some stores lose the fence.
+                    version = cache.version
+                    if rng.random() < 0.3:
+                        cache.revise(lambda key, ids: ids)  # move data on
+                        local["revises"] += 1
+                    accepted = cache.store(
+                        (tag, i % 8), (i,), version=version
+                    )
+                    local["stores"] += 1
+                    local["accepted"] += 1 if accepted else 0
+                elif action < 0.8:
+                    cache.lookup((tag, rng.randrange(16)))
+                    local["lookups"] += 1
+                else:
+                    outcome = rng.random()
+                    retained, patched, invalidated = cache.revise(
+                        lambda key, ids: (
+                            None if outcome < 0.2
+                            else tuple(ids) + (999,) if outcome < 0.5
+                            else ids
+                        )
+                    )
+                    local["revises"] += 1
+                    local["retained"] += retained
+                    local["patched"] += patched
+                    local["invalidated"] += invalidated
+            with totals_lock:
+                for key, value in local.items():
+                    totals[key] += value
+            return tag
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            assert sorted(pool.map(hammer, range(workers))) == list(
+                range(workers)
+            )
+
+        stats = cache.stats()
+        assert stats.hits + stats.misses == totals["lookups"]
+        # Every store attempt: accepted xor fenced - no loss, no double.
+        assert stats.stores == totals["accepted"]
+        assert stats.stores + stats.stale_stores == totals["stores"]
+        # Every revised entry: retained xor patched xor invalidated.
+        # The identity revises in the store branch only retain, so the
+        # captured patch/invalidation outcomes are exhaustive.
+        assert stats.patches == totals["patched"]
+        assert stats.invalidations == totals["invalidated"]
+        assert stats.version == totals["revises"]
+        assert (
+            stats.revised
+            >= totals["retained"] + totals["patched"] + totals["invalidated"]
+        )
+        # Size accounting: what's in the map is what was stored and
+        # neither evicted nor invalidated (refreshing stores re-count).
+        assert 0 <= stats.size <= stats.capacity
+
 
 class TestInterleavedUpdatesAndQueries:
     """The serving layer's no-torn-reads contract under churn."""

@@ -178,9 +178,26 @@ class TestDriver:
         assert percentile(values, 50) == 2.0
         assert percentile(values, 95) == 4.0
         assert percentile(values, 0) == 1.0
-        assert percentile([], 50) == 0.0
+        assert percentile(values, 100) == 4.0
         with pytest.raises(ValueError):
             percentile(values, 150)
+
+    def test_percentile_tail_not_under_reported(self):
+        # Regression: on small samples the nearest rank must round *up*
+        # (ceil), otherwise p99 collapses onto lower observations.
+        values = list(range(1, 11))        # n = 10
+        assert percentile(values, 99) == 10     # ceil(9.9) = 10 -> index 9
+        assert percentile(values, 91) == 10
+        assert percentile(values, 90) == 9
+        assert percentile([7.0], 99) == 7.0
+        # A single outlier at the tail must surface at p99 for n = 100.
+        sample = [1.0] * 99 + [50.0]
+        assert percentile(sample, 99) == 1.0    # rank 99 of 100
+        assert percentile(sample, 100) == 50.0
+
+    def test_percentile_empty_sequence_raises_value_error(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
 
     def test_replay_reports_are_complete(self, dataset, template):
         service = SkylineService(dataset, template, cache_capacity=16)
