@@ -1,27 +1,41 @@
 #!/usr/bin/env python
-"""Micro-benchmark: skyline wall-clock, python vs numpy backend.
+"""Micro-benchmark: skyline wall-clock, python vs numpy vs bitset.
 
 Measures the end-to-end SFS skyline (presort + scan) over synthetic
-workloads at n in {1k, 10k, 100k} with d = 6 (3 numeric anti-correlated
+workloads at n up to 1M with d = 6 (3 numeric anti-correlated
 dimensions - the paper's Table 4 default - plus 3 nominal Zipfian
 dimensions, full-order preference on each nominal attribute so the
 partial order exercises the rank-remap path), using the
 :mod:`repro.bench.measure` machinery.
 
-Both backends are cross-checked for identical skyline id sets on every
-measured size, and the recorded baseline lives in
-``BENCH_backends.json`` at the repo root::
+Three backends are compared per size:
+
+* ``python`` - the tuple-at-a-time reference (skipped above
+  ``--python-cap`` rows, where it would run for minutes);
+* ``numpy`` - the columnar block kernels, with the suffix-minima
+  window shrink A/B'd (``numpy_noshrink_seconds`` is the same backend
+  with :data:`repro.engine.numpy_backend.SUFFIX_SHRINK` off);
+* ``bitset`` - the bit-parallel packed kernels, A/B'd with the
+  compiled C sweep disabled (``bitset_nokern_seconds`` is the pure
+  numpy-uint64 tier), so the report separates the packing win from
+  the compiled-kernel win.
+
+Every measured backend is cross-checked for the identical skyline id
+set on every size, the kernel availability of the host is recorded,
+and the recorded baseline lives in ``BENCH_backends.json`` at the repo
+root::
 
     PYTHONPATH=src python benchmarks/bench_backends.py
     PYTHONPATH=src python benchmarks/bench_backends.py \
-        --sizes 1000,10000 --repeats 3 --out BENCH_backends.json
+        --sizes 1000,1000000 --repeats 3 --out BENCH_backends.json
 
-The numpy column times the *query-time* work: the columnar store is
-part of the dataset (built lazily once, reused by every query), so it
-is warmed before the clock starts, exactly as a serving deployment
-would see it.  The first repeat pays the per-query rank remap inside
-the clock; ``RankTable.remap_columns`` caches it per store, so best-of
-over repeats measures the warm steady state.
+All vectorized columns time the *query-time* work: the columnar store
+is part of the dataset (built lazily once, reused by every query), so
+it is warmed before the clock starts, exactly as a serving deployment
+would see it.  The first repeat pays the per-query rank remap (and for
+``bitset`` the quantize-and-pack pass) inside the clock; both are
+cached per (table, store), so best-of over repeats measures the warm
+steady state.
 """
 
 from __future__ import annotations
@@ -30,16 +44,25 @@ import argparse
 import json
 import platform
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.algorithms.sfs import sfs_skyline
 from repro.bench.measure import timed
 from repro.core.dominance import RankTable
 from repro.core.preferences import ImplicitPreference, Preference
 from repro.datagen.generator import SyntheticConfig, generate
-from repro.engine import get_backend, numpy_available
+from repro.engine import (
+    backend_status,
+    get_backend,
+    make_bitset_backend,
+    numpy_available,
+)
 
-DEFAULT_SIZES = (1_000, 10_000, 100_000)
+DEFAULT_SIZES = (1_000, 10_000, 100_000, 1_000_000)
+
+#: Above this many rows the tuple-at-a-time python backend is skipped
+#: (its column would take minutes and teaches nothing new).
+DEFAULT_PYTHON_CAP = 100_000
 
 #: d = 6: three independent numeric dimensions, three nominal ones.
 NUM_NUMERIC = 3
@@ -60,7 +83,7 @@ def build_workload(num_points: int, seed: int = 0):
     dataset = generate(config)
     # Full-order implicit preference per nominal attribute (domain
     # order).  Order x = c is the paper's heaviest per-dimension query
-    # shape and keeps the skyline bounded at 100k points.
+    # shape and keeps the skyline bounded even at 1M points.
     prefs = {
         name: ImplicitPreference(dataset.schema.spec(name).domain)
         for name in dataset.schema.nominal_names
@@ -69,9 +92,13 @@ def build_workload(num_points: int, seed: int = 0):
     return dataset, table
 
 
-def measure_backend(dataset, table, backend_name: str, repeats: int):
-    """Best-of-``repeats`` skyline wall-clock for one backend."""
-    backend = get_backend(backend_name)
+def measure_backend(dataset, table, backend, repeats: int):
+    """Best-of-``repeats`` skyline wall-clock for one backend.
+
+    ``backend`` is a name or an instance (the A/B variants pass
+    configured instances).
+    """
+    backend = get_backend(backend)
     store = dataset.columns if backend.vectorized else None
     rows = dataset.canonical_rows
     best = float("inf")
@@ -86,9 +113,23 @@ def measure_backend(dataset, table, backend_name: str, repeats: int):
     return sorted(result), best
 
 
-def run(sizes, repeats: int) -> Dict:
+def _measure_numpy_noshrink(dataset, table, repeats: int) -> float:
+    """The numpy column with the suffix-minima window shrink off."""
+    from repro.engine import numpy_backend
+
+    saved = numpy_backend.SUFFIX_SHRINK
+    numpy_backend.SUFFIX_SHRINK = False
+    try:
+        _, seconds = measure_backend(dataset, table, "numpy", repeats)
+    finally:
+        numpy_backend.SUFFIX_SHRINK = saved
+    return seconds
+
+
+def run(sizes, repeats: int, python_cap: int) -> Dict:
+    bitset = get_backend("bitset")
     report = {
-        "benchmark": "sfs skyline wall-clock, python vs numpy backend",
+        "benchmark": "sfs skyline wall-clock, python vs numpy vs bitset",
         "config": {
             "num_numeric": NUM_NUMERIC,
             "num_nominal": NUM_NOMINAL,
@@ -97,11 +138,14 @@ def run(sizes, repeats: int) -> Dict:
             "distribution": "anticorrelated",
             "preference": "full order per nominal attribute",
             "repeats": repeats,
+            "python_cap": python_cap,
             "timing": "best of repeats; columnar store warmed; rank "
-            "remap cached after the first repeat (best-of measures "
-            "the warm steady state)",
+            "remap and bitset packing cached after the first repeat "
+            "(best-of measures the warm steady state)",
         },
         "python": platform.python_version(),
+        "bitset_status": str(backend_status("bitset")),
+        "bitset_compiled": bitset.compiled,
         "results": [],
     }
     for n in sizes:
@@ -112,32 +156,79 @@ def run(sizes, repeats: int) -> Dict:
         )
         print(
             f"n={n}: numpy {numpy_seconds:.3f}s "
-            f"(|SKY|={len(numpy_ids)}); running python ...",
+            f"(|SKY|={len(numpy_ids)}); running bitset ...",
             file=sys.stderr,
             flush=True,
         )
-        python_ids, python_seconds = measure_backend(
-            dataset, table, "python", repeats
+        bitset_ids, bitset_seconds = measure_backend(
+            dataset, table, "bitset", repeats
         )
-        if python_ids != numpy_ids:
+        if bitset_ids != numpy_ids:
             raise SystemExit(
-                f"backend mismatch at n={n}: "
-                f"{len(python_ids)} vs {len(numpy_ids)} skyline points"
+                f"backend mismatch at n={n}: bitset found "
+                f"{len(bitset_ids)} vs numpy {len(numpy_ids)} points"
             )
-        speedup = python_seconds / numpy_seconds if numpy_seconds else None
+        nokern_seconds: Optional[float] = None
+        if bitset.compiled:
+            nokern_ids, nokern_seconds = measure_backend(
+                dataset, table, make_bitset_backend(kernel="off"), repeats
+            )
+            if nokern_ids != numpy_ids:
+                raise SystemExit(
+                    f"backend mismatch at n={n}: bitset(kernel=off) "
+                    f"found {len(nokern_ids)} points"
+                )
+        noshrink_seconds = _measure_numpy_noshrink(dataset, table, repeats)
+        python_seconds: Optional[float] = None
+        if n <= python_cap:
+            python_ids, python_seconds = measure_backend(
+                dataset, table, "python", repeats
+            )
+            if python_ids != numpy_ids:
+                raise SystemExit(
+                    f"backend mismatch at n={n}: python found "
+                    f"{len(python_ids)} vs numpy {len(numpy_ids)} points"
+                )
+        speedup = (
+            python_seconds / numpy_seconds
+            if python_seconds and numpy_seconds
+            else None
+        )
+        bitset_over_numpy = (
+            numpy_seconds / bitset_seconds if bitset_seconds else None
+        )
         print(
-            f"n={n}: python {python_seconds:.3f}s -> "
-            f"speedup {speedup:.1f}x",
+            f"n={n}: bitset {bitset_seconds:.3f}s "
+            f"({bitset_over_numpy:.1f}x over numpy)"
+            + (
+                f", python {python_seconds:.3f}s ({speedup:.1f}x)"
+                if python_seconds is not None
+                else ""
+            ),
             file=sys.stderr,
             flush=True,
         )
         report["results"].append(
             {
                 "num_points": n,
-                "skyline_size": len(python_ids),
-                "python_seconds": round(python_seconds, 6),
+                "skyline_size": len(numpy_ids),
+                "python_seconds": (
+                    round(python_seconds, 6)
+                    if python_seconds is not None
+                    else None
+                ),
                 "numpy_seconds": round(numpy_seconds, 6),
+                "numpy_noshrink_seconds": round(noshrink_seconds, 6),
+                "bitset_seconds": round(bitset_seconds, 6),
+                "bitset_nokern_seconds": (
+                    round(nokern_seconds, 6)
+                    if nokern_seconds is not None
+                    else None
+                ),
                 "speedup": round(speedup, 2) if speedup else None,
+                "bitset_over_numpy": (
+                    round(bitset_over_numpy, 2) if bitset_over_numpy else None
+                ),
             }
         )
     return report
@@ -148,13 +239,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--sizes",
         default=",".join(str(n) for n in DEFAULT_SIZES),
-        help="comma-separated dataset sizes (default: 1000,10000,100000)",
+        help="comma-separated dataset sizes "
+        "(default: 1000,10000,100000,1000000)",
     )
     parser.add_argument(
         "--repeats",
         type=int,
         default=1,
         help="timed repetitions per backend (best-of; default 1)",
+    )
+    parser.add_argument(
+        "--python-cap",
+        type=int,
+        default=DEFAULT_PYTHON_CAP,
+        help="skip the python backend above this many rows "
+        f"(default: {DEFAULT_PYTHON_CAP})",
     )
     parser.add_argument(
         "--out",
@@ -166,7 +265,7 @@ def main(argv=None) -> int:
         print("numpy is not installed; nothing to compare", file=sys.stderr)
         return 1
     sizes = [int(s) for s in args.sizes.split(",") if s]
-    report = run(sizes, args.repeats)
+    report = run(sizes, args.repeats, args.python_cap)
     payload = json.dumps(report, indent=2)
     if args.out:
         with open(args.out, "w") as handle:

@@ -47,6 +47,12 @@ def _metric(
         yield (name, float(value), higher_is_better, ratio)
 
 
+#: The bitset-over-numpy ratio is a headline metric only at scale: at
+#: small n the packed tier's quantize/pack overhead dominates and the
+#: ratio is noise, not signal.
+BITSET_HEADLINE_MIN_ROWS = 100_000
+
+
 def backends_metrics(report: Dict) -> Iterator[Metric]:
     """Headline metrics of a ``bench_backends.py`` report."""
     for entry in report.get("results", []):
@@ -62,6 +68,15 @@ def backends_metrics(report: Dict) -> Iterator[Metric]:
             f"backends[n={n}].numpy_seconds",
             entry.get("numpy_seconds"), False, False,
         )
+        yield from _metric(
+            f"backends[n={n}].bitset_seconds",
+            entry.get("bitset_seconds"), False, False,
+        )
+        if isinstance(n, int) and n >= BITSET_HEADLINE_MIN_ROWS:
+            yield from _metric(
+                f"backends[n={n}].bitset_over_numpy",
+                entry.get("bitset_over_numpy"), True, True,
+            )
 
 
 def parallel_metrics(report: Dict) -> Iterator[Metric]:

@@ -8,8 +8,13 @@ equivalent editable install using only setuptools.
 The package has **zero required dependencies**: the pure-Python
 execution backend is always available.  NumPy is an optional extra
 (``pip install repro[fast]``) enabling the vectorized columnar backend
+and the ``uint64``-lane tier of the bit-parallel ``bitset`` backend
 (see ``src/repro/engine/README.md``); the import machinery degrades
-gracefully when it is absent.
+gracefully when it is absent.  The ``bitset`` backend's compiled C
+sweep needs no extra at all — it is built on demand with the system C
+compiler when one exists (gate with ``REPRO_BITSET_KERNEL``), and the
+backend falls back to NumPy lanes, then to arbitrary-width Python
+ints, without changing any answer.
 """
 
 from setuptools import find_packages, setup

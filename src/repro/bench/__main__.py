@@ -50,11 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["auto", "python", "numpy"],
+        choices=["auto", "python", "numpy", "bitset"],
         default="auto",
         help="execution backend for every method: columnar 'numpy', "
-        "reference 'python', or 'auto' (the process default) - the A/B "
-        "axis for comparing vectorized vs tuple-at-a-time runs",
+        "reference 'python', bit-parallel packed 'bitset', or 'auto' "
+        "(the process default) - the A/B axis for comparing vectorized "
+        "vs tuple-at-a-time runs",
     )
     parser.add_argument(
         "--no-sfs-d",

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.columnar import numpy_available
@@ -163,9 +164,73 @@ def register_backend(name: str, factory: Callable[[], Backend]) -> None:
     _INSTANCES.pop(name, None)
 
 
+@dataclass(frozen=True)
+class BackendStatus:
+    """Availability of one registered backend.
+
+    ``detail`` carries the backend's own tier report when available
+    (:meth:`Backend.availability_detail` if the backend defines one)
+    or the resolution error when not - so "registered but unavailable"
+    (e.g. ``numpy`` without NumPy installed) is distinguishable from
+    "unknown name" without triggering the failure at route time.
+    """
+
+    name: str
+    available: bool
+    detail: str
+
+    def __str__(self) -> str:
+        state = "available" if self.available else "unavailable"
+        return f"{self.name}: {state}" + (
+            f" ({self.detail})" if self.detail else ""
+        )
+
+
 def registered_backends() -> Tuple[str, ...]:
-    """Names of all registered backends (available or not)."""
+    """Names of all registered backends (available or not).
+
+    Use :func:`backend_status` when availability matters: a registered
+    name here may still fail to resolve (missing dependency).
+    """
     return tuple(sorted(_FACTORIES))
+
+
+def backend_status(name: Optional[str] = None):
+    """Availability report for one backend or all registered ones.
+
+    With ``name``: the :class:`BackendStatus` of that backend (raises
+    :class:`EngineError` only for *unknown* names - an unavailable
+    backend is reported, not raised).  Without: a tuple with one entry
+    per registered backend, sorted by name.  The planner and the CLIs
+    use this to degrade gracefully instead of raising at route time.
+    """
+    if name is not None:
+        if name not in _FACTORIES:
+            raise EngineError(_unknown_backend_message(name))
+        return _probe_status(name)
+    return tuple(_probe_status(n) for n in sorted(_FACTORIES))
+
+
+def _probe_status(name: str) -> BackendStatus:
+    try:
+        backend = get_backend(name)
+    except EngineError as exc:
+        return BackendStatus(name, False, str(exc))
+    detail = getattr(backend, "availability_detail", None)
+    return BackendStatus(name, True, detail() if callable(detail) else "")
+
+
+def _unknown_backend_message(name: str) -> str:
+    parts = []
+    for registered in sorted(_FACTORIES):
+        status = _probe_status(registered)
+        parts.append(
+            registered if status.available else f"{registered} (unavailable)"
+        )
+    return (
+        f"unknown backend {name!r}; registered backends: "
+        f"{', '.join(parts) or 'none'}"
+    )
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -213,11 +278,13 @@ def get_backend(name: Optional[Union[str, Backend]] = None) -> Backend:
     try:
         factory = _FACTORIES[name]
     except KeyError:
+        raise EngineError(_unknown_backend_message(name)) from None
+    try:
+        backend = factory()
+    except EngineError as exc:
         raise EngineError(
-            f"unknown backend {name!r}; registered backends: "
-            f"{', '.join(registered_backends())}"
-        ) from None
-    backend = factory()
+            f"backend {name!r} is registered but unavailable: {exc}"
+        ) from exc
     _INSTANCES[name] = backend
     return backend
 

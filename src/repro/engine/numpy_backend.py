@@ -70,6 +70,21 @@ _STAGE_GROWTH = 2
 #: Maximum number of cells any broadcast temporary may hold.
 _CELL_BUDGET = 1 << 24
 
+#: Window-shrinking toggle of the staged sweep (see ``_dominated_any``).
+#: Module-level so the backend benchmark can A/B the trick off; always
+#: on in production.
+SUFFIX_SHRINK = True
+
+#: Only windows longer than this consult the suffix minima: the check
+#: costs one ranks pass over the candidates per stage, which short
+#: windows (the skyline kernel's <= _BLOCK accept batches) cannot
+#: recoup, while long membership sweeps (the parallel merge) can.
+_SHRINK_MIN_WINDOW = 512
+
+#: Stop checking once fewer window columns than this remain - the tail
+#: stages cost less than the check itself.
+_SHRINK_MIN_REMAINING = 64
+
 
 class _NumpyContext:
     """Transposed ranks/values + scores for one (rows, table) pair."""
@@ -173,41 +188,72 @@ def _dominated_any(np, nominal, window: _Cols, candidates: _Cols):
     Survivor buffers are managed lazily: the ``dead`` output and the
     position map are allocated once up front, and the column batch is
     only compacted (a fancy-indexing copy of every array) when at
-    least half of its remaining columns are dead.  Compacting after
+    least half of its remaining columns are settled.  Compacting after
     every stage - the previous behaviour - re-copied the large early
     survivor sets several times; deferring until the copy halves the
     batch bounds total copy work at ~2x the input size while keeping
-    the late, wide stages dense."""
+    the late, wide stages dense.
+
+    Window shrinking (:data:`SUFFIX_SHRINK`): per-dimension *suffix
+    minima* of the window ranks bound which candidates the remaining
+    window can still dominate.  A candidate strictly below the suffix
+    minimum on any dimension has no not-worse window member left there
+    (on nominal dimensions value equality would force a rank tie,
+    contradicting the strict inequality), so each stage drops such
+    candidates from the scan outright instead of re-reading them
+    against every remaining window column."""
     num_candidates = candidates.size
     dead = np.zeros(num_candidates, dtype=bool)
     num_window = window.size
     if num_window == 0 or num_candidates == 0:
         return dead
+    shrink = SUFFIX_SHRINK and num_window > _SHRINK_MIN_WINDOW
+    if shrink:
+        # suffix_min[:, s] = per-dimension min of window.ranks[:, s:].
+        suffix_min = np.minimum.accumulate(
+            window.ranks[:, ::-1], axis=1
+        )[:, ::-1]
     # Maps current batch columns back to candidate positions; grows
-    # stale entries (columns already dead but not yet compacted away)
-    # that `local_dead` masks out of each stage's verdict.
+    # stale entries (columns already settled - dead, or immune to the
+    # remaining window - but not yet compacted away) that `settled`
+    # masks out of each stage's verdict.
     alive = np.arange(num_candidates)
     current = candidates
-    local_dead = np.zeros(num_candidates, dtype=bool)
+    settled = np.zeros(num_candidates, dtype=bool)
     alive_count = num_candidates
     done = 0
     stage = _FIRST_STAGE
     while done < num_window and alive_count:
+        if shrink and done and num_window - done >= _SHRINK_MIN_REMAINING:
+            immune = (
+                current.ranks < suffix_min[:, done, None]
+            ).any(axis=0) & ~settled
+            drops = int(immune.sum())
+            if drops:
+                settled |= immune
+                alive_count -= drops
+                if not alive_count:
+                    break
+                if alive_count * 2 <= current.size:
+                    keep = ~settled
+                    alive = alive[keep]
+                    current = current.take(keep)
+                    settled = np.zeros(alive_count, dtype=bool)
         stop = min(num_window, done + stage)
         dom = _dominates_matrix(
             np, nominal, window.take(slice(done, stop)), current
         ).any(axis=0)
-        fresh = dom & ~local_dead
+        fresh = dom & ~settled
         kills = int(fresh.sum())
         if kills:
             dead[alive[fresh]] = True
-            local_dead |= fresh
+            settled |= fresh
             alive_count -= kills
             if alive_count * 2 <= current.size:
-                keep = ~local_dead
+                keep = ~settled
                 alive = alive[keep]
                 current = current.take(keep)
-                local_dead = np.zeros(alive_count, dtype=bool)
+                settled = np.zeros(alive_count, dtype=bool)
         done = stop
         stage *= _STAGE_GROWTH
     return dead

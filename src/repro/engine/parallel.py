@@ -50,8 +50,11 @@ Execution modes
   of the prepared float64 rank/value columns (one
   :class:`multiprocessing.shared_memory.SharedMemory` block per array,
   attached read-only in every worker - the 200k-row context is shipped
-  once, not per task).  Requires the vectorized inner backend; falls
-  back to threads for the pure-python one.
+  once, not per task).  A ``"bitset"`` inner backend additionally
+  shares its packed ``uint8`` bucket matrix, so both the local
+  skylines and the merge membership sweeps run bit-parallel in the
+  workers.  Requires a vectorized inner backend; falls back to threads
+  for the pure-python tiers.
 * ``"serial"`` - partition + merge on the calling thread (deterministic
   debugging / property tests).
 * ``"auto"`` - ``process`` when the inner backend is vectorized, the
@@ -234,14 +237,18 @@ def fork_available() -> bool:
 def _shm_task(task):
     """Process-pool task over shared memory: local skyline or merge chunk.
 
-    ``task`` is ``(shm_names, num_dims, num_rows, nominal, ids,
-    against)`` where ``shm_names`` name three shared-memory blocks
+    ``task`` is ``(shm_names, backend_spec, num_dims, num_rows, nominal,
+    ids, against)`` where ``shm_names`` name the shared-memory blocks
     holding the prepared context's transposed rank matrix, transposed
-    value matrix and score vector.  The worker attaches the blocks (no
-    copy) and rebuilds a numpy context view; with ``against=None`` it
-    runs the accept-then-sweep skyline kernel over ``ids`` (phase 1),
-    otherwise the ``dominated_any`` membership sweep of ``ids`` against
-    the score-sorted union (phase 2, the parallel merge).
+    value matrix and score vector - plus, when ``backend_spec`` is
+    ``("bitset", kernel)``, a fourth block with the ``(d, n) uint8``
+    packed bucket matrix, so the worker runs the bit-parallel kernels
+    on the *packed* representation without re-quantizing.  The worker
+    attaches the blocks (no copy) and rebuilds the matching context
+    view; with ``against=None`` it runs the accept-then-sweep skyline
+    kernel over ``ids`` (phase 1), otherwise the ``dominated_any``
+    membership sweep of ``ids`` against the score-sorted union (phase
+    2, the parallel merge).
     """
     from multiprocessing import shared_memory
 
@@ -249,7 +256,7 @@ def _shm_task(task):
 
     from repro.engine.numpy_backend import NumpyBackend, _NumpyContext
 
-    shm_names, num_dims, num_rows, nominal, ids, against = task
+    shm_names, backend_spec, num_dims, num_rows, nominal, ids, against = task
     blocks = [shared_memory.SharedMemory(name=name) for name in shm_names]
     try:
         ranks_t = np.ndarray(
@@ -261,10 +268,23 @@ def _shm_task(task):
         scores = np.ndarray(
             (num_rows,), dtype=np.float64, buffer=blocks[2].buf
         )
-        ctx = _NumpyContext(
+        inner_ctx = _NumpyContext(
             None, ranks_t, values_t, scores, list(nominal), None, np
         )
-        backend = NumpyBackend()
+        if backend_spec[0] == "bitset":
+            from repro.engine.bitset_backend import (
+                BitsetBackend,
+                _BitsetContext,
+            )
+
+            buckets_t = np.ndarray(
+                (num_dims, num_rows), dtype=np.uint8, buffer=blocks[3].buf
+            )
+            ctx = _BitsetContext(inner_ctx, buckets_t, None)
+            backend = BitsetBackend(packed="numpy", kernel=backend_spec[1])
+        else:
+            ctx = inner_ctx
+            backend = NumpyBackend()
         if against is None:
             return backend.skyline(ctx, ids)
         return backend.dominated_any(ctx, ids, against)
@@ -314,21 +334,39 @@ def _reassemble(order, dead_chunks, k: int) -> List[int]:
 
 
 class _SharedContext:
-    """Shared-memory export of a prepared numpy context.
+    """Shared-memory export of a prepared vectorized context.
 
-    Copies the three context arrays into named shared-memory blocks
-    once; every worker process then attaches them zero-copy.  Use as a
-    context manager so the blocks are always unlinked.
+    Copies the context arrays into named shared-memory blocks once;
+    every worker process then attaches them zero-copy.  A bitset inner
+    backend additionally ships its packed ``uint8`` bucket matrix (the
+    quantile cuts are a pure function of the rank columns, so the
+    workers reuse the parent's quantization verbatim) and the workers
+    run the bit-parallel kernels; any other vectorized inner backend
+    gets the plain numpy worker.  Use as a context manager so the
+    blocks are always unlinked.
     """
 
-    def __init__(self, inner_ctx) -> None:
+    def __init__(self, inner_ctx, inner_backend=None) -> None:
         from multiprocessing import shared_memory
 
         np = inner_ctx.np
+        self.backend_spec = ("numpy",)
+        arrays = [
+            np.ascontiguousarray(array, dtype=np.float64)
+            for array in (
+                inner_ctx.ranks_t, inner_ctx.values_t, inner_ctx.scores
+            )
+        ]
+        buckets_t = getattr(inner_ctx, "buckets_t", None)
+        if buckets_t is not None and getattr(
+            inner_backend, "name", None
+        ) == "bitset":
+            arrays.append(np.ascontiguousarray(buckets_t, dtype=np.uint8))
+            kernel = "auto" if inner_backend.compiled else "off"
+            self.backend_spec = ("bitset", kernel)
         self._blocks = []
         self.names: List[str] = []
-        for array in (inner_ctx.ranks_t, inner_ctx.values_t, inner_ctx.scores):
-            source = np.ascontiguousarray(array, dtype=np.float64)
+        for source in arrays:
             block = shared_memory.SharedMemory(
                 create=True, size=max(1, source.nbytes)
             )
@@ -352,6 +390,7 @@ class _SharedContext:
             ids = ids.tolist() if hasattr(ids, "tolist") else list(ids)
         return (
             self.names,
+            self.backend_spec,
             self.num_dims,
             self.num_rows,
             self.nominal,
@@ -698,7 +737,7 @@ class ParallelBackend(Backend):
         from concurrent.futures import ProcessPoolExecutor
 
         mp_context = multiprocessing.get_context(_start_method())
-        with _SharedContext(ctx.inner) as shared:
+        with _SharedContext(ctx.inner, self.inner) as shared:
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, max(1, len(parts))),
                 mp_context=mp_context,

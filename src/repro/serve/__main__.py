@@ -108,7 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--template-order", type=int, default=1,
                         help="order of the frequent-value template "
                         "(0 = empty template; default: 1)")
-    parser.add_argument("--backend", choices=["auto", "python", "numpy"],
+    parser.add_argument("--backend",
+                        choices=["auto", "python", "numpy", "bitset"],
                         default="auto",
                         help="execution backend (default: process default)")
     parser.add_argument("--route", choices=list(ROUTES), default=None,

@@ -19,6 +19,13 @@ implicit-preference skyline query, each with a different cost shape:
   by the partition-skyline-merge executor
   (:mod:`repro.engine.parallel`); wins over ``"kernel"`` on large,
   moderate-dimensional datasets when a worker pool is configured.
+* **bit-parallel kernel** (``"bitset"``) - the full scan on the packed
+  dominance kernels (:mod:`repro.engine.bitset_backend`): one bitwise
+  AND tests 64 accepted points at once, so on large low-dimensional
+  scans it beats both the plain and the partitioned numpy kernel.
+  When a worker pool is configured the service executes this route as
+  the partitioned executor *wrapping* the bitset backend, combining
+  both speedups.
 * **incremental** (``"incremental"``) - a kernel scan restricted to
   the *incrementally maintained* template skyline
   (:mod:`repro.updates`).  Under heavy churn the materialised indexes
@@ -43,7 +50,9 @@ from typing import Dict, Optional, Tuple
 from repro.core.preferences import Preference
 
 #: All routes the planner can emit, in preference order.
-ROUTES = ("incremental", "ipo", "adaptive", "mdc", "parallel", "kernel")
+ROUTES = (
+    "incremental", "ipo", "adaptive", "mdc", "bitset", "parallel", "kernel"
+)
 
 
 @dataclass(frozen=True)
@@ -81,6 +90,17 @@ class PlannerConfig:
     #: parallel route stops paying; fall back to the plain kernel.
     parallel_max_dims: int = 12
 
+    #: The packed bit-parallel kernel amortises its quantize-and-pack
+    #: pass only on large scans; below this many base rows the plain
+    #: (or partitioned) kernel route is kept.
+    bitset_min_rows: int = 100_000
+
+    #: Bucket false positives of the packed AND grow with
+    #: dimensionality (the conjunction over per-dimension threshold
+    #: bitmaps thins out), so above this many dimensions the exact
+    #: refine dominates the sweep and the bitset route stops paying.
+    bitset_max_dims: int = 8
+
     #: Once the service has seen at least this many row updates per
     #: served query, it is churn-heavy: queries route to the
     #: incrementally maintained template skyline (always exact, O(1) to
@@ -103,6 +123,10 @@ class PlannerConfig:
             raise ValueError("parallel_min_rows must be >= 0")
         if self.parallel_max_dims < 1:
             raise ValueError("parallel_max_dims must be >= 1")
+        if self.bitset_min_rows < 0:
+            raise ValueError("bitset_min_rows must be >= 0")
+        if self.bitset_max_dims < 1:
+            raise ValueError("bitset_max_dims must be >= 1")
         if self.incremental_update_ratio < 0:
             raise ValueError("incremental_update_ratio must be >= 0")
 
@@ -130,6 +154,9 @@ class PlanSignals:
     #: Dimensionality of the dataset (the parallel gate degrades with
     #: ``d`` - see ``PlannerConfig.parallel_max_dims``).
     dimensions: int = 0
+    #: The service holds a vectorized (numpy-tier) bitset backend for
+    #: scan routes; defaulted so older signal producers keep working.
+    bitset_available: bool = False
     #: An :class:`~repro.updates.incremental.IncrementalSkyline`
     #: maintainer tracks the template skyline (the service has entered
     #: mutable mode); defaulted so older signal producers keep working.
@@ -179,11 +206,15 @@ class Planner:
     6. MDC filter available -> ``mdc``.
     7. Adaptive SFS available -> ``adaptive`` (better than a raw scan
        even with many affected members: it searches inside SKY(R~)).
-    8. No auxiliary structure left: a base-data scan is due.  When a
-       partitioned executor is configured with at least two workers,
-       the dataset is at least ``parallel_min_rows`` and at most
-       ``parallel_max_dims``-dimensional -> ``parallel``.
-    9. Otherwise -> ``kernel``.
+    8. No auxiliary structure left: a base-data scan is due.  When the
+       vectorized bitset backend is available, the dataset is at least
+       ``bitset_min_rows`` and at most ``bitset_max_dims``-dimensional
+       -> ``bitset`` (the packed bit-parallel scan; executed under the
+       worker pool when one is configured).
+    9. Else, when a partitioned executor is configured with at least
+       two workers, the dataset is at least ``parallel_min_rows`` and
+       at most ``parallel_max_dims``-dimensional -> ``parallel``.
+    10. Otherwise -> ``kernel``.
     """
 
     def __init__(self, config: Optional[PlannerConfig] = None) -> None:
@@ -248,6 +279,18 @@ class Planner:
                 "adaptive",
                 "no MDC conditions available; Adaptive SFS still searches "
                 "inside the template skyline only",
+                signals,
+            )
+        if (
+            signals.bitset_available
+            and signals.dataset_rows >= cfg.bitset_min_rows
+            and signals.dimensions <= cfg.bitset_max_dims
+        ):
+            return Plan(
+                "bitset",
+                f"full scan over {signals.dataset_rows} rows in "
+                f"{signals.dimensions} dimensions; packed bit-parallel "
+                "kernel evaluates 64 dominance tests per word op",
                 signals,
             )
         if (

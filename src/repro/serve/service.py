@@ -52,7 +52,7 @@ from repro.core.preferences import (
 )
 from repro.core.skyline import skyline
 from repro.engine import make_parallel_backend, resolve_backend
-from repro.exceptions import ReproError, StorageError
+from repro.exceptions import EngineError, ReproError, StorageError
 from repro.ipo.serialize import (
     preference_from_dict,
     preference_to_dict,
@@ -225,7 +225,9 @@ class SkylineService:
         size (``None`` disables it; the planner additionally requires
         at least two workers before routing there).  The pool executes
         full scans as partition-local skylines plus one merge sweep
-        (:mod:`repro.engine.parallel`).
+        (:mod:`repro.engine.parallel`).  The ``"bitset"`` route also
+        runs under this pool when configured (partitioned executor
+        wrapping the packed kernels).
     partitions, partition_strategy:
         Partition count (defaults to ``workers``) and strategy
         (``"round-robin"`` | ``"sorted"`` | ``"entropy"``) of that
@@ -300,6 +302,37 @@ class SkylineService:
             if workers is not None
             else None
         )
+        # The bit-parallel scan route: only the vectorized (numpy)
+        # tier of the bitset backend out-scans the plain kernel, so
+        # the route stays off on python-int-only hosts.  With a worker
+        # pool the route runs as the partitioned executor wrapping the
+        # bitset kernels (packed local skylines + packed merge sweep).
+        self.bitset = None
+        self._bitset_exec = None
+        try:
+            candidate = (
+                self.backend
+                if self.backend.name == "bitset"
+                else resolve_backend("bitset")
+            )
+        except EngineError:  # pragma: no cover - registry always has it
+            candidate = None
+        if candidate is not None and candidate.vectorized:
+            self.bitset = candidate
+            if self.parallel is not None and workers is not None:
+                self._bitset_exec = (
+                    self.parallel
+                    if self.parallel.inner is candidate
+                    else make_parallel_backend(
+                        candidate,
+                        workers=workers,
+                        partitions=partitions,
+                        strategy=partition_strategy,
+                        mode="thread",
+                    )
+                )
+            else:
+                self._bitset_exec = candidate
         self.planner = Planner(planner_config)
         self.cache = SemanticCache(cache_capacity)
         self._lock = threading.Lock()
@@ -1352,6 +1385,7 @@ class SkylineService:
                 self.parallel.workers if self.parallel is not None else 0
             ),
             dimensions=len(self.dataset.schema),
+            bitset_available=self.bitset is not None,
             incremental_available=self._maintainer is not None,
             update_query_ratio=self._update_ratio(),
         )
@@ -1408,6 +1442,13 @@ class SkylineService:
                     "route 'mdc' requested but the MDC filter is disabled"
                 )
             return tuple(sorted(self.mdc.query(preference)))
+        if route == "bitset":
+            if self._bitset_exec is None:
+                raise ReproError(
+                    "route 'bitset' requested but the vectorized bitset "
+                    "backend is unavailable (NumPy missing)"
+                )
+            return self._scan(preference, self._bitset_exec)
         if route == "parallel":
             if self.parallel is None:
                 raise ReproError(
@@ -1479,6 +1520,8 @@ class SkylineService:
             routes.append("adaptive")
         if self.mdc is not None:
             routes.append("mdc")
+        if self.bitset is not None:
+            routes.append("bitset")
         if self.parallel is not None:
             routes.append("parallel")
         routes.append("kernel")

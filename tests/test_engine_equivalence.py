@@ -108,7 +108,7 @@ class TestBackendEquivalence:
         dataset = Dataset(SCHEMA, rows)
         reference = skyline(dataset, pref, backend="python").ids
         for algorithm in ("sfs", "bnl", "bruteforce", "dandc", "bitmap"):
-            for backend in ("python", "numpy"):
+            for backend in ("python", "numpy", "bitset"):
                 result = skyline(
                     dataset, pref, algorithm=algorithm, backend=backend
                 )
@@ -254,6 +254,8 @@ class TestLargerRandomizedWorkloads:
         expected = skyline(dataset, preference, backend="python").ids
         got = skyline(dataset, preference, backend="numpy").ids
         assert got == expected
+        packed = skyline(dataset, preference, backend="bitset").ids
+        assert packed == expected
 
     def test_indexes_agree_across_backends(self):
         from repro.adaptive.adaptive_sfs import AdaptiveSFS

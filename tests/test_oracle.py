@@ -32,7 +32,10 @@ from repro.exceptions import EngineError
 
 #: Backends under audit; unavailable ones are skipped per-environment
 #: (the CI matrix runs the suite both with and without NumPy).
-BACKENDS = ("python", "numpy", "parallel")
+#: ``bitset-python`` is the bit-packed backend with its python-int
+#: tier forced, so the fallback stays under the oracle even on
+#: NumPy-equipped hosts.
+BACKENDS = ("python", "numpy", "parallel", "bitset", "bitset-python")
 
 #: Algorithm names under audit (ALGORITHMS plus the SFS-D wrapper).
 ALGORITHM_NAMES = tuple(sorted(ALGORITHMS)) + ("sfs_d",)
@@ -93,12 +96,21 @@ def _build_case(params):
     return data, preference, table, reference
 
 
+def _make_backend(backend_name):
+    """Instantiate one audited backend (may raise EngineError)."""
+    if backend_name == "bitset-python":
+        from repro.engine import make_bitset_backend
+
+        return make_bitset_backend(packed="python")
+    return get_backend(backend_name)
+
+
 def _resolve(backend_name):
     """The backend instance, or a skip when its dependency is absent."""
     if backend_name in ("numpy",) and not numpy_available():
         pytest.skip("NumPy not installed")
     try:
-        return get_backend(backend_name)
+        return _make_backend(backend_name)
     except EngineError as exc:  # pragma: no cover - environment dependent
         pytest.skip(str(exc))
 
@@ -208,7 +220,7 @@ def test_reference_is_backend_independent(params):
     for backend_name in BACKENDS:
         if backend_name == "numpy" and not numpy_available():
             continue
-        backend = get_backend(backend_name)
+        backend = _make_backend(backend_name)
         store = data.columns if backend.vectorized else None
         got = frozenset(
             bruteforce_skyline(

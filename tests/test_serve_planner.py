@@ -212,9 +212,35 @@ class TestEndToEndRouting:
             with_mdc=False,
             cache_capacity=0,
         )
-        assert service.available_routes() == ("kernel",)
+        expected = (
+            ("bitset", "kernel") if service.bitset is not None else ("kernel",)
+        )
+        assert service.available_routes() == expected
         result = service.query(Preference({"nom0": "d0_v0 < *"}))
+        # 300 rows sit far below bitset_min_rows, so the planner still
+        # picks the plain kernel even though the route is available.
         assert result.route == "kernel"
+
+    def test_large_scan_routes_to_bitset_when_available(self, dataset):
+        # Lowered threshold stands in for a 100k+ dataset; with no
+        # auxiliary structures the scan regime picks the packed kernel.
+        service = SkylineService(
+            dataset,
+            planner_config=PlannerConfig(bitset_min_rows=100),
+            with_tree=False,
+            with_adaptive=False,
+            with_mdc=False,
+            cache_capacity=0,
+        )
+        if service.bitset is None:
+            pytest.skip("vectorized bitset tier unavailable (no NumPy)")
+        result = service.query(Preference({"nom0": "d0_v0 < *"}))
+        assert result.route == "bitset"
+        kernel = service.query(
+            Preference({"nom0": "d0_v0 < *"}), use_cache=False,
+            route="kernel",
+        )
+        assert result.ids == kernel.ids
 
     def test_plan_reason_is_surfaced(self, dataset):
         service = SkylineService(dataset, cache_capacity=0)
