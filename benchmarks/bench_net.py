@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Wire-level serving benchmark: HTTP round-trip QPS and latency.
+
+Boots a real :class:`~repro.net.server.SkylineServer` on an ephemeral
+port (background event loop) and drives it with concurrent keep-alive
+HTTP clients over the loopback, measuring what the serving stack adds
+on top of the in-process service:
+
+* ``hot-cached``   - a small pool of distinct preferences cycled with
+  caching on: semantic-cache hits dominate, so the wire overhead (HTTP
+  parse, JSON codec, admission, loop scheduling) IS the latency.
+* ``cold-uncached`` - distinct preferences with caching off: every
+  request plans + executes, the compute-bound regime.
+* ``ops-healthz``  - the no-service-work floor (event-loop round-trip).
+
+Each scenario records client-observed wall-clock latency percentiles
+(via :func:`repro.serve.driver.latency_summary`) and throughput, plus
+the cache hit-rate and the dimensionless ``wire_efficiency`` -
+wire QPS over in-process QPS *for the same queries measured in the
+same run*, the machine-portable headline ratio.
+
+The recorded baseline lives in ``BENCH_net.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_net.py
+    PYTHONPATH=src python benchmarks/bench_net.py \
+        --points 4000 --queries 600 --out BENCH_net.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.engine import get_backend
+from repro.datagen.queries import generate_preferences
+from repro.net import NetClient, ServerConfig, ServerThread
+from repro.serve.driver import latency_summary, replay
+from repro.serve.service import SkylineService
+
+
+def build_service(args) -> SkylineService:
+    """A fresh service for one scenario (cache state must not leak)."""
+    dataset = generate(
+        SyntheticConfig(
+            num_points=args.points,
+            num_numeric=args.numeric,
+            num_nominal=args.nominal,
+            cardinality=args.cardinality,
+            seed=args.seed,
+        )
+    )
+    return SkylineService(
+        dataset,
+        frequent_value_template(dataset, 1),
+        cache_capacity=args.cache_size,
+    )
+
+
+def drive(
+    host: str,
+    port: int,
+    requests: List[Optional[dict]],
+    clients: int,
+    *,
+    path: str = "/query",
+) -> Dict:
+    """Fire ``requests`` from ``clients`` keep-alive connections.
+
+    Returns client-observed latencies (ms), wall-clock seconds and the
+    error count.  Payload ``None`` means ``GET /healthz``.
+    """
+    chunks = [requests[i::clients] for i in range(clients)]
+
+    def one_client(payloads) -> List[float]:
+        millis = []
+        with NetClient(host, port, timeout=60) as client:
+            for payload in payloads:
+                started = time.perf_counter()
+                if payload is None:
+                    response = client.healthz()
+                else:
+                    response = client.request("POST", path, payload)
+                elapsed = (time.perf_counter() - started) * 1000.0
+                if response.status != 200:
+                    raise RuntimeError(
+                        f"{path} answered {response.status}: {response.text}"
+                    )
+                millis.append(elapsed)
+        return millis
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        per_client = list(pool.map(one_client, chunks))
+    total = time.perf_counter() - started
+    millis = [m for chunk in per_client for m in chunk]
+    return {"millis": millis, "seconds": total, "count": len(millis)}
+
+
+def scenario_report(name: str, run: Dict, cache_stats=None) -> Dict:
+    """One scenario's JSON entry."""
+    summary = latency_summary(run["millis"])
+    entry = {
+        "scenario": name,
+        "requests": run["count"],
+        "seconds": round(run["seconds"], 6),
+        "throughput_qps": round(run["count"] / run["seconds"], 2)
+        if run["seconds"] > 0
+        else None,
+        "latency_ms": {
+            k: round(v, 4) if v is not None else None
+            for k, v in summary.items()
+        },
+    }
+    if cache_stats is not None:
+        entry["cache"] = cache_stats.as_dict()
+    return entry
+
+
+def main(argv=None) -> int:
+    """Run the wire benchmark and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=2000)
+    parser.add_argument("--numeric", type=int, default=2)
+    parser.add_argument("--nominal", type=int, default=2)
+    parser.add_argument("--cardinality", type=int, default=8)
+    parser.add_argument("--queries", type=int, default=400,
+                        help="requests per scenario (default: 400)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent keep-alive connections")
+    parser.add_argument("--hot-pool", type=int, default=16,
+                        help="distinct preferences in the hot scenario")
+    parser.add_argument("--cache-size", type=int, default=64)
+    parser.add_argument("--order", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    config = ServerConfig(
+        port=0, max_inflight=max(args.clients, 4),
+        max_queue=args.clients * 8, access_log=False,
+    )
+    scenarios = []
+
+    # -- hot-cached --------------------------------------------------------
+    service = build_service(args)
+    pool = generate_preferences(
+        service.dataset, args.order, args.hot_pool,
+        template=service.template, seed=args.seed,
+    )
+    hot_prefs = [pool[i % len(pool)] for i in range(args.queries)]
+    from repro.net.protocol import encode_preference
+
+    hot_payloads = [
+        {"preference": encode_preference(p), "use_cache": True}
+        for p in hot_prefs
+    ]
+    with ServerThread(service, config, debug=False) as thread:
+        before = service.stats().cache
+        run = drive(thread.host, thread.port, hot_payloads, args.clients)
+        cache_delta = service.stats().cache.delta(before)
+    scenarios.append(scenario_report("hot-cached", run, cache_delta))
+    print(f"hot-cached: {scenarios[-1]['throughput_qps']} q/s, "
+          f"hit-rate {cache_delta.hit_rate:.1%}", file=sys.stderr)
+
+    # -- cold-uncached (plus the in-process twin for the ratio) ------------
+    service = build_service(args)
+    cold_prefs = generate_preferences(
+        service.dataset, args.order, args.queries,
+        template=service.template, seed=args.seed + 1,
+    )
+    cold_payloads = [
+        {"preference": encode_preference(p), "use_cache": False}
+        for p in cold_prefs
+    ]
+    with ServerThread(service, config, debug=False) as thread:
+        run = drive(thread.host, thread.port, cold_payloads, args.clients)
+    scenarios.append(scenario_report("cold-uncached", run))
+    wire_qps = run["count"] / run["seconds"]
+
+    in_process = build_service(args)
+    report = replay(
+        in_process, cold_prefs, name="in-process",
+        concurrency=args.clients, use_cache=False,
+    )
+    wire_efficiency = (
+        wire_qps / report.throughput_qps if report.throughput_qps else None
+    )
+    print(f"cold-uncached: {wire_qps:.1f} q/s over the wire vs "
+          f"{report.throughput_qps:.1f} q/s in process "
+          f"(efficiency {wire_efficiency:.2f})", file=sys.stderr)
+
+    # -- ops floor ---------------------------------------------------------
+    service = build_service(args)
+    with ServerThread(service, config, debug=False) as thread:
+        run = drive(
+            thread.host, thread.port, [None] * args.queries, args.clients
+        )
+    scenarios.append(scenario_report("ops-healthz", run))
+    print(f"ops-healthz: {scenarios[-1]['throughput_qps']} q/s",
+          file=sys.stderr)
+
+    payload = {
+        "benchmark": "HTTP serving layer wire round-trip",
+        "python": platform.python_version(),
+        "backend": get_backend().name,
+        "config": {
+            "points": args.points,
+            "numeric": args.numeric,
+            "nominal": args.nominal,
+            "cardinality": args.cardinality,
+            "queries": args.queries,
+            "clients": args.clients,
+            "hot_pool": args.hot_pool,
+            "cache_size": args.cache_size,
+            "order": args.order,
+            "seed": args.seed,
+        },
+        "scenarios": scenarios,
+        "wire_efficiency": {
+            "cold_uncached": round(wire_efficiency, 4)
+            if wire_efficiency is not None
+            else None,
+            "in_process_qps": round(report.throughput_qps, 2),
+        },
+    }
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -166,6 +166,36 @@ def storage_metrics(report: Dict) -> Iterator[Metric]:
         )
 
 
+def net_metrics(report: Dict) -> Iterator[Metric]:
+    """Headline metrics of a ``bench_net.py`` report."""
+    for scenario in report.get("scenarios", []):
+        name = scenario.get("scenario")
+        tag = f"net[{name}]"
+        yield from _metric(
+            f"{tag}.throughput_qps",
+            scenario.get("throughput_qps"), True, False,
+        )
+        latency = scenario.get("latency_ms", {})
+        yield from _metric(f"{tag}.p50_ms", latency.get("p50"), False, False)
+        yield from _metric(f"{tag}.p95_ms", latency.get("p95"), False, False)
+        if name == "hot-cached":
+            # The hot pool is fixed, so its hit rate is structural
+            # (pool size vs cache capacity), machine-independent.
+            yield from _metric(
+                f"{tag}.hit_rate",
+                scenario.get("cache", {}).get("hit_rate"), True, True,
+            )
+    # Wire efficiency is same-run dimensionless but couples the event
+    # loop's speed to numpy kernel speed, which varies across hosts -
+    # recorded and compared only on comparable hardware (not a ratio
+    # metric for --ratios-only CI purposes).
+    yield from _metric(
+        "net.wire_efficiency.cold_uncached",
+        report.get("wire_efficiency", {}).get("cold_uncached"),
+        True, False,
+    )
+
+
 #: "benchmark" field prefix -> metric extractor.
 EXTRACTORS = {
     "sfs skyline wall-clock": backends_metrics,
@@ -173,6 +203,7 @@ EXTRACTORS = {
     "preference-query serving layer": serve_metrics,
     "incremental skyline maintenance": updates_metrics,
     "durable snapshot + WAL recovery": storage_metrics,
+    "HTTP serving layer wire round-trip": net_metrics,
 }
 
 

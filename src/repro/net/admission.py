@@ -1,0 +1,122 @@
+"""Admission control: bounded concurrency plus a bounded wait queue.
+
+The service executes queries on a thread pool; without a gate, a
+traffic spike turns into an unbounded pile of queued executor work -
+every request eventually times out, and the server has no honest
+signal to give clients.  The gate makes the capacity explicit:
+
+* at most ``max_inflight`` requests *execute* concurrently,
+* at most ``max_queue`` more *wait* for an execution slot,
+* anything beyond is **rejected immediately** with ``429`` and a
+  ``Retry-After`` hint - load shedding at the door, where it is cheap,
+  instead of deep in the stack where it is not.
+
+Everything runs on the event loop thread (the await points are the
+only interleavings), so plain integer counters are race-free; the
+:class:`asyncio.Condition` exists to park waiters and to let a config
+reload re-examine the new limits (``notify_all`` wakes every waiter to
+re-check, so shrinking limits take effect without killing admitted
+work).
+
+Ops routes (``/healthz``, ``/metrics``, ``/admin/reload``) bypass the
+gate by design: an operator must be able to see and retune a saturated
+server - exactly when the gate is closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+
+class AdmissionDecision:
+    """Outcome of one admission attempt (truthy = admitted)."""
+
+    __slots__ = ("admitted", "reason")
+
+    def __init__(self, admitted: bool, reason: str) -> None:
+        self.admitted = admitted
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """The two-level gate: execution slots + a bounded wait queue."""
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._inflight = 0
+        self._queued = 0
+        self._cond: Optional[asyncio.Condition] = None
+
+    def _condition(self) -> asyncio.Condition:
+        """The loop-bound condition, created lazily on the serving loop."""
+        if self._cond is None:
+            self._cond = asyncio.Condition()
+        return self._cond
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for an execution slot."""
+        return self._queued
+
+    def try_admit(self) -> AdmissionDecision:
+        """Decide synchronously whether this request may enter at all."""
+        if self._inflight + self._queued >= self.max_inflight + self.max_queue:
+            return AdmissionDecision(
+                False,
+                f"at capacity: {self._inflight} executing, "
+                f"{self._queued} queued "
+                f"(limits {self.max_inflight}+{self.max_queue})",
+            )
+        return AdmissionDecision(True, "admitted")
+
+    async def acquire(self) -> None:
+        """Wait (queued) for an execution slot; caller was admitted."""
+        cond = self._condition()
+        self._queued += 1
+        try:
+            async with cond:
+                while self._inflight >= self.max_inflight:
+                    await cond.wait()
+                self._inflight += 1
+        finally:
+            self._queued -= 1
+
+    async def release(self) -> None:
+        """Return an execution slot and wake one queued waiter."""
+        cond = self._condition()
+        async with cond:
+            self._inflight -= 1
+            cond.notify_all()
+
+    async def reconfigure(self, max_inflight: int, max_queue: int) -> None:
+        """Apply new limits; queued waiters re-check them immediately."""
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        cond = self._condition()
+        async with cond:
+            self.max_inflight = max_inflight
+            self.max_queue = max_queue
+            cond.notify_all()
+
+    async def drained(self) -> None:
+        """Wait until no request is executing (used by graceful drain)."""
+        cond = self._condition()
+        async with cond:
+            while self._inflight > 0:
+                await cond.wait()

@@ -1,0 +1,184 @@
+"""A small blocking HTTP/JSON client for the serving protocol.
+
+Tests, benchmarks and the CI smoke all need to drive the server over
+*real sockets* from synchronous code; this client wraps
+:class:`http.client.HTTPConnection` (stdlib, keep-alive capable) with
+the wire vocabulary of :mod:`repro.net.protocol`.  It is also the
+reference client implementation the protocol docs point at - anything
+it does, any HTTP client in any language can do.
+
+It deliberately has no retry/backoff logic: a ``429`` or ``503`` is
+returned to the caller as data (status + parsed body), because the
+tests assert on exactly those statuses.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.preferences import Preference
+from repro.net.protocol import encode_preference
+
+
+class NetResponse:
+    """One client-side response: status, headers, parsed JSON body."""
+
+    __slots__ = ("status", "headers", "json", "text")
+
+    def __init__(
+        self, status: int, headers: Dict[str, str], body: bytes
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.text = body.decode("utf-8", errors="replace")
+        try:
+            self.json = json.loads(self.text) if body else {}
+        except json.JSONDecodeError:
+            self.json = None
+
+    def __repr__(self) -> str:
+        return f"NetResponse(status={self.status}, json={self.json!r})"
+
+
+class NetClient:
+    """A keep-alive connection speaking the serving wire protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+    ) -> NetResponse:
+        """One request/response exchange (re-connecting once if stale).
+
+        ``payload`` is JSON-encoded as the body.  A connection the
+        server closed (keep-alive expiry, drain) is transparently
+        re-opened once; genuine refusals surface as exceptions.
+        """
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            raw = self._conn.getresponse()
+        except (http.client.NotConnected, http.client.CannotSendRequest,
+                ConnectionError, BrokenPipeError):
+            self._conn.close()
+            self._conn.request(method, path, body=body, headers=headers)
+            raw = self._conn.getresponse()
+        data = raw.read()
+        return NetResponse(raw.status, dict(raw.getheaders()), data)
+
+    # -- protocol verbs ----------------------------------------------------
+    def query(
+        self,
+        preference: Optional[Preference] = None,
+        *,
+        use_cache: bool = True,
+        route: Optional[str] = None,
+    ) -> NetResponse:
+        """``POST /query`` for one preference."""
+        payload: Dict[str, object] = {
+            "preference": encode_preference(preference),
+            "use_cache": use_cache,
+        }
+        if route is not None:
+            payload["route"] = route
+        return self.request("POST", "/query", payload)
+
+    def batch(
+        self,
+        preferences: Sequence[Optional[Preference]],
+        *,
+        use_cache: bool = True,
+    ) -> NetResponse:
+        """``POST /batch`` for a positional preference list."""
+        return self.request(
+            "POST",
+            "/batch",
+            {
+                "preferences": [encode_preference(p) for p in preferences],
+                "use_cache": use_cache,
+            },
+        )
+
+    def insert(self, rows: Sequence[Sequence[object]]) -> NetResponse:
+        """``POST /insert`` for a row batch."""
+        return self.request(
+            "POST", "/insert", {"rows": [list(row) for row in rows]}
+        )
+
+    def delete(self, ids: Sequence[int]) -> NetResponse:
+        """``POST /delete`` for a point-id batch."""
+        return self.request("POST", "/delete", {"ids": list(ids)})
+
+    def compact(self) -> NetResponse:
+        """``POST /compact``."""
+        return self.request("POST", "/compact", {})
+
+    def healthz(self) -> NetResponse:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> NetResponse:
+        """``GET /metrics`` (body is Prometheus text, not JSON)."""
+        return self.request("GET", "/metrics")
+
+    def reload(self) -> NetResponse:
+        """``POST /admin/reload``."""
+        return self.request("POST", "/admin/reload", {})
+
+    def query_ids(
+        self, preference: Optional[Preference] = None, **kwargs
+    ) -> Tuple[int, ...]:
+        """Convenience: the sorted skyline ids of one ``/query``.
+
+        Raises :class:`RuntimeError` on any non-200 answer - the
+        equivalence tests want ids or a loud failure, never a silently
+        empty skyline.
+        """
+        response = self.query(preference, **kwargs)
+        if response.status != 200:
+            raise RuntimeError(
+                f"/query answered {response.status}: {response.text}"
+            )
+        return tuple(response.json["ids"])
+
+
+def parse_listen(text: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` listen spec (``:0`` = ephemeral port)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        raise ValueError(
+            f"listen spec must be HOST:PORT (got {text!r}); "
+            f"use :0 for an ephemeral port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"listen spec port must be an integer, got {port_text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"listen port out of range: {port}")
+    return host or "127.0.0.1", port

@@ -1,0 +1,295 @@
+"""A minimal, strict HTTP/1.1 request parser over asyncio streams.
+
+The wire front end (:mod:`repro.net.server`) speaks plain HTTP/1.1
+with JSON bodies, implemented directly on :mod:`asyncio` streams - no
+framework dependency, and the parser accepts exactly the subset the
+protocol needs:
+
+* request line + headers, CRLF-terminated (bare LF tolerated),
+* ``Content-Length``-framed bodies (chunked transfer encoding is
+  refused with ``501``; the JSON protocol never needs streaming),
+* keep-alive (HTTP/1.1 default) and pipelining - the connection
+  handler simply reads the next request off the same stream,
+* hard limits on header block and body size, and a read deadline so a
+  slow-loris client cannot pin a connection open byte by byte.
+
+Every malformed input maps to a :class:`ProtocolError` carrying the
+HTTP status the server must answer with - the contract (enforced by
+``tests/test_net_protocol.py``) is that **no byte sequence produces a
+traceback or a hung connection**, only a well-formed error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+#: Reason phrases for every status the server emits.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Methods the parser accepts at all (route-level checks come later).
+KNOWN_METHODS = frozenset({
+    "GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH",
+})
+
+
+class NetError(ReproError):
+    """Base class for errors raised by the network serving layer."""
+
+
+class ProtocolError(NetError):
+    """A wire-level violation, mapped to one HTTP status code.
+
+    ``kind`` is a short machine-readable slug for the
+    ``repro_net_protocol_errors_total{kind=...}`` counter.
+    """
+
+    def __init__(self, status: int, kind: str, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.kind = kind
+        self.detail = detail
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: line, lower-cased headers, raw body."""
+
+    method: str
+    #: Raw request target, e.g. ``/query`` (query strings are kept but
+    #: the serving routes do not use them).
+    target: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        """The target without any query string."""
+        return self.target.split("?", 1)[0]
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection survives this exchange (RFC 7230)."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return "close" not in connection
+
+
+@dataclass(frozen=True)
+class ReadLimits:
+    """Caps and deadlines the request reader enforces."""
+
+    max_header_bytes: int = 16_384
+    max_body_bytes: int = 1_048_576
+    #: Seconds a client may take to deliver one full request once its
+    #: first byte arrived (the slow-loris deadline).  Idle keep-alive
+    #: waiting (no bytes yet) is governed by ``idle_timeout``.
+    read_timeout: float = 10.0
+    #: Seconds a keep-alive connection may sit idle between requests.
+    idle_timeout: float = 60.0
+
+
+async def read_request(
+    reader: asyncio.StreamReader, limits: ReadLimits
+) -> Optional[HttpRequest]:
+    """Read and parse one request; ``None`` on clean EOF between requests.
+
+    Raises :class:`ProtocolError` for every malformed, oversized,
+    truncated or overdue input.  The two-deadline model: waiting for
+    the *first* byte is bounded by ``idle_timeout`` (an idle keep-alive
+    connection timing out is not an error - the caller closes it
+    quietly), while delivering the rest of the request is bounded by
+    ``read_timeout`` (``408`` - the client started a request and
+    stalled).
+    """
+    try:
+        first = await asyncio.wait_for(
+            reader.read(1), timeout=limits.idle_timeout
+        )
+    except asyncio.TimeoutError:
+        return None  # idle keep-alive connection; caller closes it
+    if not first:
+        return None  # clean EOF before any request byte
+
+    try:
+        header_block = first + await asyncio.wait_for(
+            _read_until_blank_line(reader, limits.max_header_bytes - 1),
+            timeout=limits.read_timeout,
+        )
+    except asyncio.TimeoutError:
+        raise ProtocolError(
+            408, "header-timeout",
+            f"request header not completed within {limits.read_timeout}s",
+        ) from None
+
+    method, target, version, headers = _parse_header_block(header_block)
+    body = b""
+    length = _content_length(headers, limits.max_body_bytes)
+    if length:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=limits.read_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                408, "body-timeout",
+                f"request body not completed within {limits.read_timeout}s",
+            ) from None
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                400, "torn-body",
+                f"connection closed after {len(exc.partial)} of "
+                f"{length} body bytes",
+            ) from None
+    return HttpRequest(method, target, version, headers, body)
+
+
+async def _read_until_blank_line(
+    reader: asyncio.StreamReader, max_bytes: int
+) -> bytes:
+    """Bytes up to and including the header/body separator.
+
+    Reads line-wise rather than ``readuntil`` so the cap applies to
+    the header block regardless of the stream's internal buffer limit,
+    and so bare-LF separators are tolerated.
+    """
+    block = b""
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise ProtocolError(
+                400, "torn-header",
+                f"connection closed inside the header block "
+                f"({len(block)} bytes read)",
+            )
+        block += line
+        if len(block) > max_bytes:
+            raise ProtocolError(
+                431, "headers-too-large",
+                f"header block exceeds {max_bytes + 1} bytes",
+            )
+        if line in (b"\r\n", b"\n"):
+            return block
+        if not line.endswith(b"\n"):
+            # readline() returned a partial line: EOF mid-line.
+            raise ProtocolError(
+                400, "torn-header",
+                "connection closed inside a header line",
+            )
+
+
+def _parse_header_block(
+    block: bytes,
+) -> Tuple[str, str, str, Dict[str, str]]:
+    """Parse request line + headers out of the raw header block."""
+    try:
+        text = block.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all
+        raise ProtocolError(400, "bad-encoding", "undecodable header bytes")
+    lines = text.split("\r\n" if "\r\n" in text else "\n")
+    request_line = lines[0].strip("\r")
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise ProtocolError(
+            400, "bad-request-line",
+            f"malformed request line {request_line!r}",
+        )
+    method, target, version = parts
+    if method.upper() not in KNOWN_METHODS:
+        raise ProtocolError(
+            400, "bad-method", f"unrecognised method {method!r}"
+        )
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ProtocolError(
+            400, "bad-version", f"unsupported protocol version {version!r}"
+        )
+    if not target.startswith("/"):
+        raise ProtocolError(
+            400, "bad-target", f"request target must be absolute: {target!r}"
+        )
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        line = line.strip("\r")
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name or name != name.strip() or " " in name:
+            raise ProtocolError(
+                400, "bad-header", f"malformed header line {line!r}"
+            )
+        headers[name.lower()] = value.strip()
+    return method.upper(), target, version, headers
+
+
+def _content_length(headers: Dict[str, str], max_body: int) -> int:
+    """Validated body length; enforces the size cap and refuses chunked."""
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError(
+            501, "chunked-unsupported",
+            "chunked transfer encoding is not supported; send "
+            "Content-Length-framed bodies",
+        )
+    raw = headers.get("content-length")
+    if raw is None:
+        return 0
+    try:
+        length = int(raw)
+    except ValueError:
+        raise ProtocolError(
+            400, "bad-content-length",
+            f"unparseable Content-Length {raw!r}",
+        ) from None
+    if length < 0:
+        raise ProtocolError(
+            400, "bad-content-length", f"negative Content-Length {length}"
+        )
+    if length > max_body:
+        raise ProtocolError(
+            413, "payload-too-large",
+            f"body of {length} bytes exceeds the {max_body} byte limit",
+        )
+    return length
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialize one complete HTTP/1.1 response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    head = "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    )
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n{head}\r\n".encode("latin-1") + body
+    )

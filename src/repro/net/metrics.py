@@ -1,0 +1,314 @@
+"""In-process metrics: counters, gauges, fixed-bucket histograms.
+
+The serving layer needs numbers an operator can scrape, not a client
+library: a tiny registry whose only output format is the Prometheus
+text exposition format (the de-facto wire format every scraper speaks).
+Three instrument kinds cover the serving surface:
+
+* :class:`Counter` - monotone event counts, optionally labelled
+  (``http_requests_total{route="query",status="200"}``),
+* :class:`Gauge` - instantaneous values; either set explicitly or
+  backed by a zero-argument callback sampled at render time (queue
+  depth, cache size, data version),
+* :class:`Histogram` - fixed-bucket latency distributions with
+  cumulative ``_bucket`` counts plus ``_sum`` / ``_count`` series, so
+  scrapers can derive rates and quantiles.
+
+Buckets are *fixed at construction* on purpose: merged or adaptive
+buckets cannot be aggregated across processes, and the fleet-wide
+quantile math Prometheus does requires identical ``le`` edges on every
+instance.  All instruments are thread-safe (the HTTP handlers run on
+the event loop but the service executes queries on worker threads, and
+both sides observe).
+
+The registry knows nothing about HTTP; :mod:`repro.net.server` mounts
+its :meth:`MetricsRegistry.render` output under ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): sub-millisecond cache hits up to
+#: multi-second cold scans, roughly x2.5 per step like the Prometheus
+#: client defaults, so dashboards across services line up.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the Prometheus text format rules."""
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _series(name: str, labels: Sequence[str], values: LabelValues) -> str:
+    """One sample line's name+labels part: ``name{a="x",b="y"}``."""
+    if not labels:
+        return name
+    pairs = ",".join(
+        f'{label}="{_escape(str(value))}"'
+        for label, value in zip(labels, values)
+    )
+    return f"{name}{{{pairs}}}"
+
+
+class Counter:
+    """A monotone, optionally labelled event counter."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.labels = tuple(labels)
+        self._lock = threading.Lock()
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, *label_values: object, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, *label_values: object) -> float:
+        """Current count of the labelled series (0.0 when never hit)."""
+        with self._lock:
+            return self._values.get(self._key(label_values), 0.0)
+
+    def _key(self, label_values: Sequence[object]) -> LabelValues:
+        if len(label_values) != len(self.labels):
+            raise ValueError(
+                f"{self.name} expects labels {self.labels}, "
+                f"got {len(label_values)} value(s)"
+            )
+        return tuple(str(v) for v in label_values)
+
+    def samples(self) -> List[Tuple[str, float]]:
+        """``(series, value)`` pairs for the text exposition."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            (_series(self.name, self.labels, key), value)
+            for key, value in items
+        ]
+
+
+class Gauge:
+    """An instantaneous value: set explicitly or sampled via callback."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        callback: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self._callback = callback
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge (only for gauges without a callback)."""
+        if self._callback is not None:
+            raise ValueError(f"{self.name} is callback-backed; cannot set()")
+        with self._lock:
+            self._value = float(value)
+
+    def value(self) -> float:
+        """The current value (callback gauges sample their callback)."""
+        if self._callback is not None:
+            return float(self._callback())
+        with self._lock:
+            return self._value
+
+    def samples(self) -> List[Tuple[str, float]]:
+        """``(series, value)`` pairs for the text exposition."""
+        return [(self.name, self.value())]
+
+
+class Histogram:
+    """Fixed-bucket distribution with cumulative bucket counts.
+
+    ``buckets`` are the upper bounds (``le`` edges) in strictly
+    increasing order; a final ``+Inf`` bucket is implicit.  Rendered as
+    the conventional ``_bucket`` / ``_sum`` / ``_count`` triple.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges or any(
+            later <= earlier for later, earlier in zip(edges[1:], edges)
+        ):
+            raise ValueError(
+                f"histogram buckets must be strictly increasing, got {edges}"
+            )
+        self.name = name
+        self.help = help_text
+        self.labels = tuple(labels)
+        self.buckets = edges
+        self._lock = threading.Lock()
+        #: label values -> (per-bucket counts incl. +Inf, sum, count)
+        self._state: Dict[LabelValues, Tuple[List[int], float, int]] = {}
+
+    def observe(self, value: float, *label_values: object) -> None:
+        """Record one observation into the labelled series."""
+        if len(label_values) != len(self.labels):
+            raise ValueError(
+                f"{self.name} expects labels {self.labels}, "
+                f"got {len(label_values)} value(s)"
+            )
+        key = tuple(str(v) for v in label_values)
+        with self._lock:
+            counts, total, count = self._state.get(
+                key, ([0] * (len(self.buckets) + 1), 0.0, 0)
+            )
+            for index, edge in enumerate(self.buckets):
+                if value <= edge:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._state[key] = (counts, total + value, count + 1)
+
+    def count(self, *label_values: object) -> int:
+        """Total observations of the labelled series."""
+        key = tuple(str(v) for v in label_values)
+        with self._lock:
+            state = self._state.get(key)
+            return state[2] if state is not None else 0
+
+    def samples(self) -> List[Tuple[str, float]]:
+        """Cumulative ``_bucket`` lines plus ``_sum`` and ``_count``."""
+        with self._lock:
+            items = sorted(
+                (key, (list(counts), total, count))
+                for key, (counts, total, count) in self._state.items()
+            )
+        out: List[Tuple[str, float]] = []
+        for key, (counts, total, count) in items:
+            cumulative = 0
+            for edge, bucket_count in zip(
+                self.buckets + (math.inf,), counts
+            ):
+                cumulative += bucket_count
+                out.append((
+                    _series(
+                        self.name + "_bucket",
+                        self.labels + ("le",),
+                        key + (_format_value(float(edge)),),
+                    ),
+                    float(cumulative),
+                ))
+            out.append((_series(self.name + "_sum", self.labels, key), total))
+            out.append((
+                _series(self.name + "_count", self.labels, key), float(count)
+            ))
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of instruments with one text renderer.
+
+    Instruments are created through the factory methods (re-requesting
+    an existing name returns the same instrument, so modules can share
+    series without plumbing references).  :meth:`render` produces the
+    Prometheus text exposition: ``# HELP`` / ``# TYPE`` headers per
+    metric family followed by its sample lines.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    def counter(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create the named counter."""
+        return self._get_or_create(
+            name, lambda: Counter(name, help_text, labels), Counter
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        callback: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        """Get or create the named gauge."""
+        return self._get_or_create(
+            name, lambda: Gauge(name, help_text, callback), Gauge
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the named histogram."""
+        return self._get_or_create(
+            name, lambda: Histogram(name, help_text, labels, buckets),
+            Histogram,
+        )
+
+    def _get_or_create(self, name: str, factory, expected_type):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory()
+            elif not isinstance(instrument, expected_type):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}"
+                )
+            return instrument
+
+    def get(self, name: str):
+        """The named instrument, or ``None``."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        lines: List[str] = []
+        for name, instrument in instruments:
+            lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            for series, value in instrument.samples():
+                lines.append(f"{series} {_format_value(float(value))}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,746 @@
+"""The asyncio HTTP front end over :class:`SkylineService`.
+
+One :class:`SkylineServer` owns a listening socket, an
+:class:`~repro.net.admission.AdmissionController`, a thread pool that
+executes the (thread-safe, GIL-releasing) service calls, a
+:class:`~repro.net.metrics.MetricsRegistry` and the hot-reloadable
+:class:`~repro.net.config.ServerConfig`.  The request path:
+
+1. :func:`repro.net.http.read_request` parses one request off the
+   stream (size caps, slow-loris deadline); any wire violation becomes
+   a well-formed HTTP error and the connection closes.
+2. Ops routes (``/healthz``, ``/metrics``, ``/admin/reload``) answer
+   on the event loop - they must stay reachable when the gate is shut.
+3. Service routes pass admission control (429 + ``Retry-After`` at
+   capacity, 503 while draining), then execute on the worker pool
+   under the per-request deadline (504 on expiry).
+4. Every response is counted per ``(route, method, status)``, observed
+   into the per-route latency histogram, and logged as one structured
+   JSON access-log line with a request id.
+
+Graceful drain (:meth:`SkylineServer.shutdown`, wired to ``SIGTERM``
+by ``python -m repro.net``): stop accepting, let in-flight requests
+finish, answer anything new with 503 + ``Connection: close``, then
+close every connection and the pool.  :class:`ServerThread` runs the
+whole lifecycle on a background event loop so synchronous callers
+(tests, benchmarks, the CI smoke) can drive a real server over real
+sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.exceptions import (
+    DatasetError,
+    PreferenceError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+from repro.net import protocol
+from repro.net.admission import AdmissionController
+from repro.net.config import ConfigError, ServerConfig, load_config
+from repro.net.http import (
+    HttpRequest,
+    ProtocolError,
+    ReadLimits,
+    render_response,
+)
+from repro.net.http import read_request as _read_request
+from repro.net.metrics import MetricsRegistry
+from repro.serve.service import SkylineService
+
+#: (method, path) -> route label of the dispatch table.  The label is
+#: the ``route`` value in metrics and access logs.
+ROUTE_TABLE: Dict[Tuple[str, str], str] = {
+    ("POST", "/query"): "query",
+    ("POST", "/batch"): "batch",
+    ("POST", "/insert"): "insert",
+    ("POST", "/delete"): "delete",
+    ("POST", "/compact"): "compact",
+    ("GET", "/healthz"): "healthz",
+    ("GET", "/metrics"): "metrics",
+    ("POST", "/admin/reload"): "admin-reload",
+}
+
+#: Routes that execute service work on the pool (admission-gated).
+SERVICE_ROUTES = frozenset({"query", "batch", "insert", "delete", "compact"})
+
+
+class _Response:
+    """One computed response before serialization."""
+
+    __slots__ = ("status", "body", "content_type", "extra_headers")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.extra_headers = extra_headers
+
+
+def _json_response(status: int, payload: object) -> _Response:
+    """A JSON-bodied response."""
+    return _Response(status, protocol.dump_body(payload))
+
+
+def _error_response(status: int, kind: str, detail: str) -> _Response:
+    """The uniform error shape every failure path answers with."""
+    return _Response(status, protocol.encode_error(status, kind, detail))
+
+
+class SkylineServer:
+    """HTTP/JSON serving of one :class:`SkylineService`.
+
+    Parameters
+    ----------
+    service:
+        The (already built or recovered) service to front.
+    config:
+        Initial :class:`ServerConfig`; omitted fields take their
+        defaults.
+    config_path:
+        JSON file re-read on ``/admin/reload`` / ``SIGHUP``.  ``None``
+        disables reload (the endpoint reports the absence).
+    registry:
+        Share a :class:`MetricsRegistry` (tests); default is private.
+    log_stream:
+        Where JSON access-log lines go (default ``sys.stderr``).
+    """
+
+    def __init__(
+        self,
+        service: SkylineService,
+        config: Optional[ServerConfig] = None,
+        *,
+        config_path: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+        log_stream=None,
+    ) -> None:
+        self.service = service
+        self.config = config if config is not None else ServerConfig()
+        self.config_path = config_path
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._log_stream = log_stream
+        self._admission = AdmissionController(
+            self.config.max_inflight, self.config.max_queue
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.worker_threads,
+            thread_name_prefix="repro-net",
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._draining = False
+        self._config_generation = 0
+        self._request_ids = itertools.count(1)
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._apply_initial_serving_config()
+        self._build_instruments()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listen socket and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` requests)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is refusing new work (shutdown started)."""
+        return self._draining
+
+    async def shutdown(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting, optionally drain in-flight work, close all.
+
+        With ``drain=True`` (the ``SIGTERM`` path) requests already
+        holding an execution slot run to completion (bounded by
+        ``timeout``); new requests - on fresh or kept-alive
+        connections - are refused.  ``drain=False`` aborts in-flight
+        connections immediately.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            try:
+                await asyncio.wait_for(self._admission.drained(), timeout)
+            except asyncio.TimeoutError:
+                pass  # give up on stragglers; they get closed below
+        for writer in list(self._connections):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._executor.shutdown(wait=drain)
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def _apply_initial_serving_config(self) -> None:
+        """Apply the serving knobs (cache/planner) of the initial config."""
+        if self.config.cache_capacity is not None:
+            self.service.cache.resize(self.config.cache_capacity)
+        planner_config = self.config.planner_config()
+        if planner_config is not None:
+            self.service.planner.config = planner_config
+
+    async def reload_config(self) -> dict:
+        """Re-read ``config_path`` and apply the reloadable fields.
+
+        Returns the reload report (also the ``/admin/reload`` response
+        body).  On any error the old config stays in force - the
+        report carries ``ok: false`` and the reason.
+        """
+        if self.config_path is None:
+            return {
+                "ok": False,
+                "error": "no config file attached to this server "
+                "(start with --service-config PATH)",
+            }
+        try:
+            fresh = load_config(self.config_path)
+        except ConfigError as exc:
+            self._counter_reloads.inc("error")
+            self._log_event("reload-error", error=str(exc))
+            return {"ok": False, "error": str(exc)}
+        merged, ignored = self.config.merged(fresh)
+        changed = [
+            name
+            for name in ServerConfig.__dataclass_fields__
+            if getattr(merged, name) != getattr(self.config, name)
+        ]
+        old = self.config
+        self.config = merged
+        await self._admission.reconfigure(
+            merged.max_inflight, merged.max_queue
+        )
+        if merged.worker_threads != old.worker_threads:
+            stale = self._executor
+            self._executor = ThreadPoolExecutor(
+                max_workers=merged.worker_threads,
+                thread_name_prefix="repro-net",
+            )
+            stale.shutdown(wait=False)
+        if (
+            merged.cache_capacity is not None
+            and merged.cache_capacity != self.service.cache.capacity
+        ):
+            self.service.cache.resize(merged.cache_capacity)
+        planner_config = merged.planner_config()
+        if planner_config is not None and merged.planner != old.planner:
+            self.service.planner.config = planner_config
+        self._config_generation += 1
+        self._counter_reloads.inc("ok")
+        self._log_event(
+            "reload", changed=changed, ignored_non_reloadable=ignored,
+            generation=self._config_generation,
+        )
+        return {
+            "ok": True,
+            "changed": changed,
+            "ignored_non_reloadable": ignored,
+            "generation": self._config_generation,
+        }
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _build_instruments(self) -> None:
+        """Create the server's counters/histograms/gauges once."""
+        reg = self.registry
+        self._counter_requests = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests answered, by route, method and status.",
+            ("route", "method", "status"),
+        )
+        self._hist_latency = reg.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock seconds from parsed request to serialized "
+            "response, by route.",
+            ("route",),
+        )
+        self._counter_rejected = reg.counter(
+            "repro_http_rejected_total",
+            "Requests refused before execution, by reason.",
+            ("reason",),
+        )
+        self._counter_protocol_errors = reg.counter(
+            "repro_net_protocol_errors_total",
+            "Wire-level violations answered with an HTTP error, by kind.",
+            ("kind",),
+        )
+        self._counter_cache_outcomes = reg.counter(
+            "repro_net_cache_outcomes_total",
+            "Semantic-cache outcome of served query results.",
+            ("outcome",),
+        )
+        self._counter_service_routes = reg.counter(
+            "repro_net_query_routes_total",
+            "Execution route of served query results (includes the "
+            "virtual cache/batch routes).",
+            ("route",),
+        )
+        self._counter_reloads = reg.counter(
+            "repro_net_config_reloads_total",
+            "Config reload attempts, by outcome.",
+            ("outcome",),
+        )
+        self._counter_aborts = reg.counter(
+            "repro_net_client_aborts_total",
+            "Connections the client dropped mid-exchange.",
+        )
+        self._counter_connections = reg.counter(
+            "repro_net_connections_total", "Accepted TCP connections."
+        )
+        reg.gauge(
+            "repro_net_open_connections",
+            "Currently open TCP connections.",
+            lambda: len(self._connections),
+        )
+        reg.gauge(
+            "repro_net_inflight_requests",
+            "Requests currently executing on the worker pool.",
+            lambda: self._admission.inflight,
+        )
+        reg.gauge(
+            "repro_net_queue_depth",
+            "Admitted requests waiting for an execution slot.",
+            lambda: self._admission.queued,
+        )
+        reg.gauge(
+            "repro_net_draining",
+            "1 while the server refuses new work (shutdown started).",
+            lambda: 1.0 if self._draining else 0.0,
+        )
+        reg.gauge(
+            "repro_net_config_generation",
+            "Successful config reloads since startup.",
+            lambda: self._config_generation,
+        )
+        reg.gauge(
+            "repro_service_data_version",
+            "Data version the service currently answers at.",
+            lambda: self.service.version,
+        )
+        # The service's own counters, sampled at scrape time: the wire
+        # layer must not fork its own bookkeeping of them.
+        for name, help_text, getter in (
+            ("repro_service_queries_total",
+             "Queries the service answered (all entry points).",
+             lambda s: s.queries),
+            ("repro_service_updates_total",
+             "Rows inserted + deleted since service construction.",
+             lambda s: s.updates),
+            ("repro_service_cache_hits_total",
+             "Semantic cache hits.", lambda s: s.cache.hits),
+            ("repro_service_cache_misses_total",
+             "Semantic cache misses.", lambda s: s.cache.misses),
+            ("repro_service_cache_evictions_total",
+             "Semantic cache LRU evictions.", lambda s: s.cache.evictions),
+            ("repro_service_cache_size",
+             "Entries currently cached.", lambda s: s.cache.size),
+            ("repro_service_cache_patches_total",
+             "Cache entries patched in place by update revisions.",
+             lambda s: s.cache.patches),
+            ("repro_service_cache_invalidations_total",
+             "Cache entries dropped by update revisions.",
+             lambda s: s.cache.invalidations),
+        ):
+            reg.gauge(name, help_text, self._stats_getter(getter))
+
+    def _stats_getter(self, getter: Callable) -> Callable[[], float]:
+        """Bind one stats-field reader as a gauge callback."""
+        return lambda: float(getter(self.service.stats()))
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Accept callback: run the connection loop as a tracked task."""
+        task = asyncio.ensure_future(self._handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve requests off one connection until close/error/drain."""
+        self._counter_connections.inc()
+        self._connections.add(writer)
+        peer = writer.get_extra_info("peername")
+        remote = f"{peer[0]}:{peer[1]}" if peer else "?"
+        try:
+            # Draining does NOT short-circuit this loop: a kept-alive
+            # client that sends one more request must receive an honest
+            # 503 + Connection: close, not a silent hangup (and healthz
+            # must report "draining").  Dispatch handles the refusal;
+            # the keep_alive computation below closes the connection.
+            while True:
+                limits = ReadLimits(
+                    max_header_bytes=self.config.max_header_bytes,
+                    max_body_bytes=self.config.max_body_bytes,
+                    read_timeout=self.config.read_timeout,
+                    idle_timeout=self.config.idle_timeout,
+                )
+                try:
+                    request = await _read_request(reader, limits)
+                except ProtocolError as exc:
+                    self._counter_protocol_errors.inc(exc.kind)
+                    response = _error_response(exc.status, exc.kind, exc.detail)
+                    await self._send(
+                        writer, response, keep_alive=False,
+                        route="protocol-error", method="-", remote=remote,
+                        seconds=0.0, request_id=self._next_request_id(),
+                    )
+                    return
+                if request is None:
+                    return  # clean close or idle timeout
+                started = time.perf_counter()
+                request_id = self._next_request_id()
+                route, response = await self._dispatch(request)
+                seconds = time.perf_counter() - started
+                keep_alive = (
+                    request.keep_alive
+                    and not self._draining
+                    and response.status < 500
+                )
+                sent = await self._send(
+                    writer, response, keep_alive=keep_alive,
+                    route=route, method=request.method, remote=remote,
+                    seconds=seconds, request_id=request_id,
+                )
+                if not sent or not keep_alive:
+                    return
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send(
+        self, writer, response: _Response, *, keep_alive: bool,
+        route: str, method: str, remote: str, seconds: float,
+        request_id: str,
+    ) -> bool:
+        """Serialize, write, count, observe and log one response."""
+        payload = render_response(
+            response.status,
+            response.body,
+            content_type=response.content_type,
+            keep_alive=keep_alive,
+            extra_headers=response.extra_headers,
+        )
+        aborted = False
+        try:
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            self._counter_aborts.inc()
+            aborted = True
+        self._counter_requests.inc(route, method, response.status)
+        self._hist_latency.observe(seconds, route)
+        if self.config.access_log:
+            self._log_event(
+                "request", id=request_id, remote=remote, method=method,
+                route=route, status=response.status,
+                ms=round(seconds * 1000.0, 3),
+                bytes=len(response.body), aborted=aborted,
+            )
+        return not aborted
+
+    def _next_request_id(self) -> str:
+        """A per-process-unique request id for log correlation."""
+        return f"r-{next(self._request_ids):08d}"
+
+    def _log_event(self, event: str, **fields) -> None:
+        """One structured JSON log line (access log + ops events)."""
+        stream = self._log_stream if self._log_stream is not None else sys.stderr
+        record = {"ts": round(time.time(), 3), "event": event, **fields}
+        try:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+        except (ValueError, OSError):  # pragma: no cover - closed stream
+            pass
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: HttpRequest) -> Tuple[str, _Response]:
+        """Route one parsed request to its handler; never raises."""
+        key = (request.method, request.path)
+        route = ROUTE_TABLE.get(key)
+        if route is None:
+            allowed = sorted(
+                method for method, path in ROUTE_TABLE if path == request.path
+            )
+            if allowed:
+                return "bad-method", _Response(
+                    405,
+                    protocol.encode_error(
+                        405, "method-not-allowed",
+                        f"{request.method} not supported on {request.path}",
+                    ),
+                    extra_headers={"Allow": ", ".join(allowed)},
+                )
+            return "not-found", _error_response(
+                404, "not-found", f"unknown path {request.path!r}"
+            )
+        if route == "healthz":
+            return route, self._handle_healthz()
+        if route == "metrics":
+            return route, _Response(
+                200,
+                self.registry.render().encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+            )
+        if route == "admin-reload":
+            report = await self.reload_config()
+            return route, _json_response(200 if report.get("ok") else 400, report)
+        return route, await self._handle_service_route(route, request)
+
+    def _handle_healthz(self) -> _Response:
+        """Liveness + readiness in one: 503 while draining."""
+        payload = {
+            "status": "draining" if self._draining else "ok",
+            "version": self.service.version,
+            "inflight": self._admission.inflight,
+            "queued": self._admission.queued,
+            "config_generation": self._config_generation,
+        }
+        return _json_response(503 if self._draining else 200, payload)
+
+    async def _handle_service_route(
+        self, route: str, request: HttpRequest
+    ) -> _Response:
+        """Admission-gate and execute one service-touching request."""
+        if self._draining:
+            self._counter_rejected.inc("draining")
+            return _error_response(
+                503, "draining", "server is draining; no new work accepted"
+            )
+        decision = self._admission.try_admit()
+        if not decision:
+            self._counter_rejected.inc("admission")
+            return _Response(
+                429,
+                protocol.encode_error(429, "admission", decision.reason),
+                extra_headers={
+                    "Retry-After": str(self.config.retry_after_seconds)
+                },
+            )
+        await self._admission.acquire()
+        try:
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(
+                self._executor, self._execute_service_route, route,
+                request.body,
+            )
+            try:
+                return await asyncio.wait_for(
+                    future, timeout=self.config.request_timeout
+                )
+            except asyncio.TimeoutError:
+                # The executor thread cannot be interrupted; it will
+                # finish and its slot frees then.  The *client* gets an
+                # honest deadline answer now.
+                self._counter_rejected.inc("deadline")
+                return _error_response(
+                    504, "deadline",
+                    f"request exceeded the "
+                    f"{self.config.request_timeout}s deadline",
+                )
+        finally:
+            await self._admission.release()
+
+    def _execute_service_route(self, route: str, body: bytes) -> _Response:
+        """Decode, execute and encode one service call (worker thread)."""
+        try:
+            payload = protocol.parse_json_body(body)
+            if route == "query":
+                preference, use_cache, forced = protocol.decode_query(payload)
+                result = self.service.query(
+                    preference, use_cache=use_cache, route=forced
+                )
+                self._observe_result(result)
+                return _json_response(
+                    200, protocol.encode_serve_result(result)
+                )
+            if route == "batch":
+                preferences, use_cache = protocol.decode_batch(payload)
+                report = self.service.submit_batch(
+                    preferences, use_cache=use_cache
+                )
+                for result in report.results:
+                    self._observe_result(result)
+                return _json_response(
+                    200, protocol.encode_batch_report(report)
+                )
+            if route == "insert":
+                rows = protocol.decode_insert(payload)
+                return _json_response(
+                    200,
+                    protocol.encode_update_report(
+                        self.service.insert_rows(rows)
+                    ),
+                )
+            if route == "delete":
+                ids = protocol.decode_delete(payload)
+                return _json_response(
+                    200,
+                    protocol.encode_update_report(
+                        self.service.delete_rows(ids)
+                    ),
+                )
+            assert route == "compact", route
+            remap = self.service.compact()
+            return _json_response(
+                200,
+                {
+                    "remapped": len(remap),
+                    "version": self.service.version,
+                },
+            )
+        except protocol.CodecError as exc:
+            return _error_response(400, "codec", str(exc))
+        except (PreferenceError, SchemaError, DatasetError) as exc:
+            return _error_response(422, type(exc).__name__, str(exc))
+        except StorageError as exc:
+            return _error_response(500, "storage", str(exc))
+        except ReproError as exc:
+            return _error_response(422, type(exc).__name__, str(exc))
+
+    def _observe_result(self, result) -> None:
+        """Count one served query's route + cache outcome."""
+        self._counter_service_routes.inc(result.route)
+        if result.route == "cache":
+            outcome = "hit"
+        elif result.route == "batch":
+            outcome = "shared"
+        elif result.cached:
+            outcome = "hit"
+        else:
+            outcome = "miss"
+        self._counter_cache_outcomes.inc(outcome)
+
+
+class ServerThread:
+    """Run a :class:`SkylineServer` on a background event loop.
+
+    Synchronous callers (pytest, benchmarks, the CI smoke) enter the
+    context manager, talk to ``.host`` / ``.port`` over real sockets,
+    and leave; exit performs a graceful drain.  The loop runs with
+    asyncio debug mode on (slow-callback and never-retrieved-exception
+    warnings surface in tests) unless ``debug=False``.
+    """
+
+    def __init__(
+        self,
+        service: SkylineService,
+        config: Optional[ServerConfig] = None,
+        *,
+        config_path: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+        log_stream=None,
+        debug: bool = True,
+    ) -> None:
+        self.server = SkylineServer(
+            service,
+            config,
+            config_path=config_path,
+            registry=registry,
+            log_stream=log_stream,
+        )
+        self._debug = debug
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-loop", daemon=True
+        )
+        self._startup_error: Optional[BaseException] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.set_debug(self._debug)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            try:
+                self._loop.run_until_complete(
+                    self._loop.shutdown_asyncgens()
+                )
+            finally:
+                self._loop.close()
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+            self.host, self.port = self.server.address
+        except BaseException as exc:  # surface bind errors to the caller
+            self._startup_error = exc
+            self._started.set()
+            return
+        stop = asyncio.Event()
+        self._loop_stop_event = stop
+        self._started.set()
+        await stop.wait()
+        await self.server.shutdown(drain=True)
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise self._startup_error
+        if self.port is None:
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        """Request graceful drain and wait for the loop to finish."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop_stop_event.set)
+            self._thread.join(timeout=60)
+
+    def run_coroutine(self, coro):
+        """Run ``coro`` on the server's loop; return its result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=60)

@@ -12,6 +12,8 @@ per workload shape::
     python -m repro.serve --selftest               # CI smoke check
     python -m repro.serve --storage-dir ./state --checkpoint   # durable
     python -m repro.serve --storage-dir ./state --recover      # restart
+    python -m repro.serve --listen 127.0.0.1:8080  # HTTP/JSON server
+                                                   # (see repro.net)
 
 ``--selftest`` runs a small fixed configuration, asserts that every
 planner route returns the identical skyline on randomized preferences
@@ -138,6 +140,14 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, metavar="M",
                         help="auto-checkpoint once the WAL reaches M "
                         "bytes (default: manual only)")
+    parser.add_argument("--listen", type=str, default=None,
+                        metavar="HOST:PORT",
+                        help="serve the HTTP/JSON protocol on this "
+                        "address instead of replaying a workload "
+                        "(delegates to repro.net; :0 = ephemeral port)")
+    parser.add_argument("--service-config", type=str, default=None,
+                        help="JSON service config for --listen; re-read "
+                        "on SIGHUP or POST /admin/reload")
     return parser
 
 
@@ -376,6 +386,28 @@ def main(argv=None) -> int:
 
     if args.selftest:
         return selftest(args)
+
+    if args.listen is not None:
+        # Network serving mode: delegate to the repro.net front end
+        # (same service construction, HTTP/JSON instead of replay).
+        import asyncio
+
+        from repro.net.client import parse_listen
+        from repro.net.config import ServerConfig, load_config
+        from repro.net.__main__ import run_server
+
+        host, port = parse_listen(args.listen)
+        if args.service_config is not None:
+            config = load_config(args.service_config)
+            config = ServerConfig(
+                **{**config.__dict__, "host": host, "port": port}
+            )
+        else:
+            config = ServerConfig(host=host, port=port)
+        print("building service ...", file=sys.stderr)
+        service = build_service(args)
+        asyncio.run(run_server(service, config, args.service_config))
+        return 0
 
     shapes = [s.strip() for s in args.workloads.split(",") if s.strip()]
     unknown = [s for s in shapes if s not in WORKLOADS]

@@ -238,6 +238,28 @@ class SemanticCache:
             self._revised += retained + patched + invalidated
         return retained, patched, invalidated
 
+    def resize(self, capacity: int) -> int:
+        """Retune the LRU capacity in place; returns entries evicted.
+
+        The hot-reload path of the network front end
+        (:mod:`repro.net.config`) retunes a *running* cache: shrinking
+        evicts from the LRU end immediately (counted in ``evictions``),
+        growing simply admits more entries from now on, and
+        ``capacity=0`` disables storage exactly like constructing with
+        0 would.  Counters and surviving entries are kept - the cache's
+        history did not change, only its budget.
+        """
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        evicted = 0
+        with self._lock:
+            self.capacity = capacity
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        return evicted
+
     def record_bypass(self) -> None:
         """Count a query that deliberately skipped the cache."""
         with self._lock:

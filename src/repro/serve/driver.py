@@ -59,6 +59,36 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[index]
 
 
+def latency_summary(
+    millis: Sequence[float],
+) -> Dict[str, Optional[float]]:
+    """``mean``/``p50``/``p95``/``p99``/``max`` of a latency sample.
+
+    An empty sample has **no** latencies: every statistic is ``None``
+    (rendered as ``-`` and serialized as JSON ``null``), never a
+    fabricated ``0.0`` - a zero would read as an impossibly fast run
+    and, worse, would poison regression baselines with a fake best
+    case.  A single-sample summary is honest but degenerate (all five
+    statistics equal the one observation), which is exactly what
+    nearest-rank percentiles produce.
+    """
+    if not millis:
+        return {"mean": None, "p50": None, "p95": None, "p99": None,
+                "max": None}
+    return {
+        "mean": sum(millis) / len(millis),
+        "p50": percentile(millis, 50),
+        "p95": percentile(millis, 95),
+        "p99": percentile(millis, 99),
+        "max": max(millis),
+    }
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    """One latency cell: ``None`` (no sample) renders as ``-``."""
+    return f"{value:>8.3f}" if value is not None else f"{'-':>8}"
+
+
 @dataclass(frozen=True)
 class WorkloadReport:
     """Aggregated results of one replay."""
@@ -68,7 +98,8 @@ class WorkloadReport:
     concurrency: int
     total_seconds: float
     throughput_qps: float
-    latencies_ms: Dict[str, float]      # mean / p50 / p95 / p99 / max
+    #: mean / p50 / p95 / p99 / max; ``None`` when the replay was empty.
+    latencies_ms: Dict[str, Optional[float]]
     route_counts: Dict[str, int]        # deltas for this replay
     cache: CacheStats                   # deltas for this replay
 
@@ -80,7 +111,10 @@ class WorkloadReport:
             "concurrency": self.concurrency,
             "total_seconds": round(self.total_seconds, 6),
             "throughput_qps": round(self.throughput_qps, 2),
-            "latency_ms": {k: round(v, 4) for k, v in self.latencies_ms.items()},
+            "latency_ms": {
+                k: round(v, 4) if v is not None else None
+                for k, v in self.latencies_ms.items()
+            },
             "routes": dict(self.route_counts),
             "cache": self.cache.as_dict(),
         }
@@ -91,8 +125,8 @@ class WorkloadReport:
         return (
             f"{self.name:<10} {self.queries:>6} queries  "
             f"x{self.concurrency:<3} {self.throughput_qps:>9.1f} q/s   "
-            f"p50 {lat['p50']:>8.3f} ms  p95 {lat['p95']:>8.3f} ms  "
-            f"p99 {lat['p99']:>8.3f} ms   "
+            f"p50 {_fmt_ms(lat['p50'])} ms  p95 {_fmt_ms(lat['p95'])} ms  "
+            f"p99 {_fmt_ms(lat['p99'])} ms   "
             f"hit-rate {self.cache.hit_rate:>5.1%}  "
             f"routes {_compact_routes(self.route_counts)}"
         )
@@ -163,13 +197,7 @@ def replay(
         concurrency=concurrency,
         total_seconds=total,
         throughput_qps=len(preferences) / total if total > 0 else 0.0,
-        latencies_ms={
-            "mean": sum(millis) / len(millis) if millis else 0.0,
-            "p50": percentile(millis, 50) if millis else 0.0,
-            "p95": percentile(millis, 95) if millis else 0.0,
-            "p99": percentile(millis, 99) if millis else 0.0,
-            "max": max(millis) if millis else 0.0,
-        },
+        latencies_ms=latency_summary(millis),
         route_counts=_route_delta(after.route_counts, before.route_counts),
         cache=after.cache.delta(before.cache),
     )

@@ -31,6 +31,7 @@ AUDITED_PACKAGES = (
     "repro.hybrid",
     "repro.ipo",
     "repro.mdc",
+    "repro.net",
     "repro.serve",
     "repro.updates",
 )

@@ -1,0 +1,329 @@
+"""Metrics correctness: exact reconciliation + exposition conformance.
+
+The contract under test: the numbers on ``/metrics`` are *bookkeeping*,
+not estimates - N queries produce exactly N histogram observations and
+exactly N route-counter increments, cache outcomes partition the served
+results, and the rendered text parses under a minimal (but strict)
+Prometheus text-format checker with cumulative, conserved histograms.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preferences
+from repro.net import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NetClient,
+    ServerConfig,
+    ServerThread,
+)
+from repro.serve.service import SkylineService
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def parse_prometheus(text: str):
+    """A strict minimal parser for the Prometheus text format.
+
+    Returns ``{family: {"help": str, "type": str, "samples":
+    {(name, labels-tuple): float}}}`` and raises AssertionError on any
+    line that does not conform - unknown sample prefixes, samples
+    before their headers, malformed label pairs, unparseable values.
+    """
+    families = {}
+    current = None
+    for line in text.strip("\n").split("\n"):
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name not in families, f"duplicate HELP for {name}"
+            families[name] = {"help": help_text, "type": None, "samples": {}}
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name == current, f"TYPE without preceding HELP: {line!r}"
+            assert kind in ("counter", "gauge", "histogram"), line
+            families[name]["type"] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment line {line!r}"
+        match = _SAMPLE_LINE.match(line)
+        assert match, f"malformed sample line {line!r}"
+        name = match.group("name")
+        assert current is not None, f"sample before any header: {line!r}"
+        kind = families[current]["type"]
+        allowed = (
+            {current + "_bucket", current + "_sum", current + "_count"}
+            if kind == "histogram"
+            else {current}
+        )
+        assert name in allowed, (
+            f"sample {name!r} does not belong to family {current!r}"
+        )
+        labels = ()
+        if match.group("labels"):
+            parts = match.group("labels").split(",")
+            for part in parts:
+                assert _LABEL_PAIR.match(part), f"bad label pair {part!r}"
+            labels = tuple(sorted(parts))
+        raw = match.group("value")
+        value = math.inf if raw == "+Inf" else float(raw)
+        key = (name, labels)
+        assert key not in families[current]["samples"], f"duplicate {key}"
+        families[current]["samples"][key] = value
+    for name, family in families.items():
+        assert family["type"] is not None, f"{name} has HELP but no TYPE"
+    return families
+
+
+def histogram_series(family, label_filter: str):
+    """(le -> cumulative), sum, count of one labelled histogram series."""
+    buckets, total, count = {}, None, None
+    for (name, labels), value in family["samples"].items():
+        if not any(label_filter in lab for lab in labels):
+            continue
+        if name.endswith("_bucket"):
+            le = next(
+                lab.split("=", 1)[1].strip('"')
+                for lab in labels if lab.startswith("le=")
+            )
+            buckets[le] = value
+        elif name.endswith("_sum"):
+            total = value
+        elif name.endswith("_count"):
+            count = value
+    return buckets, total, count
+
+
+# ---------------------------------------------------------------------------
+# live-server reconciliation
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def stack():
+    """A fresh service + server + registry (counters must start at 0)."""
+    dataset = generate(
+        SyntheticConfig(
+            num_points=150, num_numeric=2, num_nominal=2,
+            cardinality=4, seed=3,
+        )
+    )
+    service = SkylineService(
+        dataset, frequent_value_template(dataset, 1), cache_capacity=32
+    )
+    registry = MetricsRegistry()
+    config = ServerConfig(port=0, access_log=False)
+    with ServerThread(service, config, registry=registry) as thread:
+        yield service, registry, thread
+
+
+def test_query_counters_reconcile_exactly(stack):
+    service, registry, thread = stack
+    pref_a, pref_b = generate_preferences(
+        service.dataset, 2, 2, template=service.template, seed=1
+    )
+    with NetClient(thread.host, thread.port) as client:
+        # Scripted outcomes: miss, hit, miss, hit, hit.
+        for pref in (pref_a, pref_a, pref_b, pref_b, pref_a):
+            assert client.query(pref).status == 200
+        text = client.metrics().text
+
+    requests = registry.get("repro_http_requests_total")
+    assert requests.value("query", "POST", "200") == 5
+    histogram = registry.get("repro_http_request_seconds")
+    assert histogram.count("query") == 5
+
+    outcomes = registry.get("repro_net_cache_outcomes_total")
+    assert outcomes.value("hit") == 3
+    assert outcomes.value("miss") == 2
+    # hits + misses == served query results, exactly.
+    assert outcomes.value("hit") + outcomes.value("miss") == 5
+
+    routes = registry.get("repro_net_query_routes_total")
+    route_total = sum(value for _, value in routes.samples())
+    assert route_total == 5
+    assert routes.value("cache") == 3  # the three hits
+
+    # The service's own view agrees with the wire-layer counters.
+    stats = service.stats()
+    assert stats.queries == 5
+    assert stats.cache.hits == 3
+    assert stats.cache.misses == 2
+
+    # And the rendered exposition carries the same numbers.
+    families = parse_prometheus(text)
+    samples = families["repro_http_requests_total"]["samples"]
+    key = (
+        "repro_http_requests_total",
+        tuple(sorted(['route="query"', 'method="POST"', 'status="200"'])),
+    )
+    assert samples[key] == 5.0
+    gauge_samples = families["repro_service_queries_total"]["samples"]
+    assert gauge_samples[("repro_service_queries_total", ())] == 5.0
+
+
+def test_batch_results_observe_into_counters(stack):
+    service, registry, thread = stack
+    prefs = generate_preferences(
+        service.dataset, 2, 6, template=service.template, seed=2
+    )
+    with NetClient(thread.host, thread.port) as client:
+        response = client.batch(prefs + prefs[:2])  # 2 guaranteed dups
+        assert response.status == 200
+        assert len(response.json["results"]) == 8
+
+    requests = registry.get("repro_http_requests_total")
+    assert requests.value("batch", "POST", "200") == 1
+    assert registry.get("repro_http_request_seconds").count("batch") == 1
+    # Every per-query result lands in exactly one cache-outcome bucket.
+    outcomes = registry.get("repro_net_cache_outcomes_total")
+    total_outcomes = sum(value for _, value in outcomes.samples())
+    assert total_outcomes == 8
+    routes = registry.get("repro_net_query_routes_total")
+    assert sum(value for _, value in routes.samples()) == 8
+
+
+def test_histogram_buckets_are_cumulative_and_conserved(stack):
+    service, registry, thread = stack
+    with NetClient(thread.host, thread.port) as client:
+        for _ in range(4):
+            assert client.healthz().status == 200
+        text = client.metrics().text
+    families = parse_prometheus(text)
+    family = families["repro_http_request_seconds"]
+    buckets, total, count = histogram_series(family, 'route="healthz"')
+    assert count == 4.0
+    assert total is not None and total >= 0.0
+    # Cumulative: non-decreasing in le order, +Inf equals _count.
+    ordered = sorted(
+        buckets.items(),
+        key=lambda kv: math.inf if kv[0] == "+Inf" else float(kv[0]),
+    )
+    values = [value for _, value in ordered]
+    assert values == sorted(values)
+    assert ordered[-1][0] == "+Inf"
+    assert ordered[-1][1] == count
+
+
+def test_metrics_endpoint_parses_and_covers_the_catalog(stack):
+    service, registry, thread = stack
+    with NetClient(thread.host, thread.port) as client:
+        assert client.query(None).status == 200
+        response = client.metrics()
+    assert response.status == 200
+    assert response.headers.get("Content-Type", "").startswith("text/plain")
+    families = parse_prometheus(response.text)
+    for name in (
+        "repro_http_requests_total",
+        "repro_http_request_seconds",
+        "repro_http_rejected_total",
+        "repro_net_protocol_errors_total",
+        "repro_net_cache_outcomes_total",
+        "repro_net_query_routes_total",
+        "repro_net_config_reloads_total",
+        "repro_net_client_aborts_total",
+        "repro_net_connections_total",
+        "repro_net_open_connections",
+        "repro_net_inflight_requests",
+        "repro_net_queue_depth",
+        "repro_net_draining",
+        "repro_net_config_generation",
+        "repro_service_data_version",
+        "repro_service_queries_total",
+        "repro_service_cache_hits_total",
+        "repro_service_cache_misses_total",
+    ):
+        assert name in families, f"{name} missing from /metrics"
+        assert families[name]["help"], f"{name} has empty HELP"
+
+
+def test_protocol_errors_are_counted_by_kind(stack):
+    import socket
+
+    service, registry, thread = stack
+    with socket.create_connection((thread.host, thread.port), 5) as sock:
+        sock.sendall(b"BREW /x HTTP/1.1\r\n\r\n")
+        sock.shutdown(socket.SHUT_WR)
+        while sock.recv(65536):
+            pass
+    errors = registry.get("repro_net_protocol_errors_total")
+    assert errors.value("bad-method") == 1
+
+
+# ---------------------------------------------------------------------------
+# instrument unit behavior
+# ---------------------------------------------------------------------------
+def test_counter_rejects_label_mismatch_and_negative_amounts():
+    counter = Counter("c_total", "help", ("a",))
+    counter.inc("x")
+    with pytest.raises(ValueError):
+        counter.inc()
+    with pytest.raises(ValueError):
+        counter.inc("x", amount=-1)
+    assert counter.value("x") == 1.0
+    assert counter.value("never") == 0.0
+
+
+def test_gauge_callback_vs_set():
+    box = {"v": 3.0}
+    sampled = Gauge("g", "help", lambda: box["v"])
+    assert sampled.value() == 3.0
+    box["v"] = 7.0
+    assert sampled.value() == 7.0
+    with pytest.raises(ValueError):
+        sampled.set(1.0)
+    plain = Gauge("g2", "help")
+    plain.set(2.5)
+    assert plain.value() == 2.5
+
+
+def test_histogram_bucket_validation_and_assignment():
+    with pytest.raises(ValueError):
+        Histogram("h", "help", buckets=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", "help", buckets=())
+    hist = Histogram("h_seconds", "help", buckets=(0.1, 1.0))
+    for value in (0.05, 0.1, 0.5, 2.0):
+        hist.observe(value)
+    samples = dict(hist.samples())
+    assert samples['h_seconds_bucket{le="0.1"}'] == 2.0   # 0.05, 0.1
+    assert samples['h_seconds_bucket{le="1"}'] == 3.0     # + 0.5
+    assert samples['h_seconds_bucket{le="+Inf"}'] == 4.0  # + 2.0
+    assert samples["h_seconds_count"] == 4.0
+    assert samples["h_seconds_sum"] == pytest.approx(2.65)
+
+
+def test_registry_reuses_and_type_checks_instruments():
+    registry = MetricsRegistry()
+    first = registry.counter("x_total", "help")
+    assert registry.counter("x_total", "other") is first
+    with pytest.raises(ValueError):
+        registry.gauge("x_total", "conflicting kind")
+    assert registry.get("x_total") is first
+    assert registry.get("absent") is None
+
+
+def test_render_escapes_label_values():
+    registry = MetricsRegistry()
+    counter = registry.counter("esc_total", "help", ("detail",))
+    counter.inc('quo"te\nnewline')
+    rendered = registry.render()
+    assert '\\"' in rendered and "\\n" in rendered
+    parse_prometheus(rendered)  # and the checker still accepts it

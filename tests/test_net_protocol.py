@@ -1,0 +1,357 @@
+"""Wire conformance: no byte sequence may crash or hang the server.
+
+Every case in here throws malformed, hostile or just weird bytes at a
+live server over a real socket and asserts the contract of
+:mod:`repro.net.http`: the answer is always a *well-formed* HTTP error
+(or a clean close) - never a traceback, never a hung connection - and
+the server keeps serving afterwards.  The hypothesis property at the
+bottom pins the JSON codecs as exact round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.preferences import ImplicitPreference, Preference
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.net import NetClient, ServerConfig, ServerThread
+from repro.net.protocol import (
+    CodecError,
+    decode_preference,
+    decode_serve_result,
+    encode_preference,
+    encode_serve_result,
+)
+from repro.serve.service import SkylineService
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One live server shared by the whole module (read-only traffic)."""
+    dataset = generate(
+        SyntheticConfig(
+            num_points=150, num_numeric=2, num_nominal=2,
+            cardinality=4, seed=3,
+        )
+    )
+    service = SkylineService(
+        dataset, frequent_value_template(dataset, 1), cache_capacity=32
+    )
+    config = ServerConfig(
+        port=0, max_body_bytes=4096, max_header_bytes=2048,
+        read_timeout=2.0, idle_timeout=5.0, access_log=False,
+    )
+    with ServerThread(service, config) as thread:
+        yield thread
+
+
+def raw_exchange(server, payload: bytes, timeout: float = 5.0) -> bytes:
+    """Send raw bytes, half-close, and read everything the server says."""
+    with socket.create_connection(
+        (server.host, server.port), timeout=timeout
+    ) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return b"".join(chunks)
+            chunks.append(chunk)
+
+
+def parse_raw(response: bytes):
+    """(status, headers, body) of one raw HTTP response."""
+    head, _, body = response.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+def assert_error_shape(body: bytes, status: int) -> None:
+    """Every error body is the uniform JSON error object."""
+    payload = json.loads(body)
+    assert set(payload) == {"error"}
+    assert payload["error"]["status"] == status
+    assert isinstance(payload["error"]["kind"], str)
+    assert isinstance(payload["error"]["detail"], str)
+
+
+def post(path: str, body: bytes, extra: str = "") -> bytes:
+    """A framed POST request as raw bytes."""
+    return (
+        f"POST {path} HTTP/1.1\r\nHost: x\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n{extra}\r\n"
+    ).encode() + body
+
+
+def server_still_healthy(server) -> None:
+    """The abuse du jour must not have taken the server down."""
+    with NetClient(server.host, server.port) as client:
+        assert client.healthz().status == 200
+
+
+# ---------------------------------------------------------------------------
+# malformed bodies (valid HTTP framing, broken JSON/shape)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "body",
+    [
+        b"{not json",
+        b"[]",            # JSON but not an object
+        b'"text"',
+        b"null",
+        b"\xff\xfe bad utf8",
+        b'{"preference": 7}',
+        b'{"preference": {"a": 5}}',
+        b'{"preference": {"a": [["nested"]]}}',
+        b'{"preference": {"a": ["dup", "dup"]}}',
+        b'{"preference": null, "bogus_field": 1}',
+        b'{"use_cache": "yes"}',
+        b'{"route": 5}',
+    ],
+)
+def test_malformed_query_bodies_answer_400(server, body):
+    status, _, raw_body = parse_raw(raw_exchange(server, post("/query", body)))
+    assert status == 400
+    assert_error_shape(raw_body, 400)
+    server_still_healthy(server)
+
+
+def test_empty_body_is_the_empty_query(server):
+    """POST /query with no body = template skyline (preference null)."""
+    status, _, body = parse_raw(raw_exchange(server, post("/query", b"")))
+    assert status == 200
+    assert json.loads(body)["ids"]
+
+
+# ---------------------------------------------------------------------------
+# framing violations
+# ---------------------------------------------------------------------------
+def test_oversized_declared_body_is_413(server):
+    raw = raw_exchange(
+        server,
+        f"POST /query HTTP/1.1\r\nContent-Length: 999999\r\n\r\n".encode(),
+    )
+    status, _, body = parse_raw(raw)
+    assert status == 413
+    assert_error_shape(body, 413)
+    server_still_healthy(server)
+
+
+def test_oversized_header_block_is_431(server):
+    raw = raw_exchange(
+        server,
+        b"GET /healthz HTTP/1.1\r\n"
+        + b"X-Filler: " + b"a" * 4096 + b"\r\n\r\n",
+    )
+    status, _, body = parse_raw(raw)
+    assert status == 431
+    assert_error_shape(body, 431)
+    server_still_healthy(server)
+
+
+def test_chunked_transfer_encoding_is_501(server):
+    raw = raw_exchange(
+        server,
+        b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        b"0\r\n\r\n",
+    )
+    status, _, body = parse_raw(raw)
+    assert status == 501
+    assert_error_shape(body, 501)
+
+
+@pytest.mark.parametrize("value", [b"abc", b"-5", b"1e3"])
+def test_bad_content_length_is_400(server, value):
+    raw = raw_exchange(
+        server,
+        b"POST /query HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n",
+    )
+    status, _, body = parse_raw(raw)
+    assert status == 400
+    assert_error_shape(body, 400)
+
+
+def test_truncated_body_answers_400_torn_body(server):
+    """A half-closed client mid-body still gets a well-formed 400."""
+    status, _, body = parse_raw(raw_exchange(
+        server,
+        b"POST /query HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"pref",
+    ))
+    assert status == 400
+    assert_error_shape(body, 400)
+    assert json.loads(body)["error"]["kind"] == "torn-body"
+    server_still_healthy(server)
+
+
+def test_truncated_header_answers_400_torn_header(server):
+    status, _, body = parse_raw(
+        raw_exchange(server, b"POST /query HTTP/1.1\r\nContent-")
+    )
+    assert status == 400
+    assert json.loads(body)["error"]["kind"] == "torn-header"
+    server_still_healthy(server)
+
+
+@pytest.mark.parametrize(
+    "request_line",
+    [
+        b"BREW /query HTTP/1.1",        # unknown method
+        b"GET /healthz HTTP/9.9",       # unknown version
+        b"GET healthz HTTP/1.1",        # relative target
+        b"GEThealthzHTTP/1.1",          # no spaces at all
+        b"GET /healthz HTTP/1.1 extra", # four tokens
+    ],
+)
+def test_bad_request_lines_answer_400(server, request_line):
+    status, _, body = parse_raw(
+        raw_exchange(server, request_line + b"\r\n\r\n")
+    )
+    assert status == 400
+    assert_error_shape(body, 400)
+
+
+def test_unknown_path_is_404_and_wrong_method_is_405(server):
+    status, _, body = parse_raw(
+        raw_exchange(server, b"GET /nope HTTP/1.1\r\n\r\n")
+    )
+    assert status == 404
+    assert_error_shape(body, 404)
+
+    status, headers, body = parse_raw(
+        raw_exchange(server, b"GET /query HTTP/1.1\r\n\r\n")
+    )
+    assert status == 405
+    assert headers.get("allow") == "POST"
+    assert_error_shape(body, 405)
+
+
+def test_random_garbage_never_crashes_or_hangs(server):
+    """Arbitrary byte blobs get an error or a clean close, promptly."""
+    import random
+
+    rng = random.Random(1234)
+    for _ in range(20):
+        blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 400)))
+        response = raw_exchange(server, blob)  # timeout would raise here
+        if response:
+            status, _, body = parse_raw(response)
+            assert 400 <= status < 600
+            assert_error_shape(body, status)
+    server_still_healthy(server)
+
+
+# ---------------------------------------------------------------------------
+# pipelining and keep-alive
+# ---------------------------------------------------------------------------
+def test_pipelined_requests_answer_in_order(server):
+    """Two requests in one write produce two in-order responses."""
+    raw = raw_exchange(
+        server,
+        b"GET /healthz HTTP/1.1\r\n\r\n"
+        + post("/query", b"{}", extra="Connection: close\r\n"),
+    )
+    first, _, rest = raw.partition(b"\r\n\r\n")
+    assert first.startswith(b"HTTP/1.1 200")
+    # The healthz body is followed by the /query response head.
+    assert b"HTTP/1.1 200" in rest
+    assert b'"ids"' in rest
+
+
+def test_keep_alive_connection_serves_many_requests(server):
+    with NetClient(server.host, server.port) as client:
+        versions = {client.healthz().json["version"] for _ in range(5)}
+    assert len(versions) == 1
+
+
+def test_http10_defaults_to_close(server):
+    raw = raw_exchange(server, b"GET /healthz HTTP/1.0\r\n\r\n")
+    status, headers, _ = parse_raw(raw)
+    assert status == 200
+    assert headers["connection"] == "close"
+
+
+# ---------------------------------------------------------------------------
+# codec round-trips
+# ---------------------------------------------------------------------------
+_values = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           exclude_characters="<*"),
+    min_size=1, max_size=8,
+)
+_chains = st.lists(_values, min_size=0, max_size=5, unique=True)
+_preferences = st.dictionaries(
+    st.text(min_size=1, max_size=10), _chains, max_size=4
+).map(lambda d: Preference({k: ImplicitPreference(tuple(v))
+                            for k, v in d.items()}))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_preferences)
+def test_preference_codec_round_trip(preference):
+    assert decode_preference(encode_preference(preference)) == preference
+
+
+def test_preference_none_round_trip():
+    assert encode_preference(None) is None
+    assert decode_preference(None) is None
+
+
+def test_preference_string_chain_form_decodes():
+    decoded = decode_preference({"Hotel-group": "T < M < *"})
+    assert decoded == Preference(
+        {"Hotel-group": ImplicitPreference(("T", "M"))}
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=10_000),
+             unique=True, max_size=20),
+    st.sampled_from(["ipo", "mdc", "sfs", "cache", "batch"]),
+    st.booleans(),
+)
+def test_serve_result_codec_round_trip(ids, route, cached):
+    class _Result:
+        pass
+
+    result = _Result()
+    result.ids = tuple(sorted(ids))
+    result.route = route
+    result.reason = "r"
+    result.cached = cached
+    result.seconds = 0.25
+    result.version = 3
+    wire = json.loads(json.dumps(encode_serve_result(result)))
+    decoded = decode_serve_result(wire)
+    assert decoded["ids"] == result.ids
+    assert decoded["route"] == route
+    assert decoded["cached"] is cached
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"ids": "nope"},
+        {"ids": [1, True]},
+        {"ids": [1], "surprise": 2},
+    ],
+)
+def test_serve_result_decode_rejects_bad_shapes(payload):
+    with pytest.raises(CodecError):
+        decode_serve_result(payload)

@@ -1,0 +1,246 @@
+"""End to end over real sockets: wire answers == in-process answers.
+
+The server is only correct if a query over HTTP returns byte-for-byte
+the same skyline the service returns in process, at the same data
+version - including after inserts, deletes and compaction travelled
+over the wire.  A twin service receiving the identical call sequence
+in process is the oracle.  Also hosts the driver's empty/one-sample
+latency regression tests (the ``percentile``/``latency_summary``
+contract).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preferences
+from repro.net import NetClient, ServerConfig, ServerThread, parse_listen
+from repro.serve.driver import (
+    WorkloadReport,
+    latency_summary,
+    percentile,
+    replay,
+)
+from repro.serve.service import SkylineService
+
+
+def make_service(seed: int = 3, points: int = 200) -> SkylineService:
+    dataset = generate(
+        SyntheticConfig(
+            num_points=points, num_numeric=2, num_nominal=2,
+            cardinality=4, seed=seed,
+        )
+    )
+    return SkylineService(
+        dataset, frequent_value_template(dataset, 1), cache_capacity=32
+    )
+
+
+@pytest.fixture()
+def twins():
+    """(served service, in-process oracle) built identically."""
+    return make_service(), make_service()
+
+
+def test_wire_queries_equal_in_process_queries(twins):
+    served, oracle = twins
+    prefs = [None] + generate_preferences(
+        oracle.dataset, 3, 12, template=oracle.template, seed=9
+    )
+    with ServerThread(served, ServerConfig(port=0, access_log=False)) as t:
+        with NetClient(t.host, t.port) as client:
+            for pref in prefs:
+                expected = oracle.query(pref, use_cache=False)
+                response = client.query(pref, use_cache=False)
+                assert response.status == 200
+                assert tuple(response.json["ids"]) == expected.ids
+                assert response.json["version"] == expected.version
+                assert response.json["route"] == expected.route
+
+
+def test_wire_batch_equals_in_process_batch(twins):
+    served, oracle = twins
+    prefs = generate_preferences(
+        oracle.dataset, 2, 10, template=oracle.template, seed=4
+    )
+    prefs = prefs + prefs[:3]  # duplicates exercise batch dedup
+    with ServerThread(served, ServerConfig(port=0, access_log=False)) as t:
+        with NetClient(t.host, t.port) as client:
+            response = client.batch(prefs, use_cache=False)
+    expected = oracle.submit_batch(prefs, use_cache=False)
+    assert response.status == 200
+    wire_ids = [tuple(r["ids"]) for r in response.json["results"]]
+    assert wire_ids == [r.ids for r in expected.results]
+    assert response.json["unique_queries"] == expected.unique_queries
+    assert response.json["duplicate_queries"] == expected.duplicate_queries
+
+
+def test_wire_mutations_equal_in_process_mutations(twins):
+    served, oracle = twins
+    rows = [oracle.dataset.row(i) for i in range(5)]
+    prefs = generate_preferences(
+        oracle.dataset, 2, 6, template=oracle.template, seed=8
+    )
+    with ServerThread(served, ServerConfig(port=0, access_log=False)) as t:
+        with NetClient(t.host, t.port) as client:
+            inserted = client.insert(rows)
+            expected_insert = oracle.insert_rows(rows)
+            assert inserted.status == 200
+            assert (
+                tuple(inserted.json["point_ids"])
+                == expected_insert.point_ids
+            )
+            assert inserted.json["version"] == expected_insert.version
+
+            victims = list(expected_insert.point_ids[:2]) + [0, 3]
+            deleted = client.delete(victims)
+            expected_delete = oracle.delete_rows(victims)
+            assert deleted.status == 200
+            assert deleted.json["version"] == expected_delete.version
+
+            compacted = client.compact()
+            remap = oracle.compact()
+            assert compacted.status == 200
+            assert compacted.json["remapped"] == len(remap)
+            assert compacted.json["version"] == oracle.version
+
+            for pref in prefs:
+                expected = oracle.query(pref, use_cache=False)
+                response = client.query(pref, use_cache=False)
+                assert tuple(response.json["ids"]) == expected.ids
+                assert response.json["version"] == expected.version
+
+
+def test_wire_cache_semantics_match_service(twins):
+    served, oracle = twins
+    pref = generate_preferences(
+        oracle.dataset, 2, 1, template=oracle.template, seed=2
+    )[0]
+    with ServerThread(served, ServerConfig(port=0, access_log=False)) as t:
+        with NetClient(t.host, t.port) as client:
+            first = client.query(pref)
+            second = client.query(pref)
+    assert first.json["cached"] is False
+    assert second.json["route"] == "cache"
+    assert second.json["cached"] is True
+    assert tuple(second.json["ids"]) == tuple(first.json["ids"])
+
+
+def test_semantic_errors_map_to_422(twins):
+    served, _ = twins
+    with ServerThread(served, ServerConfig(port=0, access_log=False)) as t:
+        with NetClient(t.host, t.port) as client:
+            bad_route = client.query(None, route="bogus")
+            assert bad_route.status == 422
+            assert "bogus" in bad_route.json["error"]["detail"]
+
+            bad_row = client.insert([[1.0, "too-short"]])
+            assert bad_row.status == 422
+
+            unknown_value = client.request(
+                "POST", "/query",
+                {"preference": {"no_such_attribute": ["x"]}},
+            )
+            assert unknown_value.status == 422
+
+
+def test_forced_route_travels_over_the_wire(twins):
+    served, oracle = twins
+    with ServerThread(served, ServerConfig(port=0, access_log=False)) as t:
+        with NetClient(t.host, t.port) as client:
+            for route in ("ipo", "mdc"):
+                response = client.query(None, use_cache=False, route=route)
+                assert response.status == 200
+                assert response.json["route"] == route
+                expected = oracle.query(None, use_cache=False, route=route)
+                assert tuple(response.json["ids"]) == expected.ids
+
+
+def test_concurrent_wire_clients_get_consistent_answers(twins):
+    from concurrent.futures import ThreadPoolExecutor
+
+    served, oracle = twins
+    prefs = generate_preferences(
+        oracle.dataset, 2, 8, template=oracle.template, seed=6
+    )
+    expected = {
+        id(p): oracle.query(p, use_cache=False).ids for p in prefs
+    }
+    config = ServerConfig(port=0, max_inflight=4, access_log=False)
+    with ServerThread(served, config) as t:
+
+        def worker(pref):
+            with NetClient(t.host, t.port) as client:
+                return client.query_ids(pref, use_cache=False)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            answers = list(pool.map(worker, prefs * 3))
+    for pref, ids in zip(prefs * 3, answers):
+        assert ids == expected[id(pref)]
+
+
+def test_parse_listen_specs():
+    assert parse_listen("127.0.0.1:8080") == ("127.0.0.1", 8080)
+    assert parse_listen(":0") == ("127.0.0.1", 0)
+    assert parse_listen("0.0.0.0:9999") == ("0.0.0.0", 9999)
+    for bad in ("8080", "host:", "host:abc", "host:70000"):
+        with pytest.raises(ValueError):
+            parse_listen(bad)
+
+
+# ---------------------------------------------------------------------------
+# driver latency regression (the empty/one-sample percentile gap)
+# ---------------------------------------------------------------------------
+def test_percentile_still_refuses_empty_samples():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_latency_summary_of_empty_sample_is_all_none():
+    summary = latency_summary([])
+    assert summary == {
+        "mean": None, "p50": None, "p95": None, "p99": None, "max": None,
+    }
+
+
+def test_latency_summary_of_one_sample_is_that_sample():
+    summary = latency_summary([4.2])
+    assert all(value == 4.2 for value in summary.values())
+
+
+def test_empty_replay_reports_null_latencies_not_zero():
+    service = make_service(points=60)
+    report = replay(service, [], name="empty")
+    assert report.queries == 0
+    assert all(value is None for value in report.latencies_ms.values())
+    # The rendering paths must survive the empty report...
+    assert " - " in report.render() or "-" in report.render()
+    payload = report.as_dict()
+    assert payload["latency_ms"]["p50"] is None
+    json.dumps(payload)  # ... and it must stay JSON-serializable.
+
+
+def test_single_query_replay_is_degenerate_but_honest():
+    service = make_service(points=60)
+    report = replay(service, [None], name="one", concurrency=1)
+    lat = report.latencies_ms
+    assert lat["p50"] == lat["p95"] == lat["p99"] == lat["max"]
+    assert lat["mean"] == lat["p50"]
+    assert lat["p50"] is not None and lat["p50"] > 0.0
+
+
+def test_workload_report_round_trips_through_json():
+    report = WorkloadReport(
+        name="x", queries=0, concurrency=1, total_seconds=0.0,
+        throughput_qps=0.0, latencies_ms=latency_summary([]),
+        route_counts={}, cache=make_service(points=60).stats().cache,
+    )
+    decoded = json.loads(json.dumps(report.as_dict()))
+    assert decoded["latency_ms"]["max"] is None
