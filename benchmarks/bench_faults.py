@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Fault-injection overhead and graceful-degradation benchmark.
+
+Measures what the robustness machinery costs and what degradation
+actually does to serving, over real sockets:
+
+* ``healthy`` / ``degraded`` - wire query throughput before and after a
+  (injected) storage append failure flips the service into degraded
+  read-only mode.  The headline ratio ``degraded_over_healthy_qps``
+  should sit near 1.0: degradation disables *writes*, reads must not
+  pay for it.
+* ``draw-overhead`` - nanoseconds per :func:`repro.faults.draw` call
+  with injection disarmed (the cost compiled into every hot site: a
+  global load + comparison) and with an armed no-rule plan (the lock +
+  counter path), pinning the "disabled injection costs nothing
+  measurable" claim with a number.
+* ``recovery`` - seconds from degraded to healed-and-writing
+  (checkpoint + the first successful mutation), and the wall-clock a
+  :class:`~repro.net.resilient.ResilientClient` needs to ride through a
+  degraded window that an operator heals mid-retry.
+
+The recorded baseline lives in ``BENCH_faults.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+    PYTHONPATH=src python benchmarks/bench_faults.py \
+        --points 2000 --queries 300 --out BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import faults
+from repro.datagen.generator import (
+    SyntheticConfig,
+    frequent_value_template,
+    generate,
+)
+from repro.datagen.queries import generate_preferences
+from repro.engine import get_backend
+from repro.faults import FaultPlan, FaultRule
+from repro.net import (
+    NetClient,
+    ResilientClient,
+    RetryPolicy,
+    ServerConfig,
+    ServerThread,
+)
+from repro.net.protocol import encode_preference
+from repro.serve.service import SkylineService
+
+
+def build_service(args, storage_dir=None) -> SkylineService:
+    """A fresh durable (or in-memory) service for one scenario."""
+    dataset = generate(
+        SyntheticConfig(
+            num_points=args.points,
+            num_numeric=args.numeric,
+            num_nominal=args.nominal,
+            cardinality=args.cardinality,
+            seed=args.seed,
+        )
+    )
+    return SkylineService(
+        dataset,
+        frequent_value_template(dataset, 1),
+        cache_capacity=args.cache_size,
+        storage_dir=storage_dir,
+    )
+
+
+def drive_queries(host: str, port: int, payloads: List[dict]) -> Dict:
+    """Sequential keep-alive queries; returns count/seconds/qps."""
+    started = time.perf_counter()
+    with NetClient(host, port, timeout=60) as client:
+        for payload in payloads:
+            response = client.request("POST", "/query", payload)
+            if response.status != 200:
+                raise RuntimeError(
+                    f"/query answered {response.status}: {response.text}"
+                )
+    seconds = time.perf_counter() - started
+    return {
+        "requests": len(payloads),
+        "seconds": round(seconds, 6),
+        "throughput_qps": round(len(payloads) / seconds, 2),
+    }
+
+
+def measure_draw_ns(iterations: int) -> Dict[str, float]:
+    """ns/call of ``faults.draw`` disarmed vs with an armed empty plan."""
+    faults.clear()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        faults.draw("wal.append")
+    disarmed = (time.perf_counter() - started) / iterations * 1e9
+    with faults.use(FaultPlan()):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            faults.draw("wal.append")
+        armed = (time.perf_counter() - started) / iterations * 1e9
+    return {"disarmed_ns": round(disarmed, 2), "armed_noop_ns": round(armed, 2)}
+
+
+def main(argv=None) -> int:
+    """Run the fault/degradation benchmark and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=2000)
+    parser.add_argument("--numeric", type=int, default=2)
+    parser.add_argument("--nominal", type=int, default=2)
+    parser.add_argument("--cardinality", type=int, default=8)
+    parser.add_argument("--queries", type=int, default=300,
+                        help="wire queries per phase (default: 300)")
+    parser.add_argument("--pool", type=int, default=24,
+                        help="distinct preferences cycled (default: 24)")
+    parser.add_argument("--cache-size", type=int, default=64)
+    parser.add_argument("--order", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--draw-iterations", type=int, default=200_000,
+                        help="faults.draw() calls per overhead timing")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+    faults.clear()
+
+    config = ServerConfig(port=0, access_log=False)
+    with tempfile.TemporaryDirectory() as tmp:
+        service = build_service(args, storage_dir=Path(tmp) / "state")
+        pool = generate_preferences(
+            service.dataset, args.order, args.pool,
+            template=service.template, seed=args.seed,
+        )
+        payloads = [
+            {"preference": encode_preference(pool[i % len(pool)]),
+             "use_cache": True}
+            for i in range(args.queries)
+        ]
+        row = list(service.dataset.row(0))
+
+        with ServerThread(service, config, debug=False) as thread:
+            host, port = thread.host, thread.port
+            healthy = drive_queries(host, port, payloads)
+            print(f"healthy: {healthy['throughput_qps']} q/s",
+                  file=sys.stderr)
+
+            # Flip into degraded read-only mode with one injected fault.
+            plan = FaultPlan(rules=[
+                FaultRule(site="wal.append", kind="enospc", times=1),
+            ])
+            with faults.use(plan), NetClient(host, port) as client:
+                failed = client.insert([row])
+                assert failed.status == 503, failed
+            assert service.health == "degraded"
+            degraded = drive_queries(host, port, payloads)
+            print(f"degraded: {degraded['throughput_qps']} q/s",
+                  file=sys.stderr)
+
+            # Recovery: checkpoint + the first successful write.
+            started = time.perf_counter()
+            service.checkpoint()
+            with NetClient(host, port) as client:
+                healed = client.insert([row])
+                assert healed.status == 200, healed
+            recovery_seconds = time.perf_counter() - started
+
+            # Retry storm: a degraded-window mutation rides through on
+            # backoff while an "operator" checkpoints concurrently.
+            plan = FaultPlan(rules=[
+                FaultRule(site="wal.append", kind="enospc", times=1),
+            ])
+            healer = threading.Timer(0.05, service.checkpoint)
+            with faults.use(plan):
+                resilient = ResilientClient(
+                    host, port, policy=RetryPolicy(
+                        max_attempts=10, base_delay=0.01, max_delay=0.2,
+                    ), seed=args.seed,
+                )
+                with resilient:
+                    healer.start()
+                    started = time.perf_counter()
+                    response = resilient.insert([row])
+                    storm_seconds = time.perf_counter() - started
+                    assert response.status == 200, response
+            healer.join()
+            print(f"recovery {recovery_seconds * 1000:.1f} ms, retry storm "
+                  f"{storm_seconds * 1000:.1f} ms "
+                  f"({resilient.counters()['retries']} retries)",
+                  file=sys.stderr)
+
+    draw = measure_draw_ns(args.draw_iterations)
+    print(f"faults.draw: {draw['disarmed_ns']} ns disarmed, "
+          f"{draw['armed_noop_ns']} ns armed-noop", file=sys.stderr)
+
+    degraded_ratio = (
+        degraded["throughput_qps"] / healthy["throughput_qps"]
+        if healthy["throughput_qps"]
+        else None
+    )
+    payload = {
+        "benchmark": "fault injection and graceful degradation",
+        "python": platform.python_version(),
+        "backend": get_backend().name,
+        "config": {
+            "points": args.points,
+            "numeric": args.numeric,
+            "nominal": args.nominal,
+            "cardinality": args.cardinality,
+            "queries": args.queries,
+            "pool": args.pool,
+            "cache_size": args.cache_size,
+            "order": args.order,
+            "seed": args.seed,
+            "draw_iterations": args.draw_iterations,
+        },
+        "healthy": healthy,
+        "degraded": degraded,
+        "degraded_over_healthy_qps": round(degraded_ratio, 4)
+        if degraded_ratio is not None
+        else None,
+        "recovery_seconds": round(recovery_seconds, 6),
+        "retry_storm_seconds": round(storm_seconds, 6),
+        "draw_overhead": draw,
+    }
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -196,6 +196,33 @@ def net_metrics(report: Dict) -> Iterator[Metric]:
     )
 
 
+def faults_metrics(report: Dict) -> Iterator[Metric]:
+    """Headline metrics of a ``bench_faults.py`` report."""
+    # Degraded read-only mode must not slow the read path: this is a
+    # same-run throughput ratio (~1.0), machine-portable.
+    yield from _metric(
+        "faults.degraded_over_healthy_qps",
+        report.get("degraded_over_healthy_qps"), True, True,
+    )
+    for phase in ("healthy", "degraded"):
+        yield from _metric(
+            f"faults[{phase}].throughput_qps",
+            report.get(phase, {}).get("throughput_qps"), True, False,
+        )
+    yield from _metric(
+        "faults.recovery_seconds",
+        report.get("recovery_seconds"), False, False,
+    )
+    yield from _metric(
+        "faults.retry_storm_seconds",
+        report.get("retry_storm_seconds"), False, False,
+    )
+    yield from _metric(
+        "faults.disarmed_draw_ns",
+        report.get("draw_overhead", {}).get("disarmed_ns"), False, False,
+    )
+
+
 #: "benchmark" field prefix -> metric extractor.
 EXTRACTORS = {
     "sfs skyline wall-clock": backends_metrics,
@@ -204,6 +231,7 @@ EXTRACTORS = {
     "incremental skyline maintenance": updates_metrics,
     "durable snapshot + WAL recovery": storage_metrics,
     "HTTP serving layer wire round-trip": net_metrics,
+    "fault injection and graceful degradation": faults_metrics,
 }
 
 

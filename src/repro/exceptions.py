@@ -63,6 +63,20 @@ class StorageError(ReproError):
     """
 
 
+class StorageUnavailable(StorageError):
+    """The write path is temporarily unavailable; reads keep serving.
+
+    Raised by the serving layer when a mutation cannot be made durable
+    right now (a WAL append failed and the store fail-stopped) but the
+    service itself is healthy enough to keep answering queries.  The
+    condition is *retryable*: a successful
+    :meth:`~repro.serve.service.SkylineService.checkpoint` re-syncs the
+    durable state and re-arms the write path.  The HTTP front end maps
+    this to ``503`` with a ``Retry-After`` hint; nothing was applied,
+    so retrying the same mutation is safe.
+    """
+
+
 class IndexError_(ReproError):
     """An index structure was used in an unsupported way.
 

@@ -1,0 +1,50 @@
+"""Seeded, deterministic fault injection for the full serving stack.
+
+See :mod:`repro.faults.plan` for the model (named sites, seeded or
+explicitly scheduled rules, zero overhead when disarmed) and the table
+of compiled-in sites.  Typical test usage::
+
+    from repro import faults
+
+    plan = faults.FaultPlan(seed=7, rules=[
+        faults.FaultRule(site="wal.append", kind="enospc", at=(3,)),
+    ])
+    with faults.use(plan):
+        ...  # the third WAL append raises OSError(ENOSPC)
+
+Deployment usage: set ``REPRO_FAULTS`` to the JSON spec accepted by
+:func:`~repro.faults.plan.plan_from_dict`; the ``repro.net`` CLI arms
+it at startup via :func:`~repro.faults.plan.plan_from_env`.
+"""
+
+from repro.faults.plan import (
+    FAULTS_ENV_VAR,
+    KNOWN_SITES,
+    Fault,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    active,
+    clear,
+    draw,
+    install,
+    plan_from_dict,
+    plan_from_env,
+    use,
+)
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "KNOWN_SITES",
+    "Fault",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "active",
+    "clear",
+    "draw",
+    "install",
+    "plan_from_dict",
+    "plan_from_env",
+    "use",
+]

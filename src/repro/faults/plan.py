@@ -1,0 +1,322 @@
+"""Deterministic, seeded fault injection for the storage/serve/net stack.
+
+The production layers carry a handful of *named fault sites* - places
+where the real world fails (a full disk under ``WAL.append``, a peer
+that hangs up mid-response, an executor task that stalls).  Each site
+asks :func:`draw` whether a fault should fire on this crossing; with no
+plan installed that is a single global ``None`` check, so the
+instrumented code costs nothing measurable in production.
+
+A :class:`FaultPlan` decides *deterministically*: every rule either
+fires on explicitly scheduled crossing numbers (``at=(3, 7)`` - the
+3rd and 7th time the site is crossed) or by probability drawn from the
+plan's own seeded :class:`random.Random`.  Two runs with the same seed,
+rules and workload inject the same faults at the same crossings, which
+is what lets the chaos suite (``tests/test_chaos.py``) assert exact
+outcomes instead of "something probably broke".
+
+Sites and the kinds they honour:
+
+========================  ==================================================
+site                      kinds
+========================  ==================================================
+``wal.append``            ``enospc`` (``OSError(ENOSPC)`` before any byte is
+                          written), ``torn`` (a partial frame reaches disk,
+                          then the append fails), ``slow`` (sleep ``delay``)
+``snapshot.rename``       ``error`` (``OSError`` before the atomic rename),
+                          ``slow``
+``serve.execute``         ``abort`` (executor task raises), ``delay``
+``net.send``              ``drop`` (close the socket without responding),
+                          ``slow`` (sleep before writing the response)
+``net.dispatch``          ``error`` (forced ``500`` before routing)
+========================  ==================================================
+
+Activation is explicit: :func:`install` (or the :func:`use` context
+manager in tests) makes a plan the process-wide active one;
+:func:`plan_from_env` builds a plan from the ``REPRO_FAULTS``
+environment variable (a JSON spec) so the CLI entry points can arm
+injection without code changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+#: The named injection sites compiled into the stack, for spec validation.
+KNOWN_SITES = (
+    "wal.append",
+    "snapshot.rename",
+    "serve.execute",
+    "net.send",
+    "net.dispatch",
+)
+
+#: Environment variable holding a JSON fault spec (see :func:`plan_from_env`).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultSpecError(ReproError):
+    """A fault rule or plan spec is malformed."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fired fault: what the crossing site should now do.
+
+    ``kind`` selects the site-specific behaviour (see the module
+    docstring's table); ``delay`` carries the sleep for ``slow`` /
+    ``delay`` kinds (0 otherwise).
+    """
+
+    site: str
+    kind: str
+    delay: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When one kind of fault fires at one site.
+
+    Parameters
+    ----------
+    site, kind:
+        The injection site and the site-specific behaviour to trigger.
+    probability:
+        Chance of firing per crossing, drawn from the plan's seeded RNG.
+        Ignored when ``at`` is given.  ``1.0`` fires on every crossing
+        (within ``after``/``times`` bounds).
+    at:
+        Explicit 1-based crossing numbers to fire on (e.g. ``(3,)`` =
+        only the third time the site is crossed).  Deterministic without
+        consuming RNG state.
+    after:
+        Skip the first ``after`` crossings before the rule becomes
+        eligible (probability rules only).
+    times:
+        Stop firing after this many injections (``None`` = unbounded).
+    delay:
+        Seconds to sleep for ``slow``/``delay`` kinds.
+    """
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    at: Optional[Tuple[int, ...]] = None
+    after: int = 0
+    times: Optional[int] = None
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.site or not self.kind:
+            raise FaultSpecError(
+                f"fault rules need a site and a kind, got {self!r}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultSpecError(
+                f"probability must be within [0, 1], got {self.probability}"
+            )
+        if self.at is not None:
+            object.__setattr__(
+                self, "at", tuple(int(n) for n in self.at)
+            )
+            if any(n < 1 for n in self.at):  # type: ignore[union-attr]
+                raise FaultSpecError(
+                    f"'at' crossings are 1-based, got {self.at}"
+                )
+        if self.after < 0:
+            raise FaultSpecError(f"'after' must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise FaultSpecError(f"'times' must be >= 1, got {self.times}")
+        if self.delay < 0:
+            raise FaultSpecError(f"'delay' must be >= 0, got {self.delay}")
+
+
+@dataclass
+class _RuleState:
+    """Mutable firing bookkeeping for one rule inside one plan."""
+
+    rule: FaultRule
+    fired: int = 0
+
+
+class FaultPlan:
+    """A seeded, thread-safe schedule of faults over named sites.
+
+    Sites call :meth:`draw` on every crossing; the plan evaluates its
+    rules for that site in order and returns the first that fires (as a
+    :class:`Fault`), recording per-site crossing counts and per-rule
+    firing counts for the chaos suite's assertions.  All decisions come
+    from the constructor-seeded RNG, so a plan replays identically for
+    an identical workload.
+    """
+
+    def __init__(self, seed: int = 0, rules: Sequence[FaultRule] = ()) -> None:
+        #: The seed and rules the plan was built from (reporting only).
+        self.seed = seed
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._rules: Dict[str, list] = {}
+        for rule in rules:
+            self._rules.setdefault(rule.site, []).append(_RuleState(rule))
+        self._crossings: Dict[str, int] = {}
+
+    def draw(self, site: str) -> Optional[Fault]:
+        """Record one crossing of ``site``; the fault to inject, if any."""
+        with self._lock:
+            crossing = self._crossings.get(site, 0) + 1
+            self._crossings[site] = crossing
+            for state in self._rules.get(site, ()):
+                rule = state.rule
+                if rule.times is not None and state.fired >= rule.times:
+                    continue
+                if rule.at is not None:
+                    fire = crossing in rule.at
+                elif crossing <= rule.after:
+                    fire = False
+                elif rule.probability >= 1.0:
+                    fire = True
+                else:
+                    fire = self._rng.random() < rule.probability
+                if fire:
+                    state.fired += 1
+                    return Fault(site, rule.kind, rule.delay)
+            return None
+
+    def crossings(self, site: str) -> int:
+        """How many times ``site`` was crossed so far."""
+        with self._lock:
+            return self._crossings.get(site, 0)
+
+    def injected(self) -> Dict[str, int]:
+        """``{"site:kind": count}`` of every fault fired so far."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for site, states in self._rules.items():
+                for state in states:
+                    if state.fired:
+                        key = f"{site}:{state.rule.kind}"
+                        out[key] = out.get(key, 0) + state.fired
+            return out
+
+
+#: The process-wide active plan; ``None`` keeps every site a no-op.
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The currently installed plan (``None`` when injection is off)."""
+    return _ACTIVE
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Make ``plan`` the process-wide active plan (``None`` disarms)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear() -> None:
+    """Disarm fault injection (equivalent to ``install(None)``)."""
+    install(None)
+
+
+@contextmanager
+def use(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager installing ``plan`` and restoring the previous one."""
+    previous = _ACTIVE
+    install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+def draw(site: str) -> Optional[Fault]:
+    """The fault to inject at ``site`` right now, or ``None``.
+
+    This is the one call compiled into the production layers; with no
+    plan installed it is a global load and a comparison.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.draw(site)
+
+
+def plan_from_dict(spec: Dict) -> FaultPlan:
+    """Build a :class:`FaultPlan` from a JSON-shaped spec dict.
+
+    Shape::
+
+        {"seed": 7,
+         "rules": [{"site": "wal.append", "kind": "torn",
+                    "probability": 0.05, "delay": 0.0,
+                    "at": [3], "after": 0, "times": 1}]}
+
+    Unknown sites and unknown spec keys are rejected so a typo'd spec
+    fails loudly instead of silently injecting nothing.
+    """
+    if not isinstance(spec, dict):
+        raise FaultSpecError(f"fault spec must be a JSON object, got {spec!r}")
+    unknown = set(spec) - {"seed", "rules"}
+    if unknown:
+        raise FaultSpecError(f"unknown fault spec keys: {sorted(unknown)}")
+    rules = []
+    entries = spec.get("rules", [])
+    if not isinstance(entries, list):
+        raise FaultSpecError("fault spec 'rules' must be a list")
+    allowed = {"site", "kind", "probability", "at", "after", "times", "delay"}
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise FaultSpecError(f"fault rule must be an object: {entry!r}")
+        extra = set(entry) - allowed
+        if extra:
+            raise FaultSpecError(
+                f"unknown fault rule keys: {sorted(extra)}"
+            )
+        if entry.get("site") not in KNOWN_SITES:
+            raise FaultSpecError(
+                f"unknown fault site {entry.get('site')!r}; known sites: "
+                f"{', '.join(KNOWN_SITES)}"
+            )
+        at = entry.get("at")
+        rules.append(
+            FaultRule(
+                site=entry["site"],
+                kind=str(entry.get("kind", "")),
+                probability=float(entry.get("probability", 1.0)),
+                at=tuple(at) if at is not None else None,
+                after=int(entry.get("after", 0)),
+                times=entry.get("times"),
+                delay=float(entry.get("delay", 0.0)),
+            )
+        )
+    return FaultPlan(seed=int(spec.get("seed", 0)), rules=rules)
+
+
+def plan_from_env(environ=None) -> Optional[FaultPlan]:
+    """A plan from the ``REPRO_FAULTS`` env var, or ``None`` when unset.
+
+    The variable holds the JSON spec :func:`plan_from_dict` accepts.
+    Used by the CLI entry points so deployments can arm injection
+    without touching code; a malformed spec raises
+    :class:`FaultSpecError` rather than starting un-armed.
+    """
+    raw = (environ if environ is not None else os.environ).get(FAULTS_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        spec = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise FaultSpecError(
+            f"{FAULTS_ENV_VAR} is not valid JSON: {exc}"
+        ) from None
+    return plan_from_dict(spec)

@@ -21,6 +21,11 @@ parser) and splits into small, separately testable pieces:
   harness for tests and benchmarks).
 * :mod:`repro.net.client` - :class:`~repro.net.client.NetClient`, the
   blocking reference client used by tests, benchmarks, and the smoke.
+* :mod:`repro.net.resilient` - the production client wrapper: capped
+  full-jitter retries honouring ``Retry-After``, idempotency-keyed
+  mutation retry, and a consecutive-failure circuit breaker.
+* :mod:`repro.net.idempotency` - the server-side bounded dedup window
+  that makes keyed mutation retries exactly-once within the window.
 
 Entry points: ``python -m repro.net`` (this package's CLI) and
 ``python -m repro.serve --listen HOST:PORT`` (the workload CLI
@@ -29,7 +34,13 @@ catalog and reload semantics are documented in ``docs/serving.md``.
 """
 
 from repro.net.admission import AdmissionController, AdmissionDecision
-from repro.net.client import NetClient, NetResponse, parse_listen
+from repro.net.client import (
+    NetClient,
+    NetRequestError,
+    NetResponse,
+    parse_listen,
+    parse_retry_after,
+)
 from repro.net.config import (
     RELOADABLE_FIELDS,
     ConfigError,
@@ -52,12 +63,22 @@ from repro.net.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.net.idempotency import IdempotencyIndex, ReservationOutcome
 from repro.net.protocol import CodecError
+from repro.net.resilient import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientClient,
+    RetriesExhausted,
+    RetryPolicy,
+)
 from repro.net.server import ROUTE_TABLE, ServerThread, SkylineServer
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CodecError",
     "ConfigError",
     "Counter",
@@ -65,20 +86,27 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HttpRequest",
+    "IdempotencyIndex",
     "MetricsRegistry",
     "NetClient",
     "NetError",
+    "NetRequestError",
     "NetResponse",
     "ProtocolError",
     "ReadLimits",
     "RELOADABLE_FIELDS",
     "ROUTE_TABLE",
+    "ReservationOutcome",
+    "ResilientClient",
+    "RetriesExhausted",
+    "RetryPolicy",
     "ServerConfig",
     "ServerThread",
     "SkylineServer",
     "config_from_dict",
     "load_config",
     "parse_listen",
+    "parse_retry_after",
     "read_request",
     "render_response",
 ]

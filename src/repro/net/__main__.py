@@ -34,6 +34,7 @@ import threading
 import time
 from typing import List, Optional
 
+from repro import faults
 from repro.engine import get_backend, set_default_backend
 from repro.net.client import NetClient, parse_listen
 from repro.net.config import ServerConfig, load_config
@@ -264,6 +265,14 @@ def main(argv=None) -> int:
     if args.backend != "auto":
         set_default_backend(args.backend)
     print(f"backend: {get_backend().name}", file=sys.stderr)
+    plan = faults.plan_from_env()
+    if plan is not None:
+        faults.install(plan)
+        print(
+            f"fault injection ARMED from ${faults.FAULTS_ENV_VAR}: "
+            f"{len(plan.rules)} rule(s), seed {plan.seed}",
+            file=sys.stderr,
+        )
 
     if args.smoke:
         return smoke(args)

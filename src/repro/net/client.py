@@ -8,8 +8,11 @@ reference client implementation the protocol docs point at - anything
 it does, any HTTP client in any language can do.
 
 It deliberately has no retry/backoff logic: a ``429`` or ``503`` is
-returned to the caller as data (status + parsed body), because the
-tests assert on exactly those statuses.
+returned to the caller as data (status + parsed body + parsed
+``Retry-After``), because the tests assert on exactly those statuses.
+Production callers that want retries, idempotency keys and a circuit
+breaker wrap this class with
+:class:`repro.net.resilient.ResilientClient`.
 """
 
 from __future__ import annotations
@@ -20,6 +23,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.preferences import Preference
 from repro.net.protocol import encode_preference
+
+
+def parse_retry_after(headers: Dict[str, str]) -> Optional[float]:
+    """The ``Retry-After`` delay in seconds, or ``None``.
+
+    Only the delta-seconds form is parsed (the protocol never emits
+    HTTP dates); a malformed or negative value reads as ``None`` so a
+    bad header can never poison a client's backoff arithmetic.
+    """
+    for name, value in headers.items():
+        if name.lower() == "retry-after":
+            try:
+                seconds = float(value)
+            except (TypeError, ValueError):
+                return None
+            return seconds if seconds >= 0 else None
+    return None
 
 
 class NetResponse:
@@ -38,8 +58,38 @@ class NetResponse:
         except json.JSONDecodeError:
             self.json = None
 
+    @property
+    def retry_after(self) -> Optional[float]:
+        """Parsed ``Retry-After`` header in seconds (``None`` if absent)."""
+        return parse_retry_after(self.headers)
+
     def __repr__(self) -> str:
         return f"NetResponse(status={self.status}, json={self.json!r})"
+
+
+class NetRequestError(RuntimeError):
+    """A request answered with a non-success status, as a structured error.
+
+    Carries the pieces retry logic needs as fields instead of burying
+    them in the message text: the ``status`` code, the protocol error
+    ``kind`` from the JSON body (``"storage-unavailable"``,
+    ``"over-capacity"``, ...) and the parsed ``retry_after`` hint that
+    ``429``/``503`` answers attach.
+    """
+
+    def __init__(self, path: str, response: NetResponse) -> None:
+        super().__init__(
+            f"{path} answered {response.status}: {response.text}"
+        )
+        self.path = path
+        self.status = response.status
+        self.response = response
+        body = response.json if isinstance(response.json, dict) else {}
+        error = body.get("error") if isinstance(body.get("error"), dict) else {}
+        #: Protocol error kind from the body (``None`` for non-JSON bodies).
+        self.kind: Optional[str] = error.get("kind")
+        #: Parsed ``Retry-After`` seconds (``None`` when not advertised).
+        self.retry_after: Optional[float] = response.retry_after
 
 
 class NetClient:
@@ -65,11 +115,13 @@ class NetClient:
         method: str,
         path: str,
         payload: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> NetResponse:
         """One request/response exchange (re-connecting once if stale).
 
-        ``payload`` is JSON-encoded as the body.  A connection the
-        server closed (keep-alive expiry, drain) is transparently
+        ``payload`` is JSON-encoded as the body; ``headers`` are merged
+        over the defaults (used for ``Idempotency-Key``).  A connection
+        the server closed (keep-alive expiry, drain) is transparently
         re-opened once; genuine refusals surface as exceptions.
         """
         body = (
@@ -77,14 +129,16 @@ class NetClient:
             if payload is not None
             else None
         )
-        headers = {"Content-Type": "application/json"} if body else {}
+        send_headers = {"Content-Type": "application/json"} if body else {}
+        if headers:
+            send_headers.update(headers)
         try:
-            self._conn.request(method, path, body=body, headers=headers)
+            self._conn.request(method, path, body=body, headers=send_headers)
             raw = self._conn.getresponse()
         except (http.client.NotConnected, http.client.CannotSendRequest,
                 ConnectionError, BrokenPipeError):
             self._conn.close()
-            self._conn.request(method, path, body=body, headers=headers)
+            self._conn.request(method, path, body=body, headers=send_headers)
             raw = self._conn.getresponse()
         data = raw.read()
         return NetResponse(raw.status, dict(raw.getheaders()), data)
@@ -122,19 +176,44 @@ class NetClient:
             },
         )
 
-    def insert(self, rows: Sequence[Sequence[object]]) -> NetResponse:
+    def insert(
+        self,
+        rows: Sequence[Sequence[object]],
+        *,
+        idempotency_key: Optional[str] = None,
+    ) -> NetResponse:
         """``POST /insert`` for a row batch."""
         return self.request(
-            "POST", "/insert", {"rows": [list(row) for row in rows]}
+            "POST",
+            "/insert",
+            {"rows": [list(row) for row in rows]},
+            headers=_idempotency_headers(idempotency_key),
         )
 
-    def delete(self, ids: Sequence[int]) -> NetResponse:
+    def delete(
+        self,
+        ids: Sequence[int],
+        *,
+        idempotency_key: Optional[str] = None,
+    ) -> NetResponse:
         """``POST /delete`` for a point-id batch."""
-        return self.request("POST", "/delete", {"ids": list(ids)})
+        return self.request(
+            "POST",
+            "/delete",
+            {"ids": list(ids)},
+            headers=_idempotency_headers(idempotency_key),
+        )
 
-    def compact(self) -> NetResponse:
+    def compact(
+        self, *, idempotency_key: Optional[str] = None
+    ) -> NetResponse:
         """``POST /compact``."""
-        return self.request("POST", "/compact", {})
+        return self.request(
+            "POST",
+            "/compact",
+            {},
+            headers=_idempotency_headers(idempotency_key),
+        )
 
     def healthz(self) -> NetResponse:
         """``GET /healthz``."""
@@ -153,16 +232,20 @@ class NetClient:
     ) -> Tuple[int, ...]:
         """Convenience: the sorted skyline ids of one ``/query``.
 
-        Raises :class:`RuntimeError` on any non-200 answer - the
+        Raises :class:`NetRequestError` on any non-200 answer - the
         equivalence tests want ids or a loud failure, never a silently
-        empty skyline.
+        empty skyline - with the status, protocol error kind and any
+        ``Retry-After`` hint attached as structured fields.
         """
         response = self.query(preference, **kwargs)
         if response.status != 200:
-            raise RuntimeError(
-                f"/query answered {response.status}: {response.text}"
-            )
+            raise NetRequestError("/query", response)
         return tuple(response.json["ids"])
+
+
+def _idempotency_headers(key: Optional[str]) -> Optional[Dict[str, str]]:
+    """The ``Idempotency-Key`` header dict for ``key`` (or ``None``)."""
+    return {"Idempotency-Key": key} if key is not None else None
 
 
 def parse_listen(text: str) -> Tuple[str, int]:

@@ -42,6 +42,7 @@ RELOADABLE_FIELDS = (
     "max_header_bytes",
     "worker_threads",
     "retry_after_seconds",
+    "idempotency_window",
     "cache_capacity",
     "planner",
     "access_log",
@@ -73,8 +74,12 @@ class ServerConfig:
     #: Threads executing service calls (the service is thread-safe and
     #: its NumPy kernels release the GIL).
     worker_threads: int = 8
-    #: ``Retry-After`` hint on ``429`` responses.
+    #: ``Retry-After`` hint on ``429`` and storage-unavailable ``503``
+    #: responses.
     retry_after_seconds: int = 1
+    #: Idempotency dedup window: settled mutation responses remembered
+    #: for replay, keyed by the client's ``Idempotency-Key`` header.
+    idempotency_window: int = 1024
     #: Retune the semantic cache on reload (``None`` = leave as built).
     cache_capacity: Optional[int] = None
     #: :class:`~repro.serve.planner.PlannerConfig` overrides by field
@@ -84,7 +89,7 @@ class ServerConfig:
     access_log: bool = True
 
     def __post_init__(self) -> None:
-        for name in ("max_inflight", "worker_threads"):
+        for name in ("max_inflight", "worker_threads", "idempotency_window"):
             if getattr(self, name) < 1:
                 raise ConfigError(f"{name} must be >= 1, got {getattr(self, name)}")
         for name in ("max_queue", "port", "retry_after_seconds"):
@@ -204,6 +209,7 @@ _FIELD_TYPES = {
     "max_header_bytes": "integer",
     "worker_threads": "integer",
     "retry_after_seconds": "integer",
+    "idempotency_window": "integer",
     "cache_capacity": "integer or null",
     "planner": "object",
     "access_log": "boolean",

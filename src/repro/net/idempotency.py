@@ -1,0 +1,152 @@
+"""Server-side idempotency: a bounded dedup window for mutation retries.
+
+A client that retries a mutation after an ambiguous failure (socket
+dropped mid-response, timeout) cannot know whether the first attempt
+applied.  The server resolves the ambiguity: mutations may carry an
+``Idempotency-Key`` header (any client-chosen opaque string), and the
+server remembers, per key, the response of the attempt that actually
+*executed* - a retry with the same key replays that stored response
+byte-for-byte instead of applying the mutation twice.
+
+The protocol is reserve / fulfil / abandon:
+
+* :meth:`IdempotencyIndex.reserve` is called before executing.  It
+  answers ``"fresh"`` (first sighting - caller must execute and then
+  fulfil or abandon), ``"in-flight"`` (another request with this key is
+  executing *right now* - the caller should answer ``409`` with a
+  ``Retry-After`` so the client re-asks once the first attempt
+  settles), or ``"replay"`` with the stored response.
+* :meth:`IdempotencyIndex.fulfil` stores the settled response for
+  replay.  Every *settled* outcome is stored - successes so retries
+  don't double-apply, and definitive failures (422 validation errors)
+  so retries are answered consistently without re-executing.
+* :meth:`IdempotencyIndex.abandon` drops the reservation when the
+  attempt did **not** settle the mutation (storage unavailable, server
+  shedding load): the write-ahead ordering in the service guarantees
+  nothing was applied, so the retry must be allowed to execute.
+
+The window is a bounded LRU (oldest settled entries evicted first), so
+memory stays constant under client churn; a key evicted before its
+retry arrives degrades to at-least-once for that one request, which is
+the standard trade of windowed dedup.  All methods are thread-safe -
+reservations happen on the event loop, fulfilment on executor threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+
+class ReservationOutcome:
+    """What :meth:`IdempotencyIndex.reserve` decided for one key.
+
+    ``state`` is ``"fresh"``, ``"in-flight"`` or ``"replay"``; for
+    replays, ``status``/``body``/``content_type`` carry the stored
+    response to answer with.
+    """
+
+    __slots__ = ("state", "status", "body", "content_type")
+
+    def __init__(
+        self,
+        state: str,
+        status: int = 0,
+        body: bytes = b"",
+        content_type: str = "application/json",
+    ) -> None:
+        self.state = state
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+
+
+#: Sentinel stored while a key's first attempt is still executing.
+_IN_FLIGHT = None
+
+
+class IdempotencyIndex:
+    """A bounded LRU of settled mutation responses keyed by client id."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(
+                f"idempotency window capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        #: key -> None (in flight) | (status, body, content_type)
+        self._entries: "OrderedDict[str, Optional[Tuple[int, bytes, str]]]"
+        self._entries = OrderedDict()
+        self._replays = 0
+        self._conflicts = 0
+        self._fresh = 0
+
+    def reserve(self, key: str) -> ReservationOutcome:
+        """Claim ``key`` for execution, or report its current state."""
+        with self._lock:
+            if key in self._entries:
+                stored = self._entries[key]
+                if stored is _IN_FLIGHT:
+                    self._conflicts += 1
+                    return ReservationOutcome("in-flight")
+                self._entries.move_to_end(key)
+                self._replays += 1
+                status, body, content_type = stored
+                return ReservationOutcome(
+                    "replay", status, body, content_type
+                )
+            self._entries[key] = _IN_FLIGHT
+            self._fresh += 1
+            self._evict_locked()
+            return ReservationOutcome("fresh")
+
+    def fulfil(
+        self, key: str, status: int, body: bytes, content_type: str
+    ) -> None:
+        """Store the settled response of ``key`` for future replays."""
+        with self._lock:
+            self._entries[key] = (status, body, content_type)
+            self._entries.move_to_end(key)
+            self._evict_locked()
+
+    def abandon(self, key: str) -> None:
+        """Release ``key`` after an attempt that settled nothing."""
+        with self._lock:
+            if self._entries.get(key, "") is _IN_FLIGHT:
+                del self._entries[key]
+
+    def reconfigure(self, capacity: int) -> None:
+        """Adopt a new window capacity (hot reload), evicting if needed."""
+        if capacity < 1:
+            raise ValueError(
+                f"idempotency window capacity must be >= 1, got {capacity}"
+            )
+        with self._lock:
+            self._capacity = capacity
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        """Drop oldest *settled* entries over capacity (lock held).
+
+        In-flight reservations are never evicted - dropping one would
+        let a concurrent duplicate execute alongside the original.
+        """
+        excess = len(self._entries) - self._capacity
+        if excess <= 0:
+            return
+        for key in [
+            k for k, v in self._entries.items() if v is not _IN_FLIGHT
+        ][:excess]:
+            del self._entries[key]
+
+    def counters(self) -> Dict[str, int]:
+        """``{"fresh", "replayed", "conflicts", "size"}`` snapshot."""
+        with self._lock:
+            return {
+                "fresh": self._fresh,
+                "replayed": self._replays,
+                "conflicts": self._conflicts,
+                "size": len(self._entries),
+            }

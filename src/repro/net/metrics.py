@@ -154,8 +154,12 @@ class Histogram:
     """Fixed-bucket distribution with cumulative bucket counts.
 
     ``buckets`` are the upper bounds (``le`` edges) in strictly
-    increasing order; a final ``+Inf`` bucket is implicit.  Rendered as
-    the conventional ``_bucket`` / ``_sum`` / ``_count`` triple.
+    increasing order; a final ``+Inf`` bucket is implicit.  An explicit
+    trailing ``math.inf`` edge is accepted and folded into the implicit
+    one (it used to slip through validation and render a *second*
+    ``le="+Inf"`` line, which strict scrapers reject as a duplicate
+    sample).  Rendered as the conventional ``_bucket`` / ``_sum`` /
+    ``_count`` triple.
     """
 
     kind = "histogram"
@@ -168,11 +172,19 @@ class Histogram:
         buckets: Sequence[float] = DEFAULT_BUCKETS,
     ) -> None:
         edges = tuple(float(b) for b in buckets)
+        if edges and edges[-1] == math.inf:
+            edges = edges[:-1]  # the +Inf bucket is always implicit
         if not edges or any(
             later <= earlier for later, earlier in zip(edges[1:], edges)
         ):
             raise ValueError(
-                f"histogram buckets must be strictly increasing, got {edges}"
+                f"histogram buckets must be strictly increasing and "
+                f"contain at least one finite edge, got {edges}"
+            )
+        if edges[-1] == math.inf:
+            raise ValueError(
+                f"histogram buckets must be finite (+Inf is implicit), "
+                f"got {edges}"
             )
         self.name = name
         self.help = help_text

@@ -1,0 +1,345 @@
+"""A resilient client: retries, jittered backoff, breaker, idempotency.
+
+:class:`~repro.net.client.NetClient` is deliberately dumb - it reports
+``429``/``503`` as data and raises on connection failures, because the
+tests assert on exact statuses.  :class:`ResilientClient` wraps it with
+the client-side half of the degradation contract in ``docs/serving.md``:
+
+* **Capped exponential backoff with full jitter** - attempt ``k``
+  sleeps ``uniform(0, min(cap, base * 2**k))`` (the AWS full-jitter
+  schedule, which de-synchronises retry storms), except when the
+  server sent ``Retry-After``, which is honoured verbatim: the server
+  knows when it expects to be healthy, the client's guess does not.
+* **Idempotency-keyed mutation retry** - every mutation carries a
+  client-generated ``Idempotency-Key``; the server's dedup window
+  (:mod:`repro.net.idempotency`) replays the first settled answer, so
+  retrying after an ambiguous failure (dropped socket, timeout) cannot
+  double-apply.
+* **A consecutive-failure circuit breaker** - after ``threshold``
+  consecutive retryable failures the breaker *opens* and calls fail
+  fast (:class:`CircuitOpenError`) without touching the network for
+  ``cooldown`` seconds; then one **half-open** probe is let through,
+  and its outcome closes the breaker (success) or re-opens it
+  (failure).  This is what stops a retry storm from hammering a server
+  that is trying to recover.
+
+Retryable: connection-level failures, ``429``, ``503`` and - only for
+requests carrying an idempotency key - ``500``/``504``, whose outcome
+on the server is ambiguous.  Everything else returns immediately.
+
+The clock and sleeper are injectable so the unit tests drive the
+breaker and the backoff schedule deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import http.client
+import random
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.net.client import NetClient, NetResponse
+
+#: Statuses that are always worth retrying (the server said "later").
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+#: Statuses retried only under an idempotency key (outcome ambiguous).
+AMBIGUOUS_STATUSES = frozenset({500, 504})
+
+#: Connection-level failures worth retrying.
+RETRYABLE_ERRORS = (
+    ConnectionError,
+    BrokenPipeError,
+    socket.timeout,
+    http.client.HTTPException,
+    OSError,
+)
+
+
+class CircuitOpenError(ReproError):
+    """The circuit breaker is open; the call failed fast locally.
+
+    ``retry_in`` hints how long until the next half-open probe.
+    """
+
+    def __init__(self, retry_in: float) -> None:
+        super().__init__(
+            f"circuit breaker is open; next probe in {retry_in:.2f}s"
+        )
+        self.retry_in = retry_in
+
+
+class RetriesExhausted(ReproError):
+    """Every attempt failed; carries the last response or error."""
+
+    def __init__(
+        self,
+        attempts: int,
+        last_response: Optional[NetResponse],
+        last_error: Optional[BaseException],
+    ) -> None:
+        tail = (
+            f"last status {last_response.status}"
+            if last_response is not None
+            else f"last error {last_error!r}"
+        )
+        super().__init__(f"request failed after {attempts} attempts ({tail})")
+        self.attempts = attempts
+        self.last_response = last_response
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """The backoff schedule of one :class:`ResilientClient`.
+
+    ``max_attempts`` counts the first try; ``base_delay`` /
+    ``max_delay`` bound the exponential schedule (seconds).
+    ``Retry-After`` hints from the server override the computed delay
+    (still capped at ``max_delay``).
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}/{self.max_delay}"
+            )
+
+    def delay(
+        self,
+        attempt: int,
+        retry_after: Optional[float],
+        rng: random.Random,
+    ) -> float:
+        """Sleep before retry number ``attempt`` (1-based, full jitter)."""
+        if retry_after is not None:
+            return min(retry_after, self.max_delay)
+        ceiling = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return rng.uniform(0.0, ceiling)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probes.
+
+    Closed (normal) -> open after ``threshold`` consecutive failures;
+    open fails fast for ``cooldown`` seconds; then *one* probe may pass
+    (half-open) - success closes, failure re-opens.  Not thread-safe by
+    design: a :class:`ResilientClient` is single-connection and
+    single-threaded, matching :class:`~repro.net.client.NetClient`.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        #: Times the breaker tripped open (for reporting).
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"``."""
+        if self._opened_at is None:
+            return "closed"
+        if self._probing:
+            return "half-open"
+        if self._clock() - self._opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def admit(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed.
+
+        In the half-open state the first admitted call becomes *the*
+        probe; its :meth:`success` / :meth:`failure` settles the state.
+        """
+        if self._opened_at is None:
+            return
+        elapsed = self._clock() - self._opened_at
+        if elapsed < self.cooldown:
+            raise CircuitOpenError(self.cooldown - elapsed)
+        self._probing = True
+
+    def success(self) -> None:
+        """Record a successful call (closes the breaker)."""
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def failure(self) -> None:
+        """Record a failed call (may trip or re-open the breaker)."""
+        if self._probing:
+            # The half-open probe failed: re-open for a fresh cooldown.
+            self._probing = False
+            self._opened_at = self._clock()
+            self.opens += 1
+            return
+        self._failures += 1
+        if self._failures >= self.threshold and self._opened_at is None:
+            self._opened_at = self._clock()
+            self.opens += 1
+
+
+class ResilientClient:
+    """Retrying, breaker-guarded wrapper around one :class:`NetClient`.
+
+    The protocol verbs mirror :class:`NetClient`; mutations
+    (``insert`` / ``delete`` / ``compact``) generate an
+    ``Idempotency-Key`` per logical request, so every retry of one call
+    is deduplicated server-side.  Counters (``attempts``, ``retries``,
+    ``breaker.opens``) are exposed for the chaos suite's bookkeeping.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        seed: Optional[int] = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.client = NetClient(host, port, timeout=timeout)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._rng = random.Random(seed)
+        self._sleep = sleeper
+        self.attempts = 0
+        self.retries = 0
+
+    def close(self) -> None:
+        """Close the wrapped connection."""
+        self.client.close()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- retry core --------------------------------------------------------
+    def _call(
+        self,
+        send: Callable[[], NetResponse],
+        *,
+        idempotent: bool,
+    ) -> NetResponse:
+        """Run ``send`` under the retry schedule and the breaker."""
+        last_response: Optional[NetResponse] = None
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.breaker.admit()
+            self.attempts += 1
+            retry_after: Optional[float] = None
+            try:
+                response = send()
+            except RETRYABLE_ERRORS as exc:
+                last_error, last_response = exc, None
+                self.breaker.failure()
+            else:
+                retryable = response.status in RETRYABLE_STATUSES or (
+                    idempotent and response.status in AMBIGUOUS_STATUSES
+                )
+                if not retryable:
+                    self.breaker.success()
+                    return response
+                last_response, last_error = response, None
+                retry_after = response.retry_after
+                self.breaker.failure()
+            if attempt < self.policy.max_attempts:
+                self.retries += 1
+                self._sleep(self.policy.delay(attempt, retry_after, self._rng))
+        raise RetriesExhausted(
+            self.policy.max_attempts, last_response, last_error
+        )
+
+    # -- protocol verbs ----------------------------------------------------
+    def query(self, preference=None, **kwargs) -> NetResponse:
+        """``POST /query`` with retries (reads are naturally idempotent)."""
+        return self._call(
+            lambda: self.client.query(preference, **kwargs), idempotent=True
+        )
+
+    def batch(self, preferences: Sequence, **kwargs) -> NetResponse:
+        """``POST /batch`` with retries."""
+        return self._call(
+            lambda: self.client.batch(preferences, **kwargs), idempotent=True
+        )
+
+    def insert(
+        self,
+        rows: Sequence[Sequence[object]],
+        *,
+        idempotency_key: Optional[str] = None,
+    ) -> NetResponse:
+        """``POST /insert`` with retries under one idempotency key."""
+        key = idempotency_key or self._new_key()
+        return self._call(
+            lambda: self.client.insert(rows, idempotency_key=key),
+            idempotent=True,
+        )
+
+    def delete(
+        self,
+        ids: Sequence[int],
+        *,
+        idempotency_key: Optional[str] = None,
+    ) -> NetResponse:
+        """``POST /delete`` with retries under one idempotency key."""
+        key = idempotency_key or self._new_key()
+        return self._call(
+            lambda: self.client.delete(ids, idempotency_key=key),
+            idempotent=True,
+        )
+
+    def compact(
+        self, *, idempotency_key: Optional[str] = None
+    ) -> NetResponse:
+        """``POST /compact`` with retries under one idempotency key."""
+        key = idempotency_key or self._new_key()
+        return self._call(
+            lambda: self.client.compact(idempotency_key=key),
+            idempotent=True,
+        )
+
+    def healthz(self) -> NetResponse:
+        """``GET /healthz`` with retries."""
+        return self._call(lambda: self.client.healthz(), idempotent=True)
+
+    def counters(self) -> Dict[str, int]:
+        """``{"attempts", "retries", "breaker_opens"}`` snapshot."""
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "breaker_opens": self.breaker.opens,
+        }
+
+    def _new_key(self) -> str:
+        """A fresh idempotency key (UUID4 from the client's own RNG)."""
+        return str(uuid.UUID(int=self._rng.getrandbits(128), version=4))

@@ -38,16 +38,19 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from repro import faults
 from repro.exceptions import (
     DatasetError,
     PreferenceError,
     ReproError,
     SchemaError,
     StorageError,
+    StorageUnavailable,
 )
 from repro.net import protocol
 from repro.net.admission import AdmissionController
 from repro.net.config import ConfigError, ServerConfig, load_config
+from repro.net.idempotency import IdempotencyIndex
 from repro.net.http import (
     HttpRequest,
     ProtocolError,
@@ -73,6 +76,16 @@ ROUTE_TABLE: Dict[Tuple[str, str], str] = {
 
 #: Routes that execute service work on the pool (admission-gated).
 SERVICE_ROUTES = frozenset({"query", "batch", "insert", "delete", "compact"})
+
+#: Service routes that mutate state - the ones the idempotency window
+#: deduplicates when the request carries an ``Idempotency-Key`` header.
+MUTATION_ROUTES = frozenset({"insert", "delete", "compact"})
+
+#: Response statuses that *settle* a keyed mutation.  Anything else
+#: (storage-unavailable 503, internal 500) left the mutation unapplied
+#: - the write-ahead ordering in the service guarantees it - so the
+#: reservation is abandoned and a retry may execute for real.
+_SETTLED_STATUSES = frozenset({200, 400, 404, 405, 408, 409, 413, 422, 431})
 
 
 class _Response:
@@ -139,6 +152,7 @@ class SkylineServer:
         self._admission = AdmissionController(
             self.config.max_inflight, self.config.max_queue
         )
+        self._idempotency = IdempotencyIndex(self.config.idempotency_window)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.worker_threads,
             thread_name_prefix="repro-net",
@@ -241,6 +255,8 @@ class SkylineServer:
         await self._admission.reconfigure(
             merged.max_inflight, merged.max_queue
         )
+        if merged.idempotency_window != old.idempotency_window:
+            self._idempotency.reconfigure(merged.idempotency_window)
         if merged.worker_threads != old.worker_threads:
             stale = self._executor
             self._executor = ThreadPoolExecutor(
@@ -316,6 +332,18 @@ class SkylineServer:
             "repro_net_client_aborts_total",
             "Connections the client dropped mid-exchange.",
         )
+        self._counter_idempotency = reg.counter(
+            "repro_net_idempotency_total",
+            "Idempotency-keyed mutation requests, by reservation outcome "
+            "(fresh / replayed / conflict).",
+            ("outcome",),
+        )
+        self._counter_faults = reg.counter(
+            "repro_net_faults_injected_total",
+            "Injected faults that fired in the wire layer, by site "
+            "(non-zero only under an active REPRO_FAULTS plan).",
+            ("site",),
+        )
         self._counter_connections = reg.counter(
             "repro_net_connections_total", "Accepted TCP connections."
         )
@@ -349,6 +377,12 @@ class SkylineServer:
             "Data version the service currently answers at.",
             lambda: self.service.version,
         )
+        reg.gauge(
+            "repro_service_health_degraded",
+            "1 while the service is in degraded read-only mode "
+            "(storage append failed; mutations answer 503).",
+            lambda: 1.0 if self.service.health == "degraded" else 0.0,
+        )
         # The service's own counters, sampled at scrape time: the wire
         # layer must not fork its own bookkeeping of them.
         for name, help_text, getter in (
@@ -372,6 +406,15 @@ class SkylineServer:
             ("repro_service_cache_invalidations_total",
              "Cache entries dropped by update revisions.",
              lambda s: s.cache.invalidations),
+            ("repro_service_degraded_transitions_total",
+             "Healthy -> degraded transitions since construction.",
+             lambda s: s.degraded_transitions),
+            ("repro_service_recoveries_total",
+             "Degraded -> healthy recoveries (checkpoint repairs).",
+             lambda s: s.recoveries),
+            ("repro_service_checkpoint_failures_total",
+             "Checkpoint attempts that failed to write a snapshot.",
+             lambda s: s.checkpoint_failures),
         ):
             reg.gauge(name, help_text, self._stats_getter(getter))
 
@@ -461,15 +504,33 @@ class SkylineServer:
             keep_alive=keep_alive,
             extra_headers=response.extra_headers,
         )
-        aborted = False
-        try:
-            writer.write(payload)
-            await writer.drain()
-        except (ConnectionError, OSError):
-            self._counter_aborts.inc()
-            aborted = True
+        # Count and observe *before* the bytes leave: a test (or
+        # scraper) that reads /metrics the instant the client has the
+        # response must already see it counted - and the response is
+        # computed at this point whether or not delivery succeeds.
         self._counter_requests.inc(route, method, response.status)
         self._hist_latency.observe(seconds, route)
+        aborted = False
+        fault = faults.draw("net.send")
+        if fault is not None:
+            self._counter_faults.inc("net.send")
+            if fault.kind == "slow":
+                await asyncio.sleep(fault.delay)
+            elif fault.kind == "drop":
+                # The response was computed (and, for keyed mutations,
+                # already fulfilled in the dedup window) but the client
+                # never sees it - exactly the ambiguous failure the
+                # idempotent retry path exists for.
+                writer.close()
+                self._counter_aborts.inc()
+                aborted = True
+        if not aborted:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                self._counter_aborts.inc()
+                aborted = True
         if self.config.access_log:
             self._log_event(
                 "request", id=request_id, remote=remote, method=method,
@@ -515,6 +576,13 @@ class SkylineServer:
             return "not-found", _error_response(
                 404, "not-found", f"unknown path {request.path!r}"
             )
+        fault = faults.draw("net.dispatch")
+        if fault is not None:
+            self._counter_faults.inc("net.dispatch")
+            return route, _error_response(
+                500, "fault-injected",
+                "injected: dispatch failed before reaching the handler",
+            )
         if route == "healthz":
             return route, self._handle_healthz()
         if route == "metrics":
@@ -529,9 +597,23 @@ class SkylineServer:
         return route, await self._handle_service_route(route, request)
 
     def _handle_healthz(self) -> _Response:
-        """Liveness + readiness in one: 503 while draining."""
+        """Liveness + readiness in one: 503 while draining.
+
+        A *degraded* service (storage append failed; read-only mode)
+        still answers ``200`` - it is alive and serving queries - but
+        ``status`` says ``"degraded"`` so orchestration can alert
+        without rotating a replica that is doing useful work.
+        """
+        health = self.service.health
+        if self._draining:
+            status = "draining"
+        elif health == "degraded":
+            status = "degraded"
+        else:
+            status = "ok"
         payload = {
-            "status": "draining" if self._draining else "ok",
+            "status": status,
+            "health": health,
             "version": self.service.version,
             "inflight": self._admission.inflight,
             "queued": self._admission.queued,
@@ -542,15 +624,51 @@ class SkylineServer:
     async def _handle_service_route(
         self, route: str, request: HttpRequest
     ) -> _Response:
-        """Admission-gate and execute one service-touching request."""
+        """Admission-gate and execute one service-touching request.
+
+        Mutation routes carrying an ``Idempotency-Key`` header pass the
+        reserve / fulfil / abandon protocol of
+        :class:`~repro.net.idempotency.IdempotencyIndex`: a replayed key
+        answers the stored response without executing, a key still in
+        flight answers ``409`` + ``Retry-After``, and a fresh key is
+        settled from the outcome of the attempt it guards.
+        """
         if self._draining:
             self._counter_rejected.inc("draining")
             return _error_response(
                 503, "draining", "server is draining; no new work accepted"
             )
+        key: Optional[str] = None
+        if route in MUTATION_ROUTES:
+            key = request.headers.get("idempotency-key")
+        if key is not None:
+            outcome = self._idempotency.reserve(key)
+            if outcome.state == "replay":
+                self._counter_idempotency.inc("replayed")
+                return _Response(
+                    outcome.status, outcome.body, outcome.content_type,
+                    extra_headers={"Idempotency-Replayed": "true"},
+                )
+            if outcome.state == "in-flight":
+                self._counter_idempotency.inc("conflict")
+                return _Response(
+                    409,
+                    protocol.encode_error(
+                        409, "idempotency-in-flight",
+                        f"a request with Idempotency-Key {key!r} is "
+                        f"still executing; retry once it settles",
+                    ),
+                    extra_headers={
+                        "Retry-After": str(self.config.retry_after_seconds)
+                    },
+                )
+            self._counter_idempotency.inc("fresh")
         decision = self._admission.try_admit()
         if not decision:
             self._counter_rejected.inc("admission")
+            if key is not None:
+                # Shed before executing: nothing applied, retry freely.
+                self._idempotency.abandon(key)
             return _Response(
                 429,
                 protocol.encode_error(429, "admission", decision.reason),
@@ -560,31 +678,80 @@ class SkylineServer:
             )
         await self._admission.acquire()
         try:
-            loop = asyncio.get_running_loop()
-            future = loop.run_in_executor(
-                self._executor, self._execute_service_route, route,
-                request.body,
+            task = self._executor.submit(
+                self._execute_service_route, route, request.body
             )
             try:
-                return await asyncio.wait_for(
-                    future, timeout=self.config.request_timeout
+                response = await asyncio.wait_for(
+                    asyncio.wrap_future(task),
+                    timeout=self.config.request_timeout,
                 )
             except asyncio.TimeoutError:
                 # The executor thread cannot be interrupted; it will
                 # finish and its slot frees then.  The *client* gets an
-                # honest deadline answer now.
+                # honest deadline answer now; a keyed mutation stays
+                # reserved until the thread's real outcome settles it
+                # (answering 409 to retries in the meantime), so a
+                # deadline can never let a duplicate slip through.
                 self._counter_rejected.inc("deadline")
+                if key is not None:
+                    task.add_done_callback(
+                        lambda done, k=key: self._settle_idempotency_late(
+                            k, done
+                        )
+                    )
                 return _error_response(
                     504, "deadline",
                     f"request exceeded the "
                     f"{self.config.request_timeout}s deadline",
                 )
+            if key is not None:
+                self._settle_idempotency(key, response)
+            return response
         finally:
             await self._admission.release()
+
+    def _settle_idempotency(self, key: str, response: _Response) -> None:
+        """Fulfil or abandon one reservation from its attempt's answer.
+
+        Settled statuses (success, definitive client errors) are stored
+        for replay; unsettled ones (storage-unavailable ``503``,
+        internal ``500``) applied nothing - the service logs before it
+        applies - so the key is released and a retry may execute.
+        """
+        if response.status in _SETTLED_STATUSES:
+            self._idempotency.fulfil(
+                key, response.status, response.body, response.content_type
+            )
+        else:
+            self._idempotency.abandon(key)
+
+    def _settle_idempotency_late(self, key: str, task) -> None:
+        """Settle a reservation whose attempt outlived its deadline.
+
+        Runs as a :class:`concurrent.futures.Future` done-callback on
+        the worker thread (the index is thread-safe).  A task cancelled
+        before it ever started applied nothing and is abandoned.
+        """
+        try:
+            response = task.result()
+        except BaseException:
+            self._idempotency.abandon(key)
+            return
+        self._settle_idempotency(key, response)
 
     def _execute_service_route(self, route: str, body: bytes) -> _Response:
         """Decode, execute and encode one service call (worker thread)."""
         try:
+            fault = faults.draw("serve.execute")
+            if fault is not None:
+                self._counter_faults.inc("serve.execute")
+                if fault.kind == "delay":
+                    time.sleep(fault.delay)
+                else:  # "abort": die before touching the service
+                    raise RuntimeError(
+                        "injected: executor task aborted before execution"
+                    )
             payload = protocol.parse_json_body(body)
             if route == "query":
                 preference, use_cache, forced = protocol.decode_query(payload)
@@ -634,10 +801,28 @@ class SkylineServer:
             return _error_response(400, "codec", str(exc))
         except (PreferenceError, SchemaError, DatasetError) as exc:
             return _error_response(422, type(exc).__name__, str(exc))
+        except StorageUnavailable as exc:
+            # Degraded read-only mode: the mutation was NOT applied and
+            # a checkpoint can repair the store, so this is retryable -
+            # 503 + Retry-After, unlike the fail-stop 500 below.
+            return _Response(
+                503,
+                protocol.encode_error(503, "storage-unavailable", str(exc)),
+                extra_headers={
+                    "Retry-After": str(self.config.retry_after_seconds)
+                },
+            )
         except StorageError as exc:
             return _error_response(500, "storage", str(exc))
         except ReproError as exc:
             return _error_response(422, type(exc).__name__, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the wire must answer
+            # Anything unexpected (including injected serve.execute
+            # aborts) still produces a well-formed response; the
+            # connection closes after a 5xx, never mid-exchange.
+            return _error_response(
+                500, "internal", f"unexpected {type(exc).__name__}: {exc}"
+            )
 
     def _observe_result(self, result) -> None:
         """Count one served query's route + cache outcome."""

@@ -52,7 +52,12 @@ from repro.core.preferences import (
 )
 from repro.core.skyline import skyline
 from repro.engine import make_parallel_backend, resolve_backend
-from repro.exceptions import EngineError, ReproError, StorageError
+from repro.exceptions import (
+    EngineError,
+    ReproError,
+    StorageError,
+    StorageUnavailable,
+)
 from repro.ipo.serialize import (
     preference_from_dict,
     preference_to_dict,
@@ -184,6 +189,14 @@ class ServiceStats:
     cache: CacheStats
     #: Rows inserted + deleted since construction (0 for a static service).
     updates: int = 0
+    #: Write-path health: ``"healthy"`` or ``"degraded"`` (read-only).
+    health: str = "healthy"
+    #: Times the service entered degraded read-only mode.
+    degraded_transitions: int = 0
+    #: Times a successful checkpoint re-armed the write path.
+    recoveries: int = 0
+    #: Automatic checkpoints that failed (the mutation still succeeded).
+    checkpoint_failures: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly rendering used by the workload reports."""
@@ -192,6 +205,12 @@ class ServiceStats:
             "routes": dict(self.route_counts),
             "cache": self.cache.as_dict(),
             "updates": self.updates,
+            "health": {
+                "state": self.health,
+                "degraded_transitions": self.degraded_transitions,
+                "recoveries": self.recoveries,
+                "checkpoint_failures": self.checkpoint_failures,
+            },
         }
 
 
@@ -338,6 +357,13 @@ class SkylineService:
         self._lock = threading.Lock()
         self._routes = RouteCounters()
         self._queries = 0
+        # Write-path health machine: "healthy" <-> "degraded".  Guarded
+        # by self._lock (readers poll from other threads); transitions
+        # only ever happen under the exclusive write lock.
+        self._health_state = "healthy"
+        self._degraded_transitions = 0
+        self._recoveries = 0
+        self._checkpoint_failures = 0
         self._ipo_k = ipo_k
         # Mutable-mode state: lazily engaged by the first insert/delete.
         self._rw = ReadWriteLock()
@@ -677,6 +703,12 @@ class SkylineService:
         above it; the MDC filter goes stale whenever the base or
         template skyline changed (rebuild via :meth:`refresh_structures`
         or :meth:`compact`).
+
+        Durability ordering is write-ahead: the batch is validated
+        (all-or-nothing, no state touched), *logged*, then applied - so
+        a failed log (:class:`StorageUnavailable`, degraded read-only
+        mode) leaves nothing applied and the same batch can simply be
+        retried once the store heals.
         """
         started = time.perf_counter()
         batch = [tuple(row) for row in rows]
@@ -685,7 +717,13 @@ class SkylineService:
         with self._rw.write():
             self._check_storage_writable_locked()
             dyn = self._ensure_dynamic()
-            ids = dyn.append(batch)
+            new_raw, new_canon = dyn.encode_rows(batch)
+            self._log_mutation_locked({
+                "op": "insert",
+                "version": dyn.version + 1,
+                "rows": [list(row) for row in batch],
+            })
+            ids = dyn.append_encoded(new_raw, new_canon)
             effects = []
             base_changed = False
             for point_id in ids:
@@ -698,11 +736,7 @@ class SkylineService:
             report = self._absorb(
                 "insert", ids, effects, base_changed, started
             )
-            self._log_mutation_locked({
-                "op": "insert",
-                "version": report.version,
-                "rows": [list(row) for row in batch],
-            })
+            self._maybe_checkpoint_locked()
         return report
 
     def delete_rows(self, point_ids: Sequence[int]) -> UpdateReport:
@@ -722,6 +756,12 @@ class SkylineService:
         with self._rw.write():
             self._check_storage_writable_locked()
             dyn = self._ensure_dynamic()
+            dyn.ensure_deletable(ids)
+            self._log_mutation_locked({
+                "op": "delete",
+                "version": dyn.version + 1,
+                "ids": list(ids),
+            })
             dyn.delete(ids)
             effects = []
             base_changed = False
@@ -735,11 +775,7 @@ class SkylineService:
             report = self._absorb(
                 "delete", ids, effects, base_changed, started
             )
-            self._log_mutation_locked({
-                "op": "delete",
-                "version": report.version,
-                "ids": list(ids),
-            })
+            self._maybe_checkpoint_locked()
         return report
 
     def refresh_structures(self) -> None:
@@ -774,6 +810,10 @@ class SkylineService:
                 # contract (refresh stale structures, reset the gate).
                 self._refresh_structures_locked()
                 return dyn.compact()  # identity remap, no version bump
+            self._log_mutation_locked({
+                "op": "compact",
+                "version": dyn.version + 1,
+            })
             remap = dyn.compact()
             backend = self.backend
             self._maintainer = IncrementalSkyline(
@@ -801,10 +841,7 @@ class SkylineService:
             self._template_skyline_size = len(self._maintainer)
             self.cache.revise(lambda key, ids: None)  # ids were remapped
             self._reset_gate()
-            self._log_mutation_locked({
-                "op": "compact",
-                "version": dyn.version,
-            })
+            self._maybe_checkpoint_locked()
             return remap
 
     # ------------------------------------------------------------------
@@ -902,6 +939,13 @@ class SkylineService:
         Also available through the automatic policy
         (``checkpoint_every`` / ``checkpoint_wal_bytes``) and on the
         CLI (``python -m repro.serve --storage-dir DIR --checkpoint``).
+
+        A successful checkpoint is also the repair path out of degraded
+        read-only mode: the fresh snapshot + rotated WAL re-sync the
+        durable state, so the health machine returns to ``healthy`` and
+        mutations are accepted again.  A failed checkpoint raises
+        :class:`StorageError`, counts as a checkpoint failure, and
+        leaves the health state unchanged.
         """
         if self.storage is None:
             raise StorageError(
@@ -909,9 +953,16 @@ class SkylineService:
                 "storage_dir=... (or recovered from one)"
             )
         with self._rw.write():
-            return self.storage.checkpoint(
-                self._durable_state(), self._data_version()
-            )
+            try:
+                path = self.storage.checkpoint(
+                    self._durable_state(), self._data_version()
+                )
+            except StorageError:
+                with self._lock:
+                    self._checkpoint_failures += 1
+                raise
+            self._mark_healthy_locked()
+            return path
 
     def _durable_state(self) -> dict:
         """The snapshot document for the current state (lock held).
@@ -1074,47 +1125,89 @@ class SkylineService:
             self._replaying = False
 
     def _log_mutation_locked(self, record: dict) -> None:
-        """Durably log one applied batch; auto-checkpoint if due.
+        """Durably log one *not yet applied* batch (write lock held).
 
-        Called with the write lock held, after the mutation was fully
-        absorbed (so a due checkpoint snapshots the post-batch state).
-        No-op without storage and during recovery replay.
+        Called **before** the mutation is applied (write-ahead
+        ordering).  No-op without storage and during recovery replay.
 
-        If the append fails, the exception propagates to the mutating
-        caller - the batch is applied in memory but **not durable**,
-        and the store fail-stops: every further mutation raises until
-        a successful :meth:`checkpoint` re-syncs the durable state
-        (which re-covers the un-logged batch, since the snapshot
-        captures the in-memory state).  See
-        :meth:`repro.storage.store.DurableStore.log`.
+        If the append fails the service enters **degraded read-only
+        mode** instead of fail-stopping the process: nothing was
+        applied, queries keep serving the last durable state, and the
+        caller sees :class:`StorageUnavailable` (the HTTP layer maps it
+        to ``503`` + ``Retry-After``).  A successful
+        :meth:`checkpoint` rotates the WAL and re-arms writes; the
+        rejected batch can then simply be retried.
         """
         if self.storage is None or self._replaying:
             return
-        self.storage.log(record)
-        if self.storage.should_checkpoint():
+        try:
+            self.storage.log(record)
+        except StorageError as exc:
+            self._enter_degraded_locked()
+            raise StorageUnavailable(
+                "mutation was not applied: the write-ahead log append "
+                "failed and the service is now in degraded read-only "
+                "mode; queries keep serving - checkpoint() to repair "
+                f"and retry ({exc})"
+            ) from exc
+
+    def _maybe_checkpoint_locked(self) -> None:
+        """Auto-checkpoint after an applied batch when the policy is due.
+
+        A *failed* automatic checkpoint is absorbed (counted, not
+        raised): the batch that triggered it is already durable in the
+        WAL, so the mutation succeeded either way and the policy simply
+        retries at the next batch.
+        """
+        if self.storage is None or self._replaying:
+            return
+        if not self.storage.should_checkpoint():
+            return
+        try:
             self.storage.checkpoint(
                 self._durable_state(), self._data_version()
             )
+        except StorageError:
+            with self._lock:
+                self._checkpoint_failures += 1
+        else:
+            self._mark_healthy_locked()
+
+    def _enter_degraded_locked(self) -> None:
+        """Transition the health machine to degraded (write lock held)."""
+        with self._lock:
+            if self._health_state != "degraded":
+                self._health_state = "degraded"
+                self._degraded_transitions += 1
+
+    def _mark_healthy_locked(self) -> None:
+        """Re-arm writes after a successful checkpoint (write lock held)."""
+        with self._lock:
+            if self._health_state == "degraded":
+                self._health_state = "healthy"
+                self._recoveries += 1
 
     def _check_storage_writable_locked(self) -> None:
-        """Refuse to *apply* a mutation the store could not log.
+        """Refuse mutations while the service is degraded read-only.
 
-        After a failed WAL append, exactly one batch exists in memory
-        that is not durable.  Absorbing further batches would widen
-        that divergence while every call raises anyway (the store is
-        fail-stopped), so they are rejected before touching any state;
-        :meth:`checkpoint` heals both the store and the divergence.
+        After a failed WAL append the log may carry a torn tail;
+        appending further batches would bury garbage mid-log, so the
+        store fail-stops and the service rejects mutations *before
+        touching any state* (nothing was applied for the failed batch
+        either - logging is write-ahead).  Queries are unaffected;
+        :meth:`checkpoint` heals the store and re-arms writes.
         """
         if (
             self.storage is not None
             and not self._replaying
             and self.storage.failed
         ):
-            raise StorageError(
-                "mutations are fail-stopped: an earlier batch was "
-                "applied in memory but could not be logged; call "
-                "checkpoint() to make the current state durable and "
-                "resume"
+            self._enter_degraded_locked()
+            raise StorageUnavailable(
+                "mutations are disabled: the service is in degraded "
+                "read-only mode after a write-ahead-log failure; "
+                "queries keep serving - checkpoint() to repair and "
+                "re-arm writes"
             )
 
     def data_snapshot(self) -> Dataset:
@@ -1527,17 +1620,36 @@ class SkylineService:
         routes.append("kernel")
         return tuple(routes)
 
+    @property
+    def health(self) -> str:
+        """Write-path health: ``"healthy"`` or ``"degraded"`` (read-only).
+
+        Degraded means a WAL append failed and mutations are rejected
+        with :class:`StorageUnavailable` while queries keep serving;
+        a successful :meth:`checkpoint` restores ``"healthy"``.
+        """
+        with self._lock:
+            return self._health_state
+
     def stats(self) -> ServiceStats:
         """Snapshot of query/route/cache/update counters (thread-safe)."""
         with self._lock:
             queries = self._queries
             routes = self._routes.snapshot()
             updates = self._updates
+            health = self._health_state
+            degraded_transitions = self._degraded_transitions
+            recoveries = self._recoveries
+            checkpoint_failures = self._checkpoint_failures
         return ServiceStats(
             queries=queries,
             route_counts=routes,
             cache=self.cache.stats(),
             updates=updates,
+            health=health,
+            degraded_transitions=degraded_transitions,
+            recoveries=recoveries,
+            checkpoint_failures=checkpoint_failures,
         )
 
     def _should_build_tree(

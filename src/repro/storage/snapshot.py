@@ -41,9 +41,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, List, Union
 
+from repro import faults
 from repro.core.attributes import AttributeKind, AttributeSpec, Schema
 from repro.engine.columnar import numpy_available
 from repro.exceptions import StorageError
@@ -187,6 +189,14 @@ def write_snapshot(path: Union[str, Path], document: Dict) -> Path:
         handle.write("\n")
         handle.flush()
         os.fsync(handle.fileno())
+    fault = faults.draw("snapshot.rename")
+    if fault is not None:
+        if fault.kind == "slow":
+            time.sleep(fault.delay)
+        else:
+            # The fully written tmp file never makes it onto the final
+            # name - a crash at the worst checkpoint instant.
+            raise OSError(f"injected: cannot rename {tmp} into place")
     os.replace(tmp, path)
     fsync_directory(path.parent)
     return path

@@ -163,12 +163,22 @@ class DurableStore:
         deleted only after both exist - recovery always finds a
         complete generation, preferring the newest.  A successful
         checkpoint also clears a fail-stopped WAL (see :meth:`log`):
-        the snapshot captures the exact in-memory state, so the
-        un-logged batch that tripped the failure is durable again.
+        the snapshot captures the exact in-memory state, so the torn
+        log the failed append left behind is superseded wholesale.
+
+        A failed snapshot write raises :class:`StorageError` and leaves
+        the store exactly as it was: the old generation is intact, the
+        active WAL (and any fail-stop) is untouched, so a later retry
+        can still succeed.
         """
-        path = write_snapshot(
-            self.directory / f"snapshot-{version}.json", document
-        )
+        try:
+            path = write_snapshot(
+                self.directory / f"snapshot-{version}.json", document
+            )
+        except OSError as exc:
+            raise StorageError(
+                f"checkpoint could not write snapshot-{version}.json: {exc}"
+            ) from exc
         self._failed = False
         if self._wal is not None:
             self._wal.close()
@@ -195,14 +205,16 @@ class DurableStore:
 
         **Fail-stop**: if an append ever fails (disk full, fsync error,
         unserialisable value), the store marks itself failed and every
-        further ``log`` raises.  The owner has already applied the
-        batch in memory, so accepting *later* batches would append a
-        record whose version does not continue the log - a gap that
-        makes the whole directory unrecoverable.  Refusing instead
-        keeps the on-disk history a clean prefix: the failed batch's
-        caller saw an exception (so the batch was never acknowledged as
-        durable), and a subsequent successful :meth:`checkpoint`
-        re-syncs the durable state to memory and clears the condition.
+        further ``log`` raises.  The failed append may have left a torn
+        partial frame at the log's tail; appending *more* records after
+        it would bury garbage in the middle of the file, turning a
+        benign crash artefact into unrecoverable corruption.  Refusing
+        keeps the on-disk history a clean committed prefix (plus at
+        most one torn tail that recovery truncates): the failed batch's
+        caller saw an exception before applying anything (the serving
+        layer logs *before* it applies), and a subsequent successful
+        :meth:`checkpoint` rotates to a fresh WAL and clears the
+        condition.
         """
         if self._failed:
             raise StorageError(

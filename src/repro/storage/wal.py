@@ -26,12 +26,15 @@ replay a different history than the one that was acknowledged.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import time
 import zlib
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
+from repro import faults
 from repro.exceptions import StorageError
 
 
@@ -82,10 +85,34 @@ class WriteAheadLog:
         self._handle = open(self.path, "ab")
 
     def append(self, record: Dict) -> None:
-        """Frame, write and fsync one record (durable on return)."""
+        """Frame, write and fsync one record (durable on return).
+
+        Fault site ``wal.append``: ``enospc`` raises ``OSError(ENOSPC)``
+        before any byte is written, ``torn`` leaves a partial frame on
+        disk and then fails (the classic disk-full-mid-record shape a
+        real crash produces), ``slow`` sleeps before appending.
+        """
         if self._handle is None:
             raise StorageError(f"write-ahead log {self.path} is closed")
-        self._handle.write(_frame(record))
+        frame = _frame(record)
+        fault = faults.draw("wal.append")
+        if fault is not None:
+            if fault.kind == "slow":
+                time.sleep(fault.delay)
+            elif fault.kind == "enospc":
+                raise OSError(
+                    errno.ENOSPC, "injected: no space left on device"
+                )
+            elif fault.kind == "torn":
+                # Half the frame reaches the disk, then the device
+                # fails - exactly what repair() must truncate away.
+                self._handle.write(frame[: max(1, len(frame) // 2)])
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                raise OSError(
+                    errno.ENOSPC, "injected: torn write, device full"
+                )
+        self._handle.write(frame)
         self._handle.flush()
         os.fsync(self._handle.fileno())
 

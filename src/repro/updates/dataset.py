@@ -238,23 +238,62 @@ class DynamicDataset:
             return store
 
     # -- mutation ----------------------------------------------------------
+    def encode_rows(
+        self, rows: Iterable[Sequence[object]]
+    ) -> Tuple[List[Row], List[CanonicalRow]]:
+        """Validate and encode ``rows`` *without mutating anything*.
+
+        The validation half of :meth:`append`, split out so callers
+        that must order side effects around the mutation (the serving
+        layer write-ahead-logs a batch *before* applying it) can fail
+        on a bad row while the dataset - and their log - is still
+        untouched.  The returned pair feeds :meth:`append_encoded`.
+        """
+        new_raw, new_canon = _encode_rows(
+            self._schema, self._encoders, rows, offset=len(self._raw)
+        )
+        return new_raw, new_canon
+
+    def append_encoded(
+        self, new_raw: List[Row], new_canon: List[CanonicalRow]
+    ) -> List[int]:
+        """Append rows already validated by :meth:`encode_rows`; new ids.
+
+        Cannot fail for input produced by :meth:`encode_rows` on this
+        dataset - the invariant the log-before-apply ordering in
+        :meth:`repro.serve.service.SkylineService.insert_rows` relies
+        on.  An empty batch is a no-op (no version bump).
+        """
+        if not new_raw:
+            return []
+        offset = len(self._raw)
+        self._raw.extend(new_raw)
+        self._canon.extend(new_canon)
+        self._alive.extend([True] * len(new_raw))
+        self._bump()
+        return list(range(offset, offset + len(new_raw)))
+
     def append(self, rows: Iterable[Sequence[object]]) -> List[int]:
         """Validate, encode and append ``rows``; returns their new ids.
 
         Validation is all-or-nothing: a bad row leaves the dataset
         untouched.  Only the new rows are encoded (O(appended)).
         """
-        offset = len(self._raw)
-        new_raw, new_canon = _encode_rows(
-            self._schema, self._encoders, rows, offset=offset
-        )
-        if not new_raw:
-            return []
-        self._raw.extend(new_raw)
-        self._canon.extend(new_canon)
-        self._alive.extend([True] * len(new_raw))
-        self._bump()
-        return list(range(offset, offset + len(new_raw)))
+        return self.append_encoded(*self.encode_rows(rows))
+
+    def ensure_deletable(self, point_ids: Sequence[int]) -> None:
+        """Raise unless ``point_ids`` form a valid delete batch; no mutation.
+
+        The validation half of :meth:`delete` (live, int, duplicate-free
+        ids), split out for the same log-before-apply ordering
+        :meth:`encode_rows` serves.
+        """
+        for point_id in point_ids:
+            self._check_live(point_id)
+        if len(set(point_ids)) != len(point_ids):
+            raise DatasetError(
+                f"duplicate ids in delete batch: {list(point_ids)!r}"
+            )
 
     def delete(self, point_ids: Iterable[int]) -> None:
         """Tombstone the given live points (ids stay allocated).
@@ -263,10 +302,7 @@ class DynamicDataset:
         tombstone is written.
         """
         ids = list(point_ids)
-        for point_id in ids:
-            self._check_live(point_id)
-        if len(set(ids)) != len(ids):
-            raise DatasetError(f"duplicate ids in delete batch: {ids!r}")
+        self.ensure_deletable(ids)
         if not ids:
             return
         for point_id in ids:

@@ -1,0 +1,379 @@
+"""Chaos suite: seeded fault injection against a real socket server.
+
+Every test here drives a durable :class:`SkylineService` behind a
+:class:`ServerThread` over real TCP with an active
+:class:`~repro.faults.FaultPlan`, asserting the degradation contract of
+``docs/serving.md`` end to end:
+
+* a storage append failure degrades the service to read-only instead of
+  killing it - queries keep answering, mutations answer ``503`` +
+  ``Retry-After``, ``/healthz`` and ``/metrics`` report the state, and a
+  checkpoint re-arms writes;
+* idempotency-keyed retries never double-apply, whether the first
+  attempt's response was dropped on the wire or its deadline expired
+  while it was still executing;
+* under a seeded storm of dispatch errors, dropped responses, executor
+  delays and torn WAL writes, the :class:`ResilientClient` loses **zero
+  acknowledged requests and applies zero duplicates** - proven by a
+  twin oracle service fed exactly the acknowledged operations and a
+  kill-and-recover comparison at the end.
+
+Plans are seeded, so a failure here replays identically under the same
+seed - chaos without flakes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.datagen import SyntheticConfig, generate
+from repro.datagen.generator import frequent_value_template
+from repro.datagen.queries import generate_preferences
+from repro.faults import FaultPlan, FaultRule
+from repro.net import (
+    CircuitBreaker,
+    MetricsRegistry,
+    NetClient,
+    ResilientClient,
+    RetriesExhausted,
+    RetryPolicy,
+    ServerConfig,
+    ServerThread,
+)
+from repro.serve.service import SkylineService
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    """Every test starts and ends with fault injection disarmed."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def make_stack(tmp_path, **config_kwargs):
+    """A durable service + registry + config, ready for ServerThread."""
+    base = generate(
+        SyntheticConfig(
+            num_points=120, num_numeric=2, num_nominal=2,
+            cardinality=4, seed=11,
+        )
+    )
+    template = frequent_value_template(base)
+    service = SkylineService(
+        base, template, cache_capacity=32,
+        storage_dir=tmp_path / "state",
+    )
+    prefs = generate_preferences(
+        base, order=2, count=4, template=template, seed=3
+    )
+    registry = MetricsRegistry()
+    config = ServerConfig(port=0, access_log=False, **config_kwargs)
+    return base, service, prefs, registry, config
+
+
+def fast_client(host, port, **kwargs):
+    """A ResilientClient tuned for test speed (ms backoff, no trips)."""
+    kwargs.setdefault("policy", RetryPolicy(
+        max_attempts=8, base_delay=0.002, max_delay=0.05,
+    ))
+    kwargs.setdefault("breaker", CircuitBreaker(threshold=1000))
+    kwargs.setdefault("seed", 1234)
+    return ResilientClient(host, port, timeout=10.0, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation, end to end
+# ---------------------------------------------------------------------------
+def test_storage_failure_degrades_service_not_process(tmp_path):
+    """The acceptance scenario: append fails, serving survives.
+
+    One torn WAL write must yield exactly: a ``503`` +
+    ``Retry-After`` + ``storage-unavailable`` body on the mutation,
+    ``200`` queries throughout, a degraded ``/healthz`` and ``/metrics``,
+    and - after a checkpoint - a healed server that applies mutations
+    again.
+    """
+    base, service, prefs, registry, config = make_stack(tmp_path)
+    plan = FaultPlan(rules=[
+        FaultRule(site="wal.append", kind="torn", times=1),
+    ])
+    with ServerThread(service, config, registry=registry) as thread:
+        with NetClient(thread.host, thread.port) as client:
+            assert client.insert([base.row(0)]).status == 200
+            acked_version = service.version
+
+            with faults.use(plan):
+                failed = client.insert([base.row(1)])
+            assert failed.status == 503
+            assert failed.json["error"]["kind"] == "storage-unavailable"
+            assert failed.retry_after is not None
+
+            # The process is alive and read-only, not dead.
+            again = client.insert([base.row(2)])
+            assert again.status == 503
+            query = client.query(prefs[0])
+            assert query.status == 200
+            assert query.json["version"] == acked_version
+            health = client.healthz()
+            assert health.status == 200  # degraded != down
+            assert health.json["status"] == "degraded"
+            assert health.json["health"] == "degraded"
+            metrics = client.metrics().text
+            assert "repro_service_health_degraded 1" in metrics
+
+            # Checkpoint repairs the store and re-arms the write path.
+            service.checkpoint()
+            health = client.healthz()
+            assert health.json["status"] == "ok"
+            assert health.json["health"] == "healthy"
+            healed = client.insert([base.row(1)])
+            assert healed.status == 200
+            assert healed.json["version"] == acked_version + 1
+            metrics = client.metrics().text
+            assert "repro_service_health_degraded 0" in metrics
+            assert "repro_service_recoveries_total 1" in metrics
+    assert plan.injected() == {"wal.append:torn": 1}
+
+
+def test_resilient_client_rides_through_degradation(tmp_path):
+    """Backoff + Retry-After + a healer thread = the caller never sees it.
+
+    The resilient client's retries span the degraded window; a
+    background "operator" checkpoints the store while retries are in
+    flight, and the original call completes successfully.
+    """
+    base, service, prefs, registry, config = make_stack(tmp_path)
+    plan = FaultPlan(rules=[
+        FaultRule(site="wal.append", kind="enospc", times=1),
+    ])
+    with ServerThread(service, config, registry=registry) as thread:
+        healer = threading.Timer(0.05, service.checkpoint)
+        with faults.use(plan):
+            client = fast_client(thread.host, thread.port)
+            with client:
+                healer.start()
+                response = client.insert([base.row(0)])
+                assert response.status == 200
+        healer.join()
+        assert client.counters()["retries"] >= 1
+    assert service.health == "healthy"
+    assert service.version == 1
+
+
+# ---------------------------------------------------------------------------
+# idempotency over the wire
+# ---------------------------------------------------------------------------
+def test_dropped_response_retry_applies_exactly_once(tmp_path):
+    """The server applies, the wire eats the response, the retry replays.
+
+    ``net.send`` drops the first mutation response after it executed;
+    the keyed retry must *replay* the stored answer - same version,
+    same point ids, version bumped exactly once.
+    """
+    base, service, prefs, registry, config = make_stack(tmp_path)
+    plan = FaultPlan(rules=[
+        FaultRule(site="net.send", kind="drop", times=1),
+    ])
+    with ServerThread(service, config, registry=registry) as thread:
+        with faults.use(plan), fast_client(thread.host, thread.port) as client:
+            response = client.insert([base.row(0)])
+            assert response.status == 200
+            assert response.json["version"] == 1
+            # The retry may come from either resilience layer: the
+            # NetClient's one transparent reconnect or the backoff loop.
+            assert response.headers.get("Idempotency-Replayed") == "true"
+    assert service.version == 1  # applied exactly once
+    assert plan.injected() == {"net.send:drop": 1}
+    idem = registry.get("repro_net_idempotency_total")
+    assert idem.value("fresh") == 1
+    assert idem.value("replayed") == 1
+    assert registry.get("repro_net_faults_injected_total").value("net.send") == 1
+
+
+def test_concurrent_same_key_answers_409_then_replays(tmp_path):
+    """A duplicate arriving mid-execution conflicts, then replays.
+
+    While the first attempt is still on the executor (slowed by
+    ``serve.execute``), a second request with the same key must answer
+    ``409`` + ``Retry-After`` without executing; once the first
+    settles, the same key replays its response.
+    """
+    base, service, prefs, registry, config = make_stack(tmp_path)
+    plan = FaultPlan(rules=[
+        FaultRule(site="serve.execute", kind="delay", delay=0.4, times=1),
+    ])
+    results = {}
+
+    def first_attempt():
+        with NetClient(thread.host, thread.port) as client:
+            results["first"] = client.insert([base.row(0)],
+                                             idempotency_key="dup-1")
+
+    with ServerThread(service, config, registry=registry) as thread:
+        with faults.use(plan):
+            worker = threading.Thread(target=first_attempt)
+            worker.start()
+            # Wait until the first attempt is *on the executor* (the
+            # serve.execute site records the crossing after the key is
+            # reserved), so the duplicate deterministically conflicts.
+            deadline = time.time() + 2.0
+            while plan.crossings("serve.execute") < 1:
+                assert time.time() < deadline, "first attempt never ran"
+                time.sleep(0.005)
+            with NetClient(thread.host, thread.port) as client:
+                duplicate = client.insert([base.row(0)],
+                                          idempotency_key="dup-1")
+                assert duplicate.status == 409
+                assert duplicate.json["error"]["kind"] == (
+                    "idempotency-in-flight"
+                )
+                assert duplicate.retry_after is not None
+                worker.join()
+                assert results["first"].status == 200
+                replay = client.insert([base.row(0)],
+                                       idempotency_key="dup-1")
+                assert replay.status == 200
+                assert replay.json == results["first"].json
+    assert service.version == 1
+
+
+def test_deadline_expiry_cannot_double_apply(tmp_path):
+    """A 504'd mutation settles its key late; the retry replays.
+
+    The executor outlives the request deadline; the client gets an
+    honest ``504``.  The reservation must stay held (``409`` while the
+    thread still runs) and settle from the *real* outcome, so the
+    eventual retry replays instead of re-applying.
+    """
+    base, service, prefs, registry, config = make_stack(
+        tmp_path, request_timeout=0.1,
+    )
+    plan = FaultPlan(rules=[
+        FaultRule(site="serve.execute", kind="delay", delay=0.4, times=1),
+    ])
+    with ServerThread(service, config, registry=registry) as thread:
+        with faults.use(plan), NetClient(thread.host, thread.port) as client:
+            timed_out = client.insert([base.row(0)], idempotency_key="slow-1")
+            assert timed_out.status == 504
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                retry = client.insert([base.row(0)],
+                                      idempotency_key="slow-1")
+                if retry.status == 200:
+                    break
+                assert retry.status == 409  # still executing: held, not lost
+                time.sleep(0.05)
+            assert retry.status == 200
+            assert retry.headers.get("Idempotency-Replayed") == "true"
+    assert service.version == 1  # the slow attempt applied exactly once
+
+
+# ---------------------------------------------------------------------------
+# the storm: differential twin oracle + kill-and-recover
+# ---------------------------------------------------------------------------
+def test_seeded_chaos_storm_loses_nothing_and_duplicates_nothing(tmp_path):
+    """The headline chaos run.
+
+    A seeded plan throws dispatch 500s, dropped responses and executor
+    delays at every request, plus two scheduled torn WAL writes that
+    force real degraded windows mid-storm.  A single mutator drives
+    inserts and deletes through a :class:`ResilientClient` (healing
+    degraded windows via checkpoint, as an operator would), recording
+    every *acknowledged* operation.  Afterwards:
+
+    * a twin service fed exactly the acknowledged operations must agree
+      with the live server on version, point ids and query answers
+      (zero duplicates, zero ghosts);
+    * the server is killed and recovered from disk, and the recovered
+      state must agree with the twin too (zero lost acknowledgements).
+    """
+    base, service, prefs, registry, config = make_stack(tmp_path)
+    plan = FaultPlan(seed=2024, rules=[
+        FaultRule(site="net.dispatch", kind="error", probability=0.08),
+        FaultRule(site="net.send", kind="drop", probability=0.08),
+        FaultRule(site="serve.execute", kind="delay", probability=0.2,
+                  delay=0.002),
+        FaultRule(site="wal.append", kind="torn", at=(4,)),
+        FaultRule(site="wal.append", kind="enospc", at=(9,)),
+    ])
+    acked = []  # (op, payload, reported point_ids, reported version)
+    live_ids = []
+
+    def mutate(client, call, op, payload):
+        """One mutation, healing degraded windows like an operator."""
+        for _ in range(3):
+            try:
+                response = call()
+            except RetriesExhausted as exc:
+                # Only an unsettled storage-unavailable window exhausts
+                # retries under this plan; heal and go again.  Nothing
+                # was applied (write-ahead), so a fresh key is safe.
+                assert exc.last_response is not None
+                assert exc.last_response.status == 503
+                service.checkpoint()
+                continue
+            assert response.status == 200
+            acked.append((op, payload, tuple(response.json["point_ids"]),
+                          response.json["version"]))
+            return response
+        raise AssertionError("mutation did not settle in 3 healed rounds")
+
+    with ServerThread(service, config, registry=registry) as thread:
+        with faults.use(plan), fast_client(thread.host, thread.port) as client:
+            for step in range(30):
+                row = base.row(step % len(base))
+                if step % 5 == 4 and live_ids:
+                    ids = [live_ids.pop(0)]
+                    mutate(client, lambda: client.delete(ids),
+                           "delete", tuple(ids))
+                else:
+                    response = mutate(
+                        client, lambda: client.insert([row]),
+                        "insert", tuple(row),
+                    )
+                    live_ids.extend(response.json["point_ids"])
+                if step % 7 == 0:
+                    query = client.query(prefs[step % len(prefs)])
+                    assert query.status == 200
+                    assert query.json["version"] == acked[-1][3]
+        live_version = service.version
+        live_answers = {
+            pref: service.query(pref, use_cache=False).ids for pref in prefs
+        }
+        storm_counters = client.counters()
+
+    # The storm actually stormed: faults fired at every layer.
+    injected = plan.injected()
+    assert injected.get("wal.append:torn") == 1
+    assert injected.get("wal.append:enospc") == 1
+    assert injected.get("net.dispatch:error", 0) >= 1
+    assert injected.get("net.send:drop", 0) >= 1
+    assert storm_counters["retries"] >= 1
+
+    # Twin oracle: exactly the acknowledged ops, nothing else.
+    twin = SkylineService(
+        base, frequent_value_template(base), cache_capacity=32
+    )
+    for op, payload, point_ids, version in acked:
+        if op == "insert":
+            report = twin.insert_rows([payload])
+        else:
+            report = twin.delete_rows(list(payload))
+        assert tuple(report.point_ids) == point_ids  # same ids assigned
+        assert report.version == version             # same version stamps
+    assert twin.version == live_version
+    for pref in prefs:
+        assert twin.query(pref, use_cache=False).ids == live_answers[pref]
+
+    # Kill-and-recover: the acknowledged history survives the process.
+    recovered = SkylineService.recover(tmp_path / "state")
+    assert recovered.version == twin.version
+    for pref in prefs:
+        assert recovered.query(pref, use_cache=False).ids == (
+            live_answers[pref]
+        )

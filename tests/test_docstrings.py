@@ -30,6 +30,7 @@ AUDITED_PACKAGES = (
     "repro.engine",
     "repro.hybrid",
     "repro.ipo",
+    "repro.faults",
     "repro.mdc",
     "repro.net",
     "repro.serve",

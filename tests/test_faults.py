@@ -1,0 +1,391 @@
+"""Unit tests for the fault-injection and resilience machinery.
+
+Three layers, no sockets:
+
+* :mod:`repro.faults` - plan determinism, explicit schedules,
+  probability rules, spec validation, env activation.
+* :mod:`repro.net.resilient` - the backoff schedule, the circuit
+  breaker state machine (driven by a fake clock), and the retry core
+  (driven by scripted fake responses and a recording sleeper).
+* :mod:`repro.net.idempotency` - the reserve / fulfil / abandon
+  protocol and the bounded-LRU eviction rules.
+
+End-to-end behaviour over real sockets lives in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    Fault,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    plan_from_dict,
+    plan_from_env,
+)
+from repro.net.client import NetResponse, NetRequestError, parse_retry_after
+from repro.net.idempotency import IdempotencyIndex
+from repro.net.resilient import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientClient,
+    RetriesExhausted,
+    RetryPolicy,
+)
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan
+# ---------------------------------------------------------------------------
+def test_draw_without_plan_is_none_and_free():
+    faults.clear()
+    assert faults.active() is None
+    assert faults.draw("wal.append") is None
+
+
+def test_explicit_schedule_fires_on_exact_crossings():
+    plan = FaultPlan(rules=[
+        FaultRule(site="wal.append", kind="enospc", at=(2, 4)),
+    ])
+    fired = [plan.draw("wal.append") for _ in range(5)]
+    assert [f.kind if f else None for f in fired] == [
+        None, "enospc", None, "enospc", None,
+    ]
+    assert plan.crossings("wal.append") == 5
+    assert plan.injected() == {"wal.append:enospc": 2}
+
+
+def test_times_caps_and_after_skips():
+    plan = FaultPlan(rules=[
+        FaultRule(site="net.send", kind="drop", after=2, times=1),
+    ])
+    fired = [plan.draw("net.send") for _ in range(5)]
+    # Skips crossings 1-2, fires on 3, then the times=1 cap holds.
+    assert [f.kind if f else None for f in fired] == [
+        None, None, "drop", None, None,
+    ]
+
+
+def test_probability_draws_are_seed_deterministic():
+    def run(seed):
+        plan = FaultPlan(seed=seed, rules=[
+            FaultRule(site="serve.execute", kind="abort", probability=0.3),
+        ])
+        return [
+            plan.draw("serve.execute") is not None for _ in range(50)
+        ]
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)  # astronomically unlikely to collide
+    assert 0 < sum(run(7)) < 50  # neither always nor never
+
+
+def test_sites_are_independent_counters():
+    plan = FaultPlan(rules=[
+        FaultRule(site="wal.append", kind="enospc", at=(1,)),
+    ])
+    assert plan.draw("net.send") is None
+    assert plan.draw("wal.append").kind == "enospc"
+    assert plan.crossings("net.send") == 1
+    assert plan.crossings("wal.append") == 1
+
+
+def test_use_context_manager_restores_previous_plan():
+    faults.clear()
+    outer = FaultPlan()
+    faults.install(outer)
+    try:
+        with faults.use(FaultPlan()) as inner:
+            assert faults.active() is inner
+        assert faults.active() is outer
+    finally:
+        faults.clear()
+
+
+def test_rule_validation_rejects_bad_values():
+    with pytest.raises(FaultSpecError, match="probability"):
+        FaultRule(site="wal.append", kind="enospc", probability=1.5)
+    with pytest.raises(FaultSpecError, match="1-based"):
+        FaultRule(site="wal.append", kind="enospc", at=(0,))
+    with pytest.raises(FaultSpecError, match="times"):
+        FaultRule(site="wal.append", kind="enospc", times=0)
+    with pytest.raises(FaultSpecError, match="delay"):
+        FaultRule(site="wal.append", kind="slow", delay=-1.0)
+
+
+def test_plan_from_dict_rejects_unknown_sites_and_keys():
+    with pytest.raises(FaultSpecError, match="unknown fault site"):
+        plan_from_dict({"rules": [{"site": "wal.oops", "kind": "enospc"}]})
+    with pytest.raises(FaultSpecError, match="unknown fault rule keys"):
+        plan_from_dict(
+            {"rules": [{"site": "wal.append", "kind": "x", "when": 3}]}
+        )
+    with pytest.raises(FaultSpecError, match="unknown fault spec keys"):
+        plan_from_dict({"sed": 3})
+
+
+def test_plan_from_env_round_trips_a_spec():
+    spec = {
+        "seed": 11,
+        "rules": [{"site": "wal.append", "kind": "torn", "at": [3]}],
+    }
+    plan = plan_from_env({faults.FAULTS_ENV_VAR: json.dumps(spec)})
+    assert plan is not None and plan.seed == 11
+    assert [plan.draw("wal.append") for _ in range(3)][-1] == Fault(
+        "wal.append", "torn"
+    )
+    assert plan_from_env({}) is None
+    with pytest.raises(FaultSpecError, match="not valid JSON"):
+        plan_from_env({faults.FAULTS_ENV_VAR: "{nope"})
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+def test_retry_after_overrides_backoff_but_is_capped():
+    policy = RetryPolicy(base_delay=0.1, max_delay=2.0)
+    rng = random.Random(0)
+    assert policy.delay(1, 0.5, rng) == 0.5
+    assert policy.delay(1, 99.0, rng) == 2.0
+
+
+def test_full_jitter_stays_within_the_exponential_ceiling():
+    policy = RetryPolicy(base_delay=0.1, max_delay=2.0)
+    rng = random.Random(0)
+    for attempt in range(1, 8):
+        ceiling = min(2.0, 0.1 * (2 ** (attempt - 1)))
+        for _ in range(20):
+            assert 0.0 <= policy.delay(attempt, None, rng) <= ceiling
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="base_delay"):
+        RetryPolicy(base_delay=2.0, max_delay=1.0)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_trips_after_threshold_and_fails_fast():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+    for _ in range(2):
+        breaker.failure()
+    assert breaker.state == "closed"
+    breaker.failure()
+    assert breaker.state == "open"
+    assert breaker.opens == 1
+    with pytest.raises(CircuitOpenError) as info:
+        breaker.admit()
+    assert 0 < info.value.retry_in <= 5.0
+
+
+def test_half_open_probe_success_closes():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+    breaker.failure()
+    clock.now += 5.0
+    assert breaker.state == "half-open"
+    breaker.admit()  # the probe
+    breaker.success()
+    assert breaker.state == "closed"
+    breaker.admit()  # normal traffic flows again
+
+
+def test_half_open_probe_failure_reopens_for_a_fresh_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+    breaker.failure()
+    clock.now += 5.0
+    breaker.admit()  # probe admitted
+    breaker.failure()  # probe failed
+    assert breaker.state == "open"
+    assert breaker.opens == 2
+    with pytest.raises(CircuitOpenError):
+        breaker.admit()
+    clock.now += 5.0
+    breaker.admit()  # next probe allowed after the fresh cooldown
+
+
+# ---------------------------------------------------------------------------
+# retry core (scripted responses, no sockets)
+# ---------------------------------------------------------------------------
+def _response(status, headers=None, body=b"{}"):
+    return NetResponse(status, headers or {}, body)
+
+
+def _scripted_client(script, **kwargs):
+    """A ResilientClient whose sends pop from ``script`` (no network).
+
+    ``script`` entries are NetResponse objects or exceptions; the
+    recorded sleep delays are returned alongside the client.
+    """
+    sleeps = []
+    client = ResilientClient(
+        "127.0.0.1", 1, seed=0, sleeper=sleeps.append, **kwargs
+    )
+
+    def send():
+        step = script.pop(0)
+        if isinstance(step, BaseException):
+            raise step
+        return step
+
+    return client, send, sleeps
+
+
+def test_retries_503_until_success_and_honours_retry_after():
+    script = [
+        _response(503, {"Retry-After": "0.25"}),
+        _response(503),
+        _response(200),
+    ]
+    client, send, sleeps = _scripted_client(
+        script, policy=RetryPolicy(max_attempts=5, base_delay=0.1,
+                                   max_delay=2.0),
+    )
+    assert client._call(send, idempotent=True).status == 200
+    assert client.counters()["attempts"] == 3
+    assert client.counters()["retries"] == 2
+    assert sleeps[0] == 0.25  # the server's hint, verbatim
+    assert 0.0 <= sleeps[1] <= 0.2  # full jitter on attempt 2
+
+
+def test_non_retryable_status_returns_immediately():
+    client, send, sleeps = _scripted_client([_response(422)])
+    assert client._call(send, idempotent=True).status == 422
+    assert client.counters()["attempts"] == 1 and not sleeps
+
+
+def test_ambiguous_500_retries_only_under_idempotency():
+    client, send, _ = _scripted_client([_response(500), _response(200)])
+    assert client._call(send, idempotent=True).status == 200
+    client2, send2, _ = _scripted_client([_response(500), _response(200)])
+    assert client2._call(send2, idempotent=False).status == 500
+
+
+def test_connection_errors_retry_then_exhaust():
+    script = [ConnectionResetError("boom")] * 3
+    client, send, _ = _scripted_client(
+        script, policy=RetryPolicy(max_attempts=3, base_delay=0.0,
+                                   max_delay=0.0),
+    )
+    with pytest.raises(RetriesExhausted) as info:
+        client._call(send, idempotent=True)
+    assert info.value.attempts == 3
+    assert isinstance(info.value.last_error, ConnectionResetError)
+
+
+def test_breaker_opens_during_retry_storm():
+    script = [_response(503)] * 10
+    client, send, _ = _scripted_client(
+        script,
+        policy=RetryPolicy(max_attempts=4, base_delay=0.0, max_delay=0.0),
+        breaker=CircuitBreaker(threshold=2, cooldown=60.0, clock=FakeClock()),
+    )
+    with pytest.raises(CircuitOpenError):
+        client._call(send, idempotent=True)
+    assert client.counters()["breaker_opens"] == 1
+    assert client.counters()["attempts"] == 2  # third call failed fast
+
+
+def test_mutations_generate_distinct_deterministic_keys():
+    a = ResilientClient("127.0.0.1", 1, seed=42)
+    b = ResilientClient("127.0.0.1", 1, seed=42)
+    keys_a = [a._new_key() for _ in range(3)]
+    keys_b = [b._new_key() for _ in range(3)]
+    assert keys_a == keys_b  # same seed -> same keys (replayable chaos)
+    assert len(set(keys_a)) == 3
+
+
+# ---------------------------------------------------------------------------
+# NetResponse / NetRequestError plumbing
+# ---------------------------------------------------------------------------
+def test_parse_retry_after_is_case_insensitive_and_defensive():
+    assert parse_retry_after({"retry-after": "2"}) == 2.0
+    assert parse_retry_after({"Retry-After": "1.5"}) == 1.5
+    assert parse_retry_after({"Retry-After": "soon"}) is None
+    assert parse_retry_after({"Retry-After": "-1"}) is None
+    assert parse_retry_after({}) is None
+
+
+def test_net_request_error_carries_structured_fields():
+    body = json.dumps(
+        {"error": {"status": 503, "kind": "storage-unavailable",
+                   "detail": "degraded"}}
+    ).encode()
+    response = _response(503, {"Retry-After": "3"}, body)
+    error = NetRequestError("/query", response)
+    assert error.status == 503
+    assert error.kind == "storage-unavailable"
+    assert error.retry_after == 3.0
+    assert error.path == "/query"
+    assert error.response is response
+
+
+# ---------------------------------------------------------------------------
+# IdempotencyIndex
+# ---------------------------------------------------------------------------
+def test_reserve_fulfil_replay_protocol():
+    index = IdempotencyIndex()
+    assert index.reserve("k").state == "fresh"
+    assert index.reserve("k").state == "in-flight"
+    index.fulfil("k", 200, b'{"ok":1}', "application/json")
+    replay = index.reserve("k")
+    assert replay.state == "replay"
+    assert (replay.status, replay.body) == (200, b'{"ok":1}')
+    assert index.counters() == {
+        "fresh": 1, "replayed": 1, "conflicts": 1, "size": 1,
+    }
+
+
+def test_abandon_releases_only_inflight_reservations():
+    index = IdempotencyIndex()
+    index.reserve("k")
+    index.abandon("k")
+    assert index.reserve("k").state == "fresh"  # retry may execute
+    index.fulfil("k", 200, b"{}", "application/json")
+    index.abandon("k")  # settled entries are not abandonable
+    assert index.reserve("k").state == "replay"
+
+
+def test_eviction_spares_inflight_entries():
+    index = IdempotencyIndex(capacity=2)
+    index.reserve("a")
+    index.fulfil("a", 200, b"{}", "application/json")
+    index.reserve("b")  # in flight
+    index.reserve("c")  # in flight; over capacity -> settled "a" evicted
+    assert index.counters()["size"] == 2
+    assert index.reserve("a").state == "fresh"  # evicted, re-executes
+    assert index.reserve("b").state == "in-flight"  # never evicted
+    assert index.reserve("c").state == "in-flight"
+
+
+def test_reconfigure_shrinks_the_window():
+    index = IdempotencyIndex(capacity=8)
+    for name in "abcdef":
+        index.reserve(name)
+        index.fulfil(name, 200, b"{}", "application/json")
+    index.reconfigure(2)
+    assert index.counters()["size"] == 2
+    assert index.reserve("f").state == "replay"  # newest survive
+    with pytest.raises(ValueError, match=">= 1"):
+        index.reconfigure(0)

@@ -249,6 +249,12 @@ def test_metrics_endpoint_parses_and_covers_the_catalog(stack):
         "repro_service_queries_total",
         "repro_service_cache_hits_total",
         "repro_service_cache_misses_total",
+        "repro_net_idempotency_total",
+        "repro_net_faults_injected_total",
+        "repro_service_health_degraded",
+        "repro_service_degraded_transitions_total",
+        "repro_service_recoveries_total",
+        "repro_service_checkpoint_failures_total",
     ):
         assert name in families, f"{name} missing from /metrics"
         assert families[name]["help"], f"{name} has empty HELP"
@@ -308,6 +314,34 @@ def test_histogram_bucket_validation_and_assignment():
     assert samples['h_seconds_bucket{le="+Inf"}'] == 4.0  # + 2.0
     assert samples["h_seconds_count"] == 4.0
     assert samples["h_seconds_sum"] == pytest.approx(2.65)
+
+
+def test_histogram_folds_explicit_inf_edge_into_the_implicit_one():
+    """Regression: a trailing ``+Inf`` edge must not double-emit.
+
+    ``samples()`` always appends the implicit ``+Inf`` bucket; a caller
+    passing an explicit ``math.inf`` final edge used to produce two
+    ``le="+Inf"`` lines, which strict parsers reject as a duplicate
+    series.  The explicit edge is folded into the implicit one.
+    """
+    hist = Histogram("inf_seconds", "help", buckets=(0.1, 1.0, math.inf))
+    assert hist.buckets == (0.1, 1.0)
+    for value in (0.05, 5.0):
+        hist.observe(value)
+    samples = hist.samples()
+    inf_lines = [s for s, _ in samples if 'le="+Inf"' in s]
+    assert inf_lines == ['inf_seconds_bucket{le="+Inf"}']
+    assert dict(samples)['inf_seconds_bucket{le="+Inf"}'] == 2.0
+    # And the strict parser accepts a registry rendering it.
+    registry = MetricsRegistry()
+    registry.histogram(
+        "folded_seconds", "help", buckets=(0.5, math.inf)
+    ).observe(0.2)
+    parse_prometheus(registry.render())
+    with pytest.raises(ValueError):
+        Histogram("h", "help", buckets=(math.inf,))  # no finite edge
+    with pytest.raises(ValueError):
+        Histogram("h", "help", buckets=(0.1, math.inf, 1.0))  # not sorted
 
 
 def test_registry_reuses_and_type_checks_instruments():

@@ -11,6 +11,7 @@ and the update hammer established.
 
 from __future__ import annotations
 
+import errno
 import json
 import random
 
@@ -22,7 +23,9 @@ from repro.core.skyline import skyline
 from repro.datagen import SyntheticConfig, generate
 from repro.datagen.generator import frequent_value_template
 from repro.datagen.queries import generate_preferences
-from repro.exceptions import StorageError
+from repro import faults
+from repro.exceptions import StorageError, StorageUnavailable
+from repro.faults import FaultPlan, FaultRule
 from repro.serve.service import SkylineService
 from repro.storage import (
     CheckpointPolicy,
@@ -84,6 +87,50 @@ class TestWriteAheadLog:
         records, torn = WriteAheadLog.repair(path)
         assert torn and len(records) == 2
         assert path.read_bytes() == intact
+        with WriteAheadLog(path) as wal:
+            wal.append({"op": "insert", "version": 3, "rows": []})
+        records, torn = WriteAheadLog.read_records(path)
+        assert not torn and [r["version"] for r in records] == [1, 2, 3]
+
+    def test_injected_enospc_before_write_leaves_wal_intact(self, tmp_path):
+        path = tmp_path / "wal.log"
+        plan = FaultPlan(rules=[
+            FaultRule(site="wal.append", kind="enospc", at=(2,)),
+        ])
+        with WriteAheadLog(path) as wal, faults.use(plan):
+            wal.append({"op": "insert", "version": 1, "rows": []})
+            with pytest.raises(OSError) as info:
+                wal.append({"op": "insert", "version": 2, "rows": []})
+            assert info.value.errno == errno.ENOSPC
+            wal.append({"op": "insert", "version": 2, "rows": []})
+        records, torn = WriteAheadLog.read_records(path)
+        # ENOSPC fired before any byte left: no torn tail, no gap.
+        assert not torn and [r["version"] for r in records] == [1, 2]
+
+    def test_injected_enospc_mid_record_tears_then_repairs(self, tmp_path):
+        """Disk fills *mid-frame*: the torn tail is detected and cut.
+
+        The ``torn`` fault writes half the frame (flushed and fsync'd,
+        as a real ENOSPC mid-write would leave it) before failing the
+        append.  Readers must drop the partial record; ``repair()``
+        must truncate it so appends can resume on a clean tail.
+        """
+        path = tmp_path / "wal.log"
+        plan = FaultPlan(rules=[
+            FaultRule(site="wal.append", kind="torn", at=(3,)),
+        ])
+        with WriteAheadLog(path) as wal, faults.use(plan):
+            wal.append({"op": "insert", "version": 1, "rows": []})
+            wal.append({"op": "insert", "version": 2, "rows": []})
+            intact = path.read_bytes()
+            with pytest.raises(OSError) as info:
+                wal.append({"op": "insert", "version": 3, "rows": []})
+            assert info.value.errno == errno.ENOSPC
+        assert len(path.read_bytes()) > len(intact)  # partial frame on disk
+        records, torn = WriteAheadLog.read_records(path)
+        assert torn and [r["version"] for r in records] == [1, 2]
+        records, torn = WriteAheadLog.repair(path)
+        assert torn and path.read_bytes() == intact
         with WriteAheadLog(path) as wal:
             wal.append({"op": "insert", "version": 3, "rows": []})
         records, torn = WriteAheadLog.read_records(path)
@@ -599,27 +646,75 @@ class TestKillAndRecover:
         with pytest.raises(StorageError, match="storage_dir"):
             service.checkpoint()
 
-    def test_failed_log_fail_stops_service_until_checkpoint(self, tmp_path):
-        """A WAL append failure bounds memory/disk divergence to 1 batch.
+    def test_failed_log_degrades_service_until_checkpoint(self, tmp_path):
+        """A WAL append failure degrades the write path, not the service.
 
-        The failing batch raises (applied in memory, not durable);
-        every further mutation is rejected *before* touching any state;
-        ``checkpoint()`` makes the in-memory state durable again and
-        resumes; recovery then agrees with the healed service.
+        Logging is write-ahead: the failing batch raises
+        ``StorageUnavailable`` with *nothing* applied, the service
+        enters degraded read-only mode (queries keep answering, further
+        mutations are rejected before touching state), and a successful
+        ``checkpoint()`` re-arms writes; recovery then agrees with the
+        healed service.
         """
         base, template, service, prefs = make_durable_service(tmp_path)
         service.insert_rows([base.row(0)])
         service.storage._wal.close()      # induce an append failure
-        with pytest.raises(StorageError):
+        with pytest.raises(StorageUnavailable):
             service.insert_rows([base.row(1)])
-        version_after_failure = service.version   # batch was absorbed
-        with pytest.raises(StorageError, match="fail-stopped"):
+        version_after_failure = service.version
+        assert service.health == "degraded"
+        with pytest.raises(StorageUnavailable, match="read-only"):
             service.insert_rows([base.row(2)])
-        with pytest.raises(StorageError, match="fail-stopped"):
+        with pytest.raises(StorageUnavailable, match="read-only"):
             service.delete_rows([0])
         assert service.version == version_after_failure  # nothing applied
-        service.checkpoint()              # heals store + divergence
+        assert service.query(prefs[0], use_cache=False).version == (
+            version_after_failure
+        )                                 # reads keep serving
+        stats = service.stats()
+        assert stats.health == "degraded"
+        assert stats.degraded_transitions == 1
+        service.checkpoint()              # heals store, re-arms writes
+        assert service.health == "healthy"
+        assert service.stats().recoveries == 1
         service.insert_rows([base.row(3)])
+        version = service.version
+        answers = {
+            pref: service.query(pref, use_cache=False).ids for pref in prefs
+        }
+        del service
+        recovered = SkylineService.recover(tmp_path / "state")
+        assert recovered.version == version
+        for pref, expected in answers.items():
+            assert recovered.query(pref, use_cache=False).ids == expected
+
+    def test_enospc_mid_record_degrades_then_recovery_agrees(self, tmp_path):
+        """End-to-end torn append: degrade, repair via checkpoint, recover.
+
+        An injected disk-full *mid-frame* leaves a torn tail on the live
+        WAL.  The mutation must raise ``StorageUnavailable`` with
+        nothing applied, a checkpoint must repair the store (the torn
+        bytes never reach a recovered state), and recovery must land on
+        exactly the acknowledged version.
+        """
+        base, template, service, prefs = make_durable_service(tmp_path)
+        service.insert_rows([base.row(0)])
+        acked_version = service.version
+        plan = FaultPlan(rules=[
+            FaultRule(site="wal.append", kind="torn", times=1),
+        ])
+        with faults.use(plan):
+            with pytest.raises(StorageUnavailable):
+                service.insert_rows([base.row(1)])
+        assert plan.injected() == {"wal.append:torn": 1}
+        wal_path = next((tmp_path / "state").glob("wal-*.log"))
+        _, torn = WriteAheadLog.read_records(wal_path)
+        assert torn                        # the partial frame is on disk
+        assert service.health == "degraded"
+        assert service.version == acked_version
+        service.checkpoint()               # snapshot + fresh WAL
+        assert service.health == "healthy"
+        service.insert_rows([base.row(2)])
         version = service.version
         answers = {
             pref: service.query(pref, use_cache=False).ids for pref in prefs
