@@ -196,6 +196,42 @@ def net_metrics(report: Dict) -> Iterator[Metric]:
     )
 
 
+def replication_metrics(report: Dict) -> Iterator[Metric]:
+    """Headline metrics of a ``bench_replication.py`` report."""
+    replicas = report.get("replicas", {})
+    # Read scaling is the whole point of replication: aggregate cluster
+    # qps over primary-only qps is a same-run ratio, machine-portable.
+    yield from _metric(
+        "replication.aggregate_over_primary_qps",
+        replicas.get("aggregate_over_primary_qps"), True, True,
+    )
+    yield from _metric(
+        "replication.primary_only_qps",
+        replicas.get("primary_only_qps"), True, False,
+    )
+    yield from _metric(
+        "replication.aggregate_qps",
+        replicas.get("aggregate_qps"), True, False,
+    )
+    yield from _metric(
+        "replication.catchup_seconds",
+        replicas.get("catchup_seconds"), False, False,
+    )
+    scatter = report.get("scatter", {})
+    tag = (
+        f"scatter[n={scatter.get('num_points')},"
+        f"shards={scatter.get('shards')}]"
+    )
+    yield from _metric(
+        f"{tag}.coordinator_qps",
+        scatter.get("coordinator_qps"), True, False,
+    )
+    yield from _metric(
+        f"{tag}.merge_seconds_mean",
+        scatter.get("merge_seconds_mean"), False, False,
+    )
+
+
 def faults_metrics(report: Dict) -> Iterator[Metric]:
     """Headline metrics of a ``bench_faults.py`` report."""
     # Degraded read-only mode must not slow the read path: this is a
@@ -232,6 +268,7 @@ EXTRACTORS = {
     "durable snapshot + WAL recovery": storage_metrics,
     "HTTP serving layer wire round-trip": net_metrics,
     "fault injection and graceful degradation": faults_metrics,
+    "WAL-shipped replication + sharded scatter-gather": replication_metrics,
 }
 
 
@@ -276,6 +313,43 @@ def compare(
     return failures, compared
 
 
+def load_report(path: str, role: str) -> "Dict | None":
+    """One parsed report, or ``None`` when the pair should be skipped.
+
+    A missing or empty file is an expected state, not a crash: a fresh
+    checkout has no recorded baseline yet, and a CI leg may not have
+    produced the fresh report on this matrix entry.  Both skip with a
+    clear message (and exit 0).  A file that *exists with content* but
+    is not a JSON object is a real error and fails loudly - silently
+    skipping a corrupt baseline would disable the check forever.
+    """
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        print(
+            f"SKIP: {role} {path} does not exist - nothing to compare "
+            f"(record one with the matching bench_*.py --out)"
+        )
+        return None
+    if not text.strip():
+        print(f"SKIP: {role} {path} is empty - nothing to compare")
+        return None
+    try:
+        report = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"ERROR: {role} {path} holds malformed JSON ({exc}); "
+            f"re-record it or delete it to skip the comparison"
+        )
+    if not isinstance(report, dict):
+        raise SystemExit(
+            f"ERROR: {role} {path} must hold one JSON object, "
+            f"got {type(report).__name__}"
+        )
+    return report
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -312,10 +386,10 @@ def main(argv=None) -> int:
 
     exit_code = 0
     for fresh_path, baseline_path in args.pair:
-        with open(fresh_path) as handle:
-            fresh = json.load(handle)
-        with open(baseline_path) as handle:
-            baseline = json.load(handle)
+        fresh = load_report(fresh_path, "fresh report")
+        baseline = load_report(baseline_path, "baseline")
+        if fresh is None or baseline is None:
+            continue
         failures, compared = compare(
             fresh, baseline, args.tolerance, args.ratios_only
         )

@@ -77,6 +77,30 @@ class StorageUnavailable(StorageError):
     """
 
 
+class ReplicationError(ReproError):
+    """A replication stream or replica apply step cannot proceed safely.
+
+    Raised by :mod:`repro.replication` when a shipped WAL frame fails
+    its CRC (cut mid-record in transit), when a frame's version stamp
+    does not continue the replica's applied version, or when applying a
+    frame does not produce the version it was stamped with.  The
+    follower treats every one of these as "do not apply, do not
+    advance": it re-fetches from its last good offset or re-syncs from
+    a fresh snapshot rather than ever serving a divergent answer.
+    """
+
+
+class ShardError(ReplicationError):
+    """A scatter-gather query could not cover every shard exactly.
+
+    Raised by the shard coordinator when a shard's local skyline is
+    unobtainable (retries exhausted, breaker open, malformed reply).
+    The merged skyline is only exact over *all* local skylines, so a
+    missing shard means refusing the query rather than answering from
+    a partial union.
+    """
+
+
 class IndexError_(ReproError):
     """An index structure was used in an unsupported way.
 

@@ -29,6 +29,9 @@ site                      kinds
 ``net.send``              ``drop`` (close the socket without responding),
                           ``slow`` (sleep before writing the response)
 ``net.dispatch``          ``error`` (forced ``500`` before routing)
+``replication.stream``    ``torn`` (the window's final frame is cut
+                          mid-record in flight), ``gone`` (fakes a WAL
+                          rotation, forcing a follower re-sync), ``slow``
 ========================  ==================================================
 
 Activation is explicit: :func:`install` (or the :func:`use` context
@@ -57,6 +60,7 @@ KNOWN_SITES = (
     "serve.execute",
     "net.send",
     "net.dispatch",
+    "replication.stream",
 )
 
 #: Environment variable holding a JSON fault spec (see :func:`plan_from_env`).

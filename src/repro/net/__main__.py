@@ -7,6 +7,7 @@ recovered) dataset and serves the HTTP/JSON protocol until SIGTERM::
     python -m repro.net --listen :0                   # ephemeral port
     python -m repro.net --service-config service.json # hot-reloadable
     python -m repro.net --storage-dir ./state --recover
+    python -m repro.net --follow 127.0.0.1:8080       # read replica
     python -m repro.net --smoke                       # CI smoke check
 
 Signals: ``SIGTERM``/``SIGINT`` start a graceful drain (in-flight
@@ -101,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-wal-bytes", type=positive_int,
                         default=None, metavar="M",
                         help="auto-checkpoint once the WAL reaches M bytes")
+    parser.add_argument("--follow", type=str, default=None,
+                        metavar="HOST:PORT",
+                        help="serve as a read-only replica tailing this "
+                        "primary's WAL stream (mutations answer 403; "
+                        "docs/replication.md)")
+    parser.add_argument("--poll-interval", type=float, default=0.25,
+                        help="replica stream poll interval in seconds "
+                        "once caught up (default: 0.25)")
     parser.add_argument("--smoke", action="store_true",
                         help="boot on an ephemeral port, run the scripted "
                         "client, drain, and exit 0/1 (the CI leg)")
@@ -115,15 +124,19 @@ async def run_server(
     config: ServerConfig,
     config_path: Optional[str],
     *,
+    follower=None,
     on_ready=None,
 ) -> None:
     """Serve until SIGTERM/SIGINT; SIGHUP reloads the config file.
 
     ``on_ready(server)`` fires once the socket is bound (the smoke
     mode's client thread starts there).  Runs on the main thread so
-    the loop may own the signal handlers.
+    the loop may own the signal handlers.  With ``follower`` the
+    server runs in read-only replica mode.
     """
-    server = SkylineServer(service, config, config_path=config_path)
+    server = SkylineServer(
+        service, config, config_path=config_path, follower=follower
+    )
     await server.start()
     host, port = server.address
     print(f"listening on {host}:{port}", file=sys.stderr, flush=True)
@@ -211,9 +224,14 @@ def smoke(args) -> int:
                         repr(reloaded),
                     )
                     os.kill(os.getpid(), signal.SIGHUP)
-                    deadline = time.time() + 10
+                    # Monotonic, not wall-clock: an NTP step during the
+                    # wait must not stretch or collapse the deadline.
+                    # (The access log's ``ts`` field stays wall-clock
+                    # deliberately - operators correlate it with other
+                    # logs.)
+                    deadline = time.monotonic() + 10
                     generation = 0
-                    while time.time() < deadline:
+                    while time.monotonic() < deadline:
                         generation = client.healthz().json.get(
                             "config_generation", 0
                         )
@@ -245,10 +263,13 @@ def smoke(args) -> int:
         config = ServerConfig(
             host="127.0.0.1", port=0, max_inflight=4, max_queue=8
         )
-        asyncio.run(
-            run_server(service, config, config_path, on_ready=on_ready),
-            debug=True,
-        )
+        try:
+            asyncio.run(
+                run_server(service, config, config_path, on_ready=on_ready),
+                debug=True,
+            )
+        finally:
+            service.close()
 
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
@@ -262,6 +283,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.recover and args.storage_dir is None:
         parser.error("--recover requires --storage-dir")
+    if args.follow is not None and (
+        args.storage_dir is not None or args.recover or args.smoke
+    ):
+        parser.error(
+            "--follow is a storage-less replica mode; it cannot be "
+            "combined with --storage-dir/--recover/--smoke"
+        )
+    if args.poll_interval <= 0:
+        parser.error("--poll-interval must be positive")
     if args.backend != "auto":
         set_default_backend(args.backend)
     print(f"backend: {get_backend().name}", file=sys.stderr)
@@ -289,9 +319,45 @@ def main(argv=None) -> int:
     else:
         config = ServerConfig(host=host, port=port)
 
+    if args.follow is not None:
+        from repro.replication import Follower, HttpReplicationSource
+
+        primary_host, primary_port = parse_listen(args.follow)
+        follower = Follower(
+            HttpReplicationSource(primary_host, primary_port),
+            cache_capacity=args.cache_size,
+            workers=args.workers,
+            partitions=args.partitions,
+            partition_strategy=args.strategy,
+            poll_interval=args.poll_interval,
+        )
+        print(
+            f"syncing replica from {primary_host}:{primary_port} ...",
+            file=sys.stderr,
+        )
+        follower.sync()
+        print(
+            f"synced at version {follower.applied_version}; tailing",
+            file=sys.stderr,
+        )
+        follower.start()
+        try:
+            asyncio.run(run_server(
+                follower.service, config, args.service_config,
+                follower=follower,
+            ))
+        finally:
+            # Stop tailing before teardown so no WAL-stream fd (or the
+            # replica service) outlives the process's useful life.
+            follower.close()
+        return 0
+
     print("building service ...", file=sys.stderr)
     service = build_service(args)
-    asyncio.run(run_server(service, config, args.service_config))
+    try:
+        asyncio.run(run_server(service, config, args.service_config))
+    finally:
+        service.close()
     return 0
 
 

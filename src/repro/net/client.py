@@ -215,6 +215,22 @@ class NetClient:
             headers=_idempotency_headers(idempotency_key),
         )
 
+    def replication_snapshot(self) -> NetResponse:
+        """``POST /replication/snapshot`` (follower bootstrap payload)."""
+        return self.request("POST", "/replication/snapshot", {})
+
+    def replication_wal(
+        self,
+        base: int,
+        offset: int,
+        max_bytes: Optional[int] = None,
+    ) -> NetResponse:
+        """``POST /replication/wal`` for one offset-addressed window."""
+        payload: Dict[str, object] = {"base": int(base), "offset": int(offset)}
+        if max_bytes is not None:
+            payload["max_bytes"] = int(max_bytes)
+        return self.request("POST", "/replication/wal", payload)
+
     def healthz(self) -> NetResponse:
         """``GET /healthz``."""
         return self.request("GET", "/healthz")

@@ -163,6 +163,45 @@ def decode_delete(payload: dict) -> List[int]:
     return list(ids)
 
 
+#: Default / maximum window sizes a ``/replication/wal`` request may ask
+#: for: the default keeps one response comfortably under the request
+#: deadline even on a slow link; the cap stops a follower from asking
+#: the primary to materialise an unbounded response in memory.
+REPLICATION_WINDOW_DEFAULT_BYTES = 256 * 1024
+REPLICATION_WINDOW_MAX_BYTES = 4 * 1024 * 1024
+
+
+def decode_replication_wal(payload: dict) -> Tuple[int, int, int]:
+    """``/replication/wal`` body -> (base version, offset, max_bytes)."""
+    _check_fields(
+        payload, ("base", "offset", "max_bytes"), "replication/wal"
+    )
+    base = payload.get("base")
+    offset = payload.get("offset")
+    for name, value in (("base", base), ("offset", offset)):
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise CodecError(
+                f"replication/wal needs '{name}': a non-negative integer, "
+                f"got {value!r}"
+            )
+    max_bytes = payload.get("max_bytes", REPLICATION_WINDOW_DEFAULT_BYTES)
+    if (
+        not isinstance(max_bytes, int)
+        or isinstance(max_bytes, bool)
+        or max_bytes < 1
+    ):
+        raise CodecError(
+            f"replication/wal 'max_bytes' must be a positive integer, "
+            f"got {max_bytes!r}"
+        )
+    return base, offset, min(max_bytes, REPLICATION_WINDOW_MAX_BYTES)
+
+
+def decode_replication_snapshot(payload: dict) -> None:
+    """``/replication/snapshot`` body: no fields (reject any typo)."""
+    _check_fields(payload, (), "replication/snapshot")
+
+
 def encode_serve_result(result: ServeResult) -> dict:
     """One served query as a wire object (the ``/query`` response)."""
     return {

@@ -332,6 +332,21 @@ class ResilientClient:
         """``GET /healthz`` with retries."""
         return self._call(lambda: self.client.healthz(), idempotent=True)
 
+    def replication_snapshot(self) -> NetResponse:
+        """``POST /replication/snapshot`` with retries (read-only)."""
+        return self._call(
+            lambda: self.client.replication_snapshot(), idempotent=True
+        )
+
+    def replication_wal(
+        self, base: int, offset: int, max_bytes: Optional[int] = None
+    ) -> NetResponse:
+        """``POST /replication/wal`` with retries (read-only)."""
+        return self._call(
+            lambda: self.client.replication_wal(base, offset, max_bytes),
+            idempotent=True,
+        )
+
     def counters(self) -> Dict[str, int]:
         """``{"attempts", "retries", "breaker_opens"}`` snapshot."""
         return {

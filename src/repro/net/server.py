@@ -69,13 +69,25 @@ ROUTE_TABLE: Dict[Tuple[str, str], str] = {
     ("POST", "/insert"): "insert",
     ("POST", "/delete"): "delete",
     ("POST", "/compact"): "compact",
+    ("POST", "/replication/snapshot"): "replication-snapshot",
+    ("POST", "/replication/wal"): "replication-wal",
     ("GET", "/healthz"): "healthz",
     ("GET", "/metrics"): "metrics",
     ("POST", "/admin/reload"): "admin-reload",
 }
 
 #: Routes that execute service work on the pool (admission-gated).
-SERVICE_ROUTES = frozenset({"query", "batch", "insert", "delete", "compact"})
+SERVICE_ROUTES = frozenset(
+    {
+        "query", "batch", "insert", "delete", "compact",
+        "replication-snapshot", "replication-wal",
+    }
+)
+
+#: Read-only routes a follower-mode server keeps serving; everything
+#: else in SERVICE_ROUTES is either a mutation (403 on a replica) or a
+#: replication source route (409 - a replica has no stream to ship).
+QUERY_ROUTES = frozenset({"query", "batch"})
 
 #: Service routes that mutate state - the ones the idempotency window
 #: deduplicates when the request carries an ``Idempotency-Key`` header.
@@ -133,6 +145,13 @@ class SkylineServer:
         Share a :class:`MetricsRegistry` (tests); default is private.
     log_stream:
         Where JSON access-log lines go (default ``sys.stderr``).
+    follower:
+        A :class:`~repro.replication.follower.Follower` puts the server
+        in **replica mode**: mutations answer ``403`` (the primary is
+        the only write point), queries answer ``503`` until the
+        follower has synced (a replica lags or refuses - it never
+        lies), ``/healthz`` reports the replication role and lag, and
+        the replication gauges join ``/metrics``.
     """
 
     def __init__(
@@ -143,8 +162,10 @@ class SkylineServer:
         config_path: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
         log_stream=None,
+        follower=None,
     ) -> None:
         self.service = service
+        self.follower = follower
         self.config = config if config is not None else ServerConfig()
         self.config_path = config_path
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -165,6 +186,20 @@ class SkylineServer:
         self._conn_tasks: Set[asyncio.Task] = set()
         self._apply_initial_serving_config()
         self._build_instruments()
+
+    def _service(self) -> SkylineService:
+        """The service to answer from right now.
+
+        In replica mode a re-sync replaces the follower's service
+        object wholesale (it rebuilds from a fresh snapshot document),
+        so every request path reads through this accessor instead of
+        holding the construction-time reference.
+        """
+        if self.follower is not None:
+            replica = self.follower.service
+            if replica is not None:
+                return replica
+        return self.service
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -375,14 +410,53 @@ class SkylineServer:
         reg.gauge(
             "repro_service_data_version",
             "Data version the service currently answers at.",
-            lambda: self.service.version,
+            lambda: self._service().version,
         )
         reg.gauge(
             "repro_service_health_degraded",
             "1 while the service is in degraded read-only mode "
             "(storage append failed; mutations answer 503).",
-            lambda: 1.0 if self.service.health == "degraded" else 0.0,
+            lambda: 1.0 if self._service().health == "degraded" else 0.0,
         )
+        if self.follower is not None:
+            follower = self.follower
+            reg.gauge(
+                "repro_replication_ready",
+                "1 once this replica has synced and is serving reads.",
+                lambda: 1.0 if follower.ready else 0.0,
+            )
+            reg.gauge(
+                "repro_replication_applied_version",
+                "Data version this replica has applied up to.",
+                lambda: follower.applied_version,
+            )
+            reg.gauge(
+                "repro_replication_primary_version",
+                "Primary data version last observed on the stream.",
+                lambda: follower.primary_version,
+            )
+            reg.gauge(
+                "repro_replication_lag_versions",
+                "Mutation batches the replica is behind the primary "
+                "(last observed primary version - applied version).",
+                lambda: follower.lag,
+            )
+            reg.gauge(
+                "repro_replication_frames_applied_total",
+                "WAL frames this replica verified and applied.",
+                lambda: follower.frames_applied,
+            )
+            reg.gauge(
+                "repro_replication_resyncs_total",
+                "Full snapshot re-syncs (bootstrap included).",
+                lambda: follower.resyncs,
+            )
+            reg.gauge(
+                "repro_replication_torn_refusals_total",
+                "Shipped frames refused for failing CRC or version "
+                "continuity (each one was re-fetched, never applied).",
+                lambda: follower.torn_refusals,
+            )
         # The service's own counters, sampled at scrape time: the wire
         # layer must not fork its own bookkeeping of them.
         for name, help_text, getter in (
@@ -420,7 +494,7 @@ class SkylineServer:
 
     def _stats_getter(self, getter: Callable) -> Callable[[], float]:
         """Bind one stats-field reader as a gauge callback."""
-        return lambda: float(getter(self.service.stats()))
+        return lambda: float(getter(self._service().stats()))
 
     # ------------------------------------------------------------------
     # connection handling
@@ -597,16 +671,25 @@ class SkylineServer:
         return route, await self._handle_service_route(route, request)
 
     def _handle_healthz(self) -> _Response:
-        """Liveness + readiness in one: 503 while draining.
+        """Liveness + readiness in one: 503 while draining or syncing.
 
         A *degraded* service (storage append failed; read-only mode)
         still answers ``200`` - it is alive and serving queries - but
         ``status`` says ``"degraded"`` so orchestration can alert
-        without rotating a replica that is doing useful work.
+        without rotating a replica that is doing useful work.  A
+        replica that has not finished (re-)syncing answers ``503`` with
+        ``status: "syncing"`` - it must not be routed read traffic yet
+        (it would have to refuse anyway; replicas lag or 503, never
+        lie).  A synced replica reports its role, applied version and
+        lag under ``replication``.
         """
-        health = self.service.health
+        service = self._service()
+        health = service.health
+        syncing = self.follower is not None and not self.follower.ready
         if self._draining:
             status = "draining"
+        elif syncing:
+            status = "syncing"
         elif health == "degraded":
             status = "degraded"
         else:
@@ -614,12 +697,16 @@ class SkylineServer:
         payload = {
             "status": status,
             "health": health,
-            "version": self.service.version,
+            "role": "replica" if self.follower is not None else "primary",
+            "version": service.version,
             "inflight": self._admission.inflight,
             "queued": self._admission.queued,
             "config_generation": self._config_generation,
         }
-        return _json_response(503 if self._draining else 200, payload)
+        if self.follower is not None:
+            payload["replication"] = self.follower.status()
+        http_status = 503 if (self._draining or syncing) else 200
+        return _json_response(http_status, payload)
 
     async def _handle_service_route(
         self, route: str, request: HttpRequest
@@ -638,6 +725,28 @@ class SkylineServer:
             return _error_response(
                 503, "draining", "server is draining; no new work accepted"
             )
+        if self.follower is not None:
+            if route in MUTATION_ROUTES:
+                self._counter_rejected.inc("read-only-replica")
+                return _error_response(
+                    403, "read-only-replica",
+                    "this server is a read-only replica; send mutations "
+                    "to the primary",
+                )
+            if route in QUERY_ROUTES and not self.follower.ready:
+                self._counter_rejected.inc("replica-syncing")
+                return _Response(
+                    503,
+                    protocol.encode_error(
+                        503, "replica-syncing",
+                        "this replica has not finished syncing from its "
+                        "primary; it refuses rather than serve a stale "
+                        "or divergent answer",
+                    ),
+                    extra_headers={
+                        "Retry-After": str(self.config.retry_after_seconds)
+                    },
+                )
         key: Optional[str] = None
         if route in MUTATION_ROUTES:
             key = request.headers.get("idempotency-key")
@@ -753,9 +862,10 @@ class SkylineServer:
                         "injected: executor task aborted before execution"
                     )
             payload = protocol.parse_json_body(body)
+            service = self._service()
             if route == "query":
                 preference, use_cache, forced = protocol.decode_query(payload)
-                result = self.service.query(
+                result = service.query(
                     preference, use_cache=use_cache, route=forced
                 )
                 self._observe_result(result)
@@ -764,7 +874,7 @@ class SkylineServer:
                 )
             if route == "batch":
                 preferences, use_cache = protocol.decode_batch(payload)
-                report = self.service.submit_batch(
+                report = service.submit_batch(
                     preferences, use_cache=use_cache
                 )
                 for result in report.results:
@@ -772,12 +882,33 @@ class SkylineServer:
                 return _json_response(
                     200, protocol.encode_batch_report(report)
                 )
+            if route in ("replication-snapshot", "replication-wal"):
+                if service.storage is None:
+                    # Not retryable at this address: a storage-less
+                    # service (a replica included) never has a stream.
+                    return _error_response(
+                        409, "replication-unavailable",
+                        "this server has no durable store to ship from; "
+                        "tail the primary instead",
+                    )
+                if route == "replication-snapshot":
+                    protocol.decode_replication_snapshot(payload)
+                    return _json_response(
+                        200, service.replication_snapshot()
+                    )
+                base, offset, max_bytes = protocol.decode_replication_wal(
+                    payload
+                )
+                return _json_response(
+                    200,
+                    service.replication_window(base, offset, max_bytes),
+                )
             if route == "insert":
                 rows = protocol.decode_insert(payload)
                 return _json_response(
                     200,
                     protocol.encode_update_report(
-                        self.service.insert_rows(rows)
+                        service.insert_rows(rows)
                     ),
                 )
             if route == "delete":
@@ -785,16 +916,16 @@ class SkylineServer:
                 return _json_response(
                     200,
                     protocol.encode_update_report(
-                        self.service.delete_rows(ids)
+                        service.delete_rows(ids)
                     ),
                 )
             assert route == "compact", route
-            remap = self.service.compact()
+            remap = service.compact()
             return _json_response(
                 200,
                 {
                     "remapped": len(remap),
-                    "version": self.service.version,
+                    "version": service.version,
                 },
             )
         except protocol.CodecError as exc:
@@ -856,6 +987,7 @@ class ServerThread:
         config_path: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
         log_stream=None,
+        follower=None,
         debug: bool = True,
     ) -> None:
         self.server = SkylineServer(
@@ -864,6 +996,7 @@ class ServerThread:
             config_path=config_path,
             registry=registry,
             log_stream=log_stream,
+            follower=follower,
         )
         self._debug = debug
         self._loop = asyncio.new_event_loop()

@@ -1,0 +1,187 @@
+"""Read fan-out: mutations to the primary, queries to replicas.
+
+The router's consistency contract is **bounded staleness pinned to the
+version stamp**: every answer and mutation report in the protocol
+carries the data ``version`` it was computed at, the router remembers
+the highest version it has ever seen (its *watermark*), and a replica
+answer is only accepted if its version is at least
+``watermark - max_staleness``.  With the default ``max_staleness=0``
+that is read-your-writes: after your own insert, a replica that has
+not applied it yet is rejected as stale and the query falls back to
+the primary, which is always exact.  A replica can never serve a
+*wrong* answer in any case - followers only apply verified frames - so
+staleness is the only thing the router has to bound.
+
+Replica calls deliberately default to a single attempt: with more
+targets available, failing over IS the retry, and burning a backoff
+schedule on a syncing replica (``503``) only adds latency.  The
+primary keeps the full PR-8 retry/breaker schedule since it is the
+last resort.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.preferences import Preference
+from repro.exceptions import ReproError
+from repro.net.client import NetRequestError, NetResponse
+from repro.net.resilient import ResilientClient, RetryPolicy
+
+
+class FanOutClient:
+    """Route one application's traffic across a primary and replicas.
+
+    Single-threaded like the clients it wraps (one connection each).
+    ``max_staleness`` is in *versions*: 0 = read-your-writes, ``n``
+    accepts answers up to ``n`` mutations behind the watermark.
+    """
+
+    def __init__(
+        self,
+        primary: Tuple[str, int],
+        replicas: Sequence[Tuple[str, int]] = (),
+        *,
+        max_staleness: int = 0,
+        timeout: float = 30.0,
+        policy: Optional[RetryPolicy] = None,
+        replica_policy: Optional[RetryPolicy] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if max_staleness < 0:
+            raise ValueError(
+                f"max_staleness must be >= 0, got {max_staleness}"
+            )
+        host, port = primary
+        self._primary = ResilientClient(
+            host, port, timeout=timeout, policy=policy, seed=seed
+        )
+        if replica_policy is None:
+            replica_policy = RetryPolicy(max_attempts=1)
+        self._replicas = tuple(
+            ResilientClient(
+                h,
+                p,
+                timeout=timeout,
+                policy=replica_policy,
+                seed=None if seed is None else seed + index + 1,
+            )
+            for index, (h, p) in enumerate(replicas)
+        )
+        self.max_staleness = max_staleness
+        self._watermark = 0
+        self._next = 0
+        self.replica_served = 0
+        self.primary_served = 0
+        self.stale_rejected = 0
+        self.failovers = 0
+
+    @property
+    def watermark(self) -> int:
+        """The highest data version any answer has shown this client."""
+        return self._watermark
+
+    # -- mutations (primary only) ------------------------------------------
+    def insert(self, rows: Sequence[Sequence[object]]) -> NetResponse:
+        """``/insert`` on the primary, advancing the watermark."""
+        return self._mutate(lambda: self._primary.insert(rows))
+
+    def delete(self, ids: Sequence[int]) -> NetResponse:
+        """``/delete`` on the primary, advancing the watermark."""
+        return self._mutate(lambda: self._primary.delete(ids))
+
+    def compact(self) -> NetResponse:
+        """``/compact`` on the primary, advancing the watermark."""
+        return self._mutate(lambda: self._primary.compact())
+
+    def _mutate(self, send) -> NetResponse:
+        response = send()
+        if response.status == 200 and isinstance(response.json, dict):
+            self._observe(response.json.get("version"))
+        return response
+
+    # -- queries (replicas first, bounded staleness) -----------------------
+    def query(
+        self,
+        preference: Optional[Preference] = None,
+        *,
+        use_cache: bool = True,
+        min_version: Optional[int] = None,
+    ) -> NetResponse:
+        """One routed query; ``min_version`` overrides the watermark floor."""
+        required = (
+            self._watermark - self.max_staleness
+            if min_version is None
+            else min_version
+        )
+        for client in self._rotation():
+            try:
+                response = client.query(preference, use_cache=use_cache)
+            except ReproError:
+                # Dead or syncing replica: the next target is the retry.
+                self.failovers += 1
+                continue
+            if response.status != 200:
+                self.failovers += 1
+                continue
+            version = (
+                response.json.get("version", 0)
+                if isinstance(response.json, dict)
+                else 0
+            )
+            if isinstance(version, int) and version >= required:
+                self._observe(version)
+                self.replica_served += 1
+                return response
+            self.stale_rejected += 1
+        response = self._primary.query(preference, use_cache=use_cache)
+        if response.status == 200 and isinstance(response.json, dict):
+            self._observe(response.json.get("version"))
+        self.primary_served += 1
+        return response
+
+    def query_ids(
+        self, preference: Optional[Preference] = None, **kwargs
+    ) -> Tuple[int, ...]:
+        """Sorted skyline ids of one routed query (raises on non-200)."""
+        response = self.query(preference, **kwargs)
+        if response.status != 200:
+            raise NetRequestError("/query", response)
+        return tuple(response.json["ids"])
+
+    def _rotation(self) -> Tuple[ResilientClient, ...]:
+        if not self._replicas:
+            return ()
+        start = self._next
+        self._next += 1
+        count = len(self._replicas)
+        return tuple(
+            self._replicas[(start + step) % count] for step in range(count)
+        )
+
+    def _observe(self, version: object) -> None:
+        if isinstance(version, int) and not isinstance(version, bool):
+            self._watermark = max(self._watermark, version)
+
+    # -- bookkeeping -------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Routing outcomes so far (the smoke and the tests assert these)."""
+        return {
+            "replica_served": self.replica_served,
+            "primary_served": self.primary_served,
+            "stale_rejected": self.stale_rejected,
+            "failovers": self.failovers,
+            "watermark": self._watermark,
+        }
+
+    def close(self) -> None:
+        """Close the primary and every replica client."""
+        self._primary.close()
+        for client in self._replicas:
+            client.close()
+
+    def __enter__(self) -> "FanOutClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

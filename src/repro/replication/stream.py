@@ -1,0 +1,120 @@
+"""Where a follower's replication stream comes from.
+
+A :class:`~repro.replication.follower.Follower` is transport-agnostic:
+it consumes the two-verb stream contract below and never cares whether
+the bytes crossed a socket.  :class:`LocalReplicationSource` binds the
+contract directly to a primary :class:`~repro.serve.service.SkylineService`
+in the same process (unit tests, benchmarks);
+:class:`HttpReplicationSource` speaks the ``/replication/*`` wire
+endpoints through a :class:`~repro.net.resilient.ResilientClient`, so
+transient network trouble is retried with jittered backoff and a
+circuit breaker before the follower ever sees it.
+
+Both return the exact payload shapes of
+:meth:`~repro.serve.service.SkylineService.replication_snapshot` and
+:meth:`~repro.serve.service.SkylineService.replication_window` - the
+HTTP source only unwraps transport status codes, it never reinterprets
+the stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ReplicationError
+from repro.net.resilient import ResilientClient, RetryPolicy
+
+
+class ReplicationSource:
+    """The two-verb stream contract a follower tails.
+
+    ``snapshot()`` returns the bootstrap payload (``version`` /
+    ``document`` / ``primary_version``); ``window(base, offset,
+    max_bytes)`` returns one offset-addressed WAL window (``gone`` /
+    ``frames`` / ``next_offset`` / ``end_of_log`` /
+    ``primary_version``).  Implementations raise
+    :class:`~repro.exceptions.ReproError` subclasses on failure - the
+    follower's run loop treats any of them as "back off and retry".
+    """
+
+    def snapshot(self) -> dict:
+        """The primary's newest checkpoint (the bootstrap payload)."""
+        raise NotImplementedError
+
+    def window(self, base: int, offset: int, max_bytes: int) -> dict:
+        """One offset-addressed WAL window of generation ``base``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any transport resources (idempotent)."""
+
+
+class LocalReplicationSource(ReplicationSource):
+    """Ship the stream of an in-process primary service directly."""
+
+    def __init__(self, service) -> None:
+        self._service = service
+
+    def snapshot(self) -> dict:
+        """The wrapped service's bootstrap payload, no transport."""
+        return self._service.replication_snapshot()
+
+    def window(self, base: int, offset: int, max_bytes: int) -> dict:
+        """The wrapped service's WAL window, no transport."""
+        return self._service.replication_window(base, offset, max_bytes)
+
+
+class HttpReplicationSource(ReplicationSource):
+    """Tail a remote primary over the ``/replication/*`` endpoints.
+
+    Transport-level trouble (connection errors, ``429``/``503``) is
+    absorbed by the wrapped :class:`ResilientClient`; anything that
+    still comes back non-``200`` - a primary without storage answers
+    ``409 replication-unavailable``, a draining one ``503`` past the
+    retry budget - surfaces as :class:`ReplicationError` so the
+    follower backs off and retries rather than misreading an error
+    body as a stream payload.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        policy: Optional[RetryPolicy] = None,
+        seed: Optional[int] = None,
+        client: Optional[ResilientClient] = None,
+    ) -> None:
+        self._client = (
+            client
+            if client is not None
+            else ResilientClient(
+                host, port, timeout=timeout, policy=policy, seed=seed
+            )
+        )
+
+    def snapshot(self) -> dict:
+        """``POST /replication/snapshot`` (unwrapped payload or raise)."""
+        return self._payload(
+            self._client.replication_snapshot(), "/replication/snapshot"
+        )
+
+    def window(self, base: int, offset: int, max_bytes: int) -> dict:
+        """``POST /replication/wal`` (unwrapped payload or raise)."""
+        return self._payload(
+            self._client.replication_wal(base, offset, max_bytes),
+            "/replication/wal",
+        )
+
+    def close(self) -> None:
+        """Close the wrapped resilient client."""
+        self._client.close()
+
+    @staticmethod
+    def _payload(response, path: str) -> dict:
+        if response.status != 200 or not isinstance(response.json, dict):
+            raise ReplicationError(
+                f"{path} answered {response.status}: {response.text[:200]}"
+            )
+        return response.json

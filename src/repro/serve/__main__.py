@@ -406,7 +406,10 @@ def main(argv=None) -> int:
             config = ServerConfig(host=host, port=port)
         print("building service ...", file=sys.stderr)
         service = build_service(args)
-        asyncio.run(run_server(service, config, args.service_config))
+        try:
+            asyncio.run(run_server(service, config, args.service_config))
+        finally:
+            service.close()
         return 0
 
     shapes = [s.strip() for s in args.workloads.split(",") if s.strip()]
@@ -419,20 +422,24 @@ def main(argv=None) -> int:
 
     print("building service ...", file=sys.stderr)
     service = build_service(args)
-    reports = run_workloads(
-        service, shapes, args,
-        progress=lambda msg: print(msg, file=sys.stderr),
-    )
-    print(render_report(service, reports))
+    try:
+        reports = run_workloads(
+            service, shapes, args,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+        print(render_report(service, reports))
 
-    if args.checkpoint:
-        path = service.checkpoint()
-        print(f"checkpoint written to {path}", file=sys.stderr)
-    if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(as_json(service, reports, args), handle, indent=2)
-            handle.write("\n")
-        print(f"report written to {args.json}", file=sys.stderr)
+        if args.checkpoint:
+            path = service.checkpoint()
+            print(f"checkpoint written to {path}", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(as_json(service, reports, args), handle, indent=2)
+                handle.write("\n")
+            print(f"report written to {args.json}", file=sys.stderr)
+    finally:
+        # Never leak an open WAL fd past the run (see docs/storage.md).
+        service.close()
     return 0
 
 

@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.adaptive.adaptive_sfs import AdaptiveSFS
 from repro.algorithms.sfs import sfs_skyline
 from repro.core.dataset import Dataset
@@ -92,10 +93,13 @@ class _RestoreState:
     maintained skyline id lists and the serialized tree let the
     restore path skip the expensive from-scratch computations; ``None``
     for any of them means "recompute" (e.g. a snapshot taken before the
-    service ever mutated has no maintainers yet).
+    service ever mutated has no maintainers yet).  ``store`` is
+    ``None`` for a storage-less restore (a replication follower
+    rebuilding from a shipped snapshot document): the service then
+    applies mutations without logging them.
     """
 
-    store: DurableStore
+    store: Optional[DurableStore]
     dynamic: DynamicDataset
     template_skyline: Optional[Tuple[int, ...]]
     base_skyline: Optional[Tuple[int, ...]]
@@ -887,7 +891,47 @@ class SkylineService:
             CheckpointPolicy(checkpoint_every, checkpoint_wal_bytes),
         )
         recovered = store.recover()
-        document = recovered.snapshot
+        return cls.from_snapshot(
+            recovered.snapshot,
+            tail=recovered.tail,
+            store=store,
+            backend=backend,
+            planner_config=planner_config,
+            cache_capacity=cache_capacity,
+            with_mdc=with_mdc,
+            with_adaptive=with_adaptive,
+            workers=workers,
+            partitions=partitions,
+            partition_strategy=partition_strategy,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        document: dict,
+        *,
+        tail: Sequence[dict] = (),
+        store: Optional[DurableStore] = None,
+        backend=None,
+        planner_config: Optional[PlannerConfig] = None,
+        cache_capacity: int = 256,
+        with_mdc: Optional[bool] = None,
+        with_adaptive: Optional[bool] = None,
+        workers: Optional[int] = None,
+        partitions: Optional[int] = None,
+        partition_strategy: str = "sorted",
+    ) -> "SkylineService":
+        """Rebuild a service from one snapshot document (+ WAL tail).
+
+        The store-agnostic half of :meth:`recover`, also usable with
+        ``store=None``: a replication follower rebuilds its replica
+        from the snapshot document the primary ships
+        (:meth:`replication_snapshot`) and then applies streamed WAL
+        records through the normal mutation path - without a local
+        store, mutations apply but are not logged (the primary already
+        made them durable).  With a ``store``, logging resumes onto its
+        active WAL exactly as after :meth:`recover`.
+        """
         dyn = restore_dataset(document["data"])
         # The service-facing dataset covers the *full slot space* so
         # slot positions coincide with dynamic ids; in mutable mode all
@@ -906,8 +950,8 @@ class SkylineService:
             base_skyline=_as_id_tuple(document.get("base_skyline")),
             tree=document.get("tree"),
             tree_stale=bool(document.get("tree_stale")),
-            tail=tuple(recovered.tail),
-            snapshot_version=recovered.snapshot_version,
+            tail=tuple(tail),
+            snapshot_version=int(document["data"]["data_version"]),
         )
         return cls(
             base,
@@ -963,6 +1007,94 @@ class SkylineService:
                 raise
             self._mark_healthy_locked()
             return path
+
+    def close(self) -> None:
+        """Release the durable store's file handles (idempotent).
+
+        Mutation durability does not depend on this - every WAL append
+        is fsync'd before its batch applies - but long-lived processes
+        that construct many services (tests, benchmarks, the follower's
+        re-sync loop) must not lean on ``__del__`` for descriptor
+        hygiene.  A closed service keeps answering queries; mutations
+        on a stored service raise :class:`StorageError` until the store
+        is reattached via :meth:`recover`.
+        """
+        if self.storage is not None:
+            self.storage.close()
+
+    def __enter__(self) -> "SkylineService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # replication source (primary side of WAL shipping)
+    # ------------------------------------------------------------------
+    def replication_snapshot(self) -> dict:
+        """The bootstrap payload a (re-)syncing follower fetches.
+
+        ``document`` is the newest on-disk snapshot (it may lag the
+        in-memory state - the WAL stream covers the difference),
+        ``version`` its data version (= the stream's base address),
+        ``primary_version`` the version served right now.
+        """
+        if self.storage is None:
+            raise StorageError(
+                "replication requires a service constructed with "
+                "storage_dir=... (or recovered from one) - a "
+                "storage-less service has no stream to ship"
+            )
+        document, version = self.storage.newest_snapshot_document()
+        return {
+            "version": version,
+            "document": document,
+            "primary_version": self.version,
+        }
+
+    def replication_window(
+        self, base_version: int, offset: int, max_bytes: int
+    ) -> dict:
+        """One offset-addressed window of the WAL stream, JSON-shaped.
+
+        ``{"gone": True, ...}`` means ``base_version`` is no longer the
+        active generation (a checkpoint folded it away) and the
+        follower must re-sync from :meth:`replication_snapshot`.
+        Otherwise ``frames`` carries whole CRC-prefixed WAL lines (as
+        ASCII strings) starting at ``offset``, with ``next_offset`` /
+        ``end_of_log`` as in
+        :meth:`~repro.storage.wal.WriteAheadLog.read_window`.  Fault
+        site ``replication.stream``: ``torn`` truncates the last frame
+        in flight (the follower must refuse it and re-fetch), ``gone``
+        fakes a rotation (forcing a re-sync), ``slow`` delays the read.
+        """
+        if self.storage is None:
+            raise StorageError(
+                "replication requires a service constructed with "
+                "storage_dir=... (or recovered from one) - a "
+                "storage-less service has no stream to ship"
+            )
+        fault = faults.draw("replication.stream")
+        if fault is not None and fault.kind == "slow":
+            time.sleep(fault.delay)
+        if fault is not None and fault.kind == "gone":
+            return {"gone": True, "primary_version": self.version}
+        window = self.storage.wal_window(base_version, offset, max_bytes)
+        if window is None:
+            return {"gone": True, "primary_version": self.version}
+        frames = [frame.decode("ascii") for frame in window.frames]
+        if fault is not None and fault.kind == "torn" and frames:
+            # Cut the final frame mid-record, as a failing link would.
+            frames[-1] = frames[-1][: max(1, len(frames[-1]) // 2)]
+        return {
+            "gone": False,
+            "base": base_version,
+            "offset": offset,
+            "next_offset": window.next_offset,
+            "end_of_log": window.end_of_log,
+            "frames": frames,
+            "primary_version": self.version,
+        }
 
     def _durable_state(self) -> dict:
         """The snapshot document for the current state (lock held).

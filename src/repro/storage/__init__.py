@@ -33,17 +33,25 @@ from repro.storage.snapshot import (
     write_snapshot,
 )
 from repro.storage.store import CheckpointPolicy, DurableStore, RecoveredState
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import (
+    WalWindow,
+    WriteAheadLog,
+    frame_record,
+    verify_frame,
+)
 
 __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "CheckpointPolicy",
     "DurableStore",
     "RecoveredState",
+    "WalWindow",
     "WriteAheadLog",
     "dataset_state",
+    "frame_record",
     "read_snapshot",
     "restore_dataset",
     "schema_from_fingerprint",
+    "verify_frame",
     "write_snapshot",
 ]

@@ -40,7 +40,7 @@ from repro.storage.snapshot import (
     read_snapshot,
     write_snapshot,
 )
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import WalWindow, WriteAheadLog
 
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
 _PAYLOAD_RE = re.compile(r"^snapshot-(\d+)\.npy$")
@@ -110,6 +110,7 @@ class DurableStore:
         self._wal: Optional[WriteAheadLog] = None
         self._ops_since_checkpoint = 0
         self._failed = False
+        self._base_version: Optional[int] = None
         #: Checkpoints taken over this store's lifetime (observability).
         self.checkpoints = 0
 
@@ -141,6 +142,18 @@ class DurableStore:
     def ops_since_checkpoint(self) -> int:
         """Mutation batches logged since the last checkpoint."""
         return self._ops_since_checkpoint
+
+    @property
+    def base_version(self) -> Optional[int]:
+        """Snapshot version the active WAL generation is based on.
+
+        ``None`` before the first :meth:`checkpoint`/:meth:`recover`.
+        This is the *stream address space* of WAL shipping: a follower
+        tails ``(base_version, byte offset)`` pairs, and a change of
+        base version tells it the log it was tailing has been folded
+        into a newer snapshot (re-sync from that snapshot).
+        """
+        return self._base_version
 
     @property
     def failed(self) -> bool:
@@ -190,6 +203,7 @@ class DurableStore:
         # acknowledged log as a never-created file.
         fsync_directory(self.directory)
         self._ops_since_checkpoint = 0
+        self._base_version = version
         self.checkpoints += 1
         self._prune(
             keep={
@@ -286,6 +300,7 @@ class DurableStore:
         self._wal = WriteAheadLog(self._wal_path(version))
         fsync_directory(self.directory)  # the WAL may be newly created
         self._ops_since_checkpoint = len(tail)
+        self._base_version = version
         return RecoveredState(
             snapshot=document,
             tail=tail,
@@ -337,6 +352,43 @@ class DurableStore:
         raise StorageError(
             f"no readable snapshot in {self.directory}: "
             + "; ".join(errors)
+        )
+
+    # ------------------------------------------------------------------
+    # replication stream
+    # ------------------------------------------------------------------
+    def newest_snapshot_document(self) -> Tuple[Dict, int]:
+        """(document, version) of the newest readable snapshot on disk.
+
+        The bootstrap half of WAL shipping: a (re-)syncing follower
+        fetches this full-state document, rebuilds from it, then tails
+        the WAL of the same generation from offset 0.  The snapshot may
+        legitimately lag the in-memory state - the WAL tail covers the
+        difference.
+        """
+        snapshots = self._snapshots()
+        if not snapshots:
+            raise StorageError(
+                f"no snapshot found in {self.directory} - nothing to ship"
+            )
+        return self._newest_readable(snapshots)
+
+    def wal_window(
+        self, base_version: int, offset: int, max_bytes: int
+    ) -> Optional[WalWindow]:
+        """Committed frames of the active WAL from ``offset``; ``None`` = gone.
+
+        ``None`` means the requested ``base_version`` is not the active
+        generation any more (a checkpoint rotated the log, or the store
+        was never attached): the follower's stream position is obsolete
+        and it must re-sync from :meth:`newest_snapshot_document`.
+        Offsets within the active generation behave exactly like
+        :meth:`WriteAheadLog.read_window`.
+        """
+        if self._base_version is None or base_version != self._base_version:
+            return None
+        return WriteAheadLog.read_window(
+            self._wal_path(base_version), offset, max_bytes
         )
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ import json
 import os
 import time
 import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
@@ -43,6 +44,44 @@ def _frame(record: Dict) -> bytes:
     body = json.dumps(record, sort_keys=True, separators=(",", ":"))
     payload = body.encode("utf-8")
     return b"%08x %s\n" % (zlib.crc32(payload), payload)
+
+
+def frame_record(record: Dict) -> bytes:
+    """Public framing helper: one record as its durable wire/file bytes.
+
+    Replication ships WAL records in exactly this on-disk framing, so
+    followers re-verify the same CRC the primary wrote (see
+    :func:`verify_frame`).
+    """
+    return _frame(record)
+
+
+def verify_frame(frame: bytes) -> Dict:
+    """Parse and CRC-check one shipped frame; the decoded record.
+
+    The follower side of WAL shipping calls this on every frame it
+    receives before applying it: a frame that was cut mid-record in
+    transit (or corrupted) raises
+    :class:`~repro.exceptions.StorageError` and must not be applied.
+    """
+    return _parse(frame)
+
+
+@dataclass(frozen=True)
+class WalWindow:
+    """One offset-addressed read of committed WAL frames.
+
+    ``frames`` are whole on-disk lines (CRC prefix included) starting
+    at the requested byte offset; ``next_offset`` is where the *next*
+    window should start (requested offset + bytes of the frames
+    returned); ``end_of_log`` is ``True`` when no further committed
+    frame existed past this window at read time (the reader caught up,
+    modulo an in-flight or torn tail).
+    """
+
+    frames: Tuple[bytes, ...] = field(default=())
+    next_offset: int = 0
+    end_of_log: bool = True
 
 
 def _parse(line: bytes) -> Dict:
@@ -177,6 +216,71 @@ class WriteAheadLog:
                 handle.flush()
                 os.fsync(handle.fileno())
         return records, torn
+
+    @staticmethod
+    def read_window(
+        path: Union[str, Path], offset: int, max_bytes: int
+    ) -> "WalWindow":
+        """Complete, CRC-valid frames starting at byte ``offset``.
+
+        The streaming read primitive behind WAL shipping: a follower
+        asks for "whatever committed after offset N" and gets back
+        whole frames only, plus the offset to resume from.  Offsets are
+        only ever produced by this reader (followers start at 0 and
+        echo ``next_offset`` back), so a well-behaved reader always
+        lands on frame boundaries.
+
+        At least one frame is returned when one is available, even if
+        it alone exceeds ``max_bytes`` - otherwise an oversized batch
+        would stall the stream forever.  A defective *final* chunk is
+        treated as an in-flight or torn tail: the window simply stops
+        before it without advancing past it (the primary's fail-stop
+        discipline guarantees nothing after a torn tail until the next
+        checkpoint rotates the log).  A defective chunk with committed
+        data *after* it is mid-file corruption and raises
+        :class:`~repro.exceptions.StorageError`.
+        """
+        if offset < 0:
+            raise StorageError(f"window offset must be >= 0, got {offset}")
+        if max_bytes < 1:
+            raise StorageError(
+                f"window max_bytes must be >= 1, got {max_bytes}"
+            )
+        path = Path(path)
+        if not path.exists():
+            return WalWindow(frames=(), next_offset=offset, end_of_log=True)
+        raw = path.read_bytes()
+        if offset > len(raw):
+            raise StorageError(
+                f"window offset {offset} is beyond the end of {path} "
+                f"({len(raw)} bytes)"
+            )
+        lines = raw[offset:].splitlines(keepends=True)
+        frames: List[bytes] = []
+        consumed = 0
+        end_of_log = True
+        for index, line in enumerate(lines):
+            try:
+                _parse(line)
+            except StorageError as exc:
+                if index == len(lines) - 1:
+                    # In-flight append or torn tail: stop cleanly, do
+                    # not advance - the next window retries from here.
+                    break
+                raise StorageError(
+                    f"write-ahead log {path} is corrupt at byte "
+                    f"{offset + consumed}: {exc}"
+                ) from None
+            frames.append(line)
+            consumed += len(line)
+            if consumed >= max_bytes and index < len(lines) - 1:
+                end_of_log = False
+                break
+        return WalWindow(
+            frames=tuple(frames),
+            next_offset=offset + consumed,
+            end_of_log=end_of_log,
+        )
 
     @staticmethod
     def _scan(

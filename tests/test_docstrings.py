@@ -33,6 +33,7 @@ AUDITED_PACKAGES = (
     "repro.faults",
     "repro.mdc",
     "repro.net",
+    "repro.replication",
     "repro.serve",
     "repro.updates",
 )
