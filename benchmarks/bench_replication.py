@@ -103,7 +103,14 @@ def bench_replicas(args, config: ServerConfig, workdir: Path) -> Dict:
         )
         print(f"primary-only: {primary_qps:.1f} q/s", file=sys.stderr)
 
+        # Bootstrap: snapshot fetch + restore + WAL tail, timed per
+        # follower.  Since snapshot format v2 the restore half decodes
+        # lazily (the payload becomes a borrowed column store instead
+        # of being re-materialised row by row), so this cost tracks the
+        # WAL tail and the wire, not the dataset size.
+        bootstrap_seconds: List[float] = []
         for index in range(args.followers):
+            started = time.perf_counter()
             follower = Follower(
                 HttpReplicationSource(
                     primary_server.host, primary_server.port,
@@ -113,8 +120,12 @@ def bench_replicas(args, config: ServerConfig, workdir: Path) -> Dict:
                 poll_interval=0.02,
             )
             follower.sync()
+            bootstrap_seconds.append(time.perf_counter() - started)
             follower.start()
             followers.append(follower)
+        if bootstrap_seconds:
+            print(f"bootstrap: {max(bootstrap_seconds) * 1000:.1f} ms "
+                  f"(slowest of {len(bootstrap_seconds)})", file=sys.stderr)
             servers.append(ServerThread(
                 follower.service, config, follower=follower, debug=False,
             ).__enter__())
@@ -154,6 +165,9 @@ def bench_replicas(args, config: ServerConfig, workdir: Path) -> Dict:
             "aggregate_over_primary_qps": round(aggregate / primary_qps, 4),
             "catchup_rows": args.catchup_rows,
             "catchup_seconds": round(catchup, 6),
+            "bootstrap_seconds": [round(s, 6) for s in bootstrap_seconds],
+            "bootstrap_seconds_max": round(max(bootstrap_seconds), 6)
+            if bootstrap_seconds else None,
             "methodology": (
                 "per-node QPS measured in isolation and summed: nodes are "
                 "separate machines in deployment, and the benchmark "

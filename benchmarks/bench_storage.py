@@ -21,11 +21,21 @@ asserted, not assumed: both services must report the same data version
 and return identical answers for a set of template-refining
 preferences.
 
+A second, storage-layer **cold-start** section isolates the format-v2
+zero-copy claim: an ``n``-slot sidecar snapshot plus a fixed small WAL
+tail is restored to kernel-ready columnar state twice - once through
+the mmap tier (``mmap="require"``: the borrowed store maps the
+column-major ``.npy`` and nothing is decoded) and once through eager
+decode (``mmap="off"``, the pre-v2 behaviour).  Both legs run over a
+hot page cache (an untimed warm-up pass touches every byte first), so
+the ratio measures decode work, not disk.
+
 Baseline::
 
     PYTHONPATH=src python benchmarks/bench_storage.py
     PYTHONPATH=src python benchmarks/bench_storage.py \
-        --sizes 5000,100000 --churn 0.01 --out BENCH_storage.json
+        --sizes 5000,100000 --churn 0.01 \
+        --cold-sizes 100000,1000000 --out BENCH_storage.json
 """
 
 from __future__ import annotations
@@ -52,6 +62,12 @@ from repro.serve.service import SkylineService
 
 DEFAULT_SIZES = (5_000, 100_000)
 DEFAULT_CHURNS = (0.01,)
+DEFAULT_COLD_SIZES = (100_000, 1_000_000)
+
+#: WAL-tail length of the cold-start cells - deliberately fixed and
+#: small, because the claim under test is that mmap'd recovery is
+#: O(tail), not O(slots).
+COLD_TAIL_ROWS = 64
 
 #: Paper Table 4 shape: numeric anti-correlated + nominal Zipfian.
 NUM_NUMERIC = 2
@@ -234,7 +250,116 @@ def measure_config(num_points: int, churn: float, backend_name: str) -> Dict:
     }
 
 
-def run(sizes, churns, backend_name: str) -> Dict:
+def _cold_restore(path: Path, mode: str, tail_rows: List[tuple]):
+    """Snapshot -> kernel-ready state: restore, replay tail, build columns.
+
+    Returns the restored dataset (so the caller can compare answers and
+    close any borrowed mapping).  Accessing ``columns`` is what forces
+    the work the two tiers split on: the eager tier decodes every slot,
+    the mmap tier hands the kernels a view over the mapped matrix.
+    """
+    from repro.storage import read_snapshot, restore_dataset
+
+    document = read_snapshot(path, mmap=mode)
+    data = restore_dataset(document["data"])
+    data.append(tail_rows)
+    store = data.columns
+    # Touch the transposed kernel view so lazily-built stores cannot
+    # defer their materialisation past the timer.
+    _ = store.matrix_t.shape
+    return data
+
+
+def measure_cold_start(num_points: int) -> "Dict | None":
+    """Mmap'd vs decode-everything recovery for one n (hot page cache).
+
+    Returns ``None`` when there is nothing to map (no NumPy, so the
+    snapshot has no ``.npy`` sidecar and both tiers would measure the
+    same inline-JSON path).
+    """
+    from repro.engine.columnar import numpy_available
+
+    if not numpy_available():
+        return None
+    from repro.storage import dataset_state, write_snapshot
+    from repro.updates.dataset import DynamicDataset
+
+    base = generate(
+        SyntheticConfig(
+            num_points=num_points,
+            num_numeric=NUM_NUMERIC,
+            num_nominal=NUM_NOMINAL,
+            cardinality=CARDINALITY,
+            distribution="anticorrelated",
+            seed=13,
+        )
+    )
+    tail_source = generate(
+        SyntheticConfig(
+            num_points=COLD_TAIL_ROWS,
+            num_numeric=NUM_NUMERIC,
+            num_nominal=NUM_NOMINAL,
+            cardinality=CARDINALITY,
+            seed=14,
+        )
+    )
+    tail_rows = [tail_source.row(i) for i in range(COLD_TAIL_ROWS)]
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_storage_cold_"))
+    closers = []
+    try:
+        path = workdir / "snapshot-1.json"
+        write_snapshot(
+            path, {"data": dataset_state(DynamicDataset.from_dataset(base))}
+        )
+        sidecar = path.with_suffix(".npy")
+        if not sidecar.exists():  # below the binary-payload threshold
+            return None
+        sidecar_bytes = sidecar.stat().st_size
+
+        # Warm-up (untimed): touches the document, the sidecar pages
+        # and every import, so both timed legs run over a hot cache.
+        warm = _cold_restore(path, "require", tail_rows)
+        closers.append(warm.base_store)
+
+        started = time.perf_counter()
+        eager = _cold_restore(path, "off", tail_rows)
+        eager_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        mapped = _cold_restore(path, "require", tail_rows)
+        mmap_seconds = time.perf_counter() - started
+        closers.append(mapped.base_store)
+
+        # Equivalence gate: both tiers restored the same rows.
+        total = num_points + COLD_TAIL_ROWS
+        if len(eager) != total or len(mapped) != total:
+            raise SystemExit("cold-start tiers disagree on the row count")
+        for slot in (0, num_points // 2, num_points - 1, total - 1):
+            if eager.row(slot) != mapped.row(slot):
+                raise SystemExit(
+                    f"cold-start tiers diverged at slot {slot}: "
+                    f"{eager.row(slot)} vs {mapped.row(slot)}"
+                )
+    finally:
+        for store in closers:
+            close = getattr(store, "close", None)
+            if close is not None:
+                close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    speedup = eager_seconds / mmap_seconds if mmap_seconds else None
+    return {
+        "num_points": num_points,
+        "wal_tail_rows": COLD_TAIL_ROWS,
+        "sidecar_bytes": sidecar_bytes,
+        "mmap_recover_seconds": round(mmap_seconds, 6),
+        "eager_recover_seconds": round(eager_seconds, 6),
+        "mmap_speedup": round(speedup, 2) if speedup else None,
+    }
+
+
+def run(sizes, churns, backend_name: str, cold_sizes=()) -> Dict:
     """The full report across the size x churn grid."""
     report = {
         "benchmark": "durable snapshot + WAL recovery vs full re-ingest",
@@ -265,6 +390,25 @@ def run(sizes, churns, backend_name: str) -> Dict:
                 file=sys.stderr, flush=True,
             )
             report["results"].append(entry)
+    cold_entries = []
+    for n in cold_sizes:
+        print(f"cold-start n={n}: measuring ...", file=sys.stderr, flush=True)
+        entry = measure_cold_start(n)
+        if entry is None:
+            print(
+                f"cold-start n={n}: skipped (no NumPy sidecar to map)",
+                file=sys.stderr, flush=True,
+            )
+            continue
+        print(
+            f"cold-start n={n}: mmap {entry['mmap_recover_seconds']:.3f}s "
+            f"vs eager {entry['eager_recover_seconds']:.3f}s -> "
+            f"{entry['mmap_speedup']:.1f}x",
+            file=sys.stderr, flush=True,
+        )
+        cold_entries.append(entry)
+    if cold_entries:
+        report["cold_start"] = cold_entries
     return report
 
 
@@ -282,6 +426,14 @@ def main(argv=None) -> int:
         help="comma-separated churn fractions of n (default: 0.01)",
     )
     parser.add_argument(
+        "--cold-sizes",
+        default=",".join(str(n) for n in DEFAULT_COLD_SIZES),
+        help=(
+            "comma-separated sizes for the mmap-vs-eager cold-start "
+            "section (default: 100000,1000000; empty string to skip)"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         help="execution backend (default: process default)",
@@ -295,7 +447,8 @@ def main(argv=None) -> int:
     backend_name = args.backend or default_backend_name()
     sizes = [int(s) for s in args.sizes.split(",") if s]
     churns = [float(c) for c in args.churn.split(",") if c]
-    report = run(sizes, churns, backend_name)
+    cold_sizes = [int(s) for s in args.cold_sizes.split(",") if s]
+    report = run(sizes, churns, backend_name, cold_sizes=cold_sizes)
     payload = json.dumps(report, indent=2)
     if args.out:
         with open(args.out, "w") as handle:

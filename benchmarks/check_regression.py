@@ -164,6 +164,19 @@ def storage_metrics(report: Dict) -> Iterator[Metric]:
             f"{tag}.recover_seconds",
             entry.get("recover_seconds"), False, False,
         )
+    # Zero-copy cold-start section (absent without NumPy: there is no
+    # sidecar to map, so the tiers would measure the same path).  The
+    # mmap-over-eager speedup is a same-run ratio, machine-portable.
+    for entry in report.get("cold_start", []):
+        n = entry.get("num_points")
+        tag = f"storage.cold[n={n}]"
+        yield from _metric(
+            f"{tag}.mmap_speedup", entry.get("mmap_speedup"), True, True,
+        )
+        yield from _metric(
+            f"{tag}.mmap_recover_seconds",
+            entry.get("mmap_recover_seconds"), False, False,
+        )
 
 
 def net_metrics(report: Dict) -> Iterator[Metric]:
@@ -216,6 +229,10 @@ def replication_metrics(report: Dict) -> Iterator[Metric]:
     yield from _metric(
         "replication.catchup_seconds",
         replicas.get("catchup_seconds"), False, False,
+    )
+    yield from _metric(
+        "replication.bootstrap_seconds_max",
+        replicas.get("bootstrap_seconds_max"), False, False,
     )
     scatter = report.get("scatter", {})
     tag = (

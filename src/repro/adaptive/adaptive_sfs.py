@@ -41,6 +41,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from repro.adaptive.ranking import changed_values, listed_values
 from repro.adaptive.sorted_skyline import SortedSkylineList
 from repro.algorithms.sfs import sfs_skyline
+from repro.core.colstore import growable_rows
 from repro.core.dataset import Dataset, Row
 from repro.core.dominance import RankTable
 from repro.core.preferences import Preference
@@ -84,9 +85,11 @@ class AdaptiveSFS:
         self._backend = resolve_backend(backend)
 
         # Own, growable copies of the data so insert()/delete() do not
-        # mutate the caller's Dataset.
-        self._raw: List[Row] = list(dataset)
-        self._rows: List[Tuple] = list(dataset.canonical_rows)
+        # mutate the caller's Dataset.  A store-backed dataset stays
+        # borrowed: growable_rows chains a private overlay over the
+        # immutable base instead of materializing n rows.
+        self._raw: Sequence[Row] = growable_rows(dataset.raw_rows)
+        self._rows: Sequence[Tuple] = growable_rows(dataset.canonical_rows)
         self._alive: List[bool] = [True] * len(self._rows)
 
         # The dataset's columnar store covers exactly the initial rows,
@@ -140,8 +143,8 @@ class AdaptiveSFS:
         out.template.validate_against(out.schema)
         out._template_table = RankTable.compile(out.schema, None, out.template)
         out._backend = resolve_backend(backend)
-        out._raw = list(dataset)
-        out._rows = list(dataset.canonical_rows)
+        out._raw = growable_rows(dataset.raw_rows)
+        out._rows = growable_rows(dataset.canonical_rows)
         out._alive = (
             [bool(flag) for flag in alive]
             if alive is not None

@@ -22,10 +22,30 @@ from collections import Counter
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.attributes import AttributeKind, Schema
+from repro.core.colstore import ChainRows, ColumnStore
 from repro.exceptions import DatasetError, SchemaError
 
 Row = Tuple[object, ...]
 CanonicalRow = Tuple[object, ...]
+
+
+def _freeze_rows(rows: Sequence) -> Sequence:
+    """Row storage for an immutable dataset, copying only what's owned.
+
+    Plain iterables snapshot into tuples as always; a lazy store-backed
+    sequence (:mod:`repro.core.colstore`) is kept as-is - it is
+    immutable by contract, so the dataset borrows it instead of
+    materializing n tuples.
+    """
+    if isinstance(rows, (tuple, list)):
+        return tuple(rows)
+    if isinstance(rows, ChainRows):
+        # Freeze the mutable tail so later appends to the donor chain
+        # cannot grow under this dataset; the base stays shared.
+        return ChainRows(rows.base, list(rows._tail))
+    if isinstance(rows, Sequence):
+        return rows
+    return tuple(rows)
 
 
 class Dataset:
@@ -46,15 +66,16 @@ class Dataset:
     (1600.0, -4.0, 0)
     """
 
-    __slots__ = ("_schema", "_raw", "_canon", "_counts", "_columns")
+    __slots__ = ("_schema", "_raw", "_canon", "_counts", "_columns", "_store")
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[object]]) -> None:
         self._schema = schema
         raw, canon = _encode_rows(schema, _build_encoders(schema), rows)
-        self._raw: Tuple[Row, ...] = tuple(raw)
-        self._canon: Tuple[CanonicalRow, ...] = tuple(canon)
+        self._raw: Sequence[Row] = tuple(raw)
+        self._canon: Sequence[CanonicalRow] = tuple(canon)
         self._counts: Optional[Dict[str, Counter]] = None
         self._columns = None
+        self._store: Optional[ColumnStore] = None
 
     # -- constructors ---------------------------------------------------------
     @classmethod
@@ -112,8 +133,13 @@ class Dataset:
             raise DatasetError(f"no point with id {point_id}") from None
 
     @property
-    def canonical_rows(self) -> Tuple[CanonicalRow, ...]:
-        """All canonical rows, indexed by point id."""
+    def raw_rows(self) -> Sequence[Row]:
+        """All raw rows, indexed by point id (possibly lazy)."""
+        return self._raw
+
+    @property
+    def canonical_rows(self) -> Sequence[CanonicalRow]:
+        """All canonical rows, indexed by point id (possibly lazy)."""
         return self._canon
 
     @property
@@ -128,10 +154,21 @@ class Dataset:
         installed (the pure-Python path never touches this property).
         """
         if self._columns is None:
+            if self._store is not None:
+                # Borrowed store: the matrix already exists (possibly as
+                # an mmap) - share the store's cached columnar view so
+                # every consumer hits one rank-remap cache entry.
+                self._columns = self._store.columnar()
+                return self._columns
             from repro.engine.columnar import ColumnarStore
 
+            rows = self._canon
+            block_of = getattr(rows, "matrix_block", None)
+            block = (
+                block_of(0, len(rows)) if block_of is not None else None
+            )
             self._columns = ColumnarStore.from_rows(
-                self._canon,
+                rows if block is None else block,
                 self._schema.nominal_indices,
                 num_dims=len(self._schema),
             )
@@ -224,14 +261,44 @@ class Dataset:
         re-encoded).  ``raw`` and ``canon`` must be position-aligned and
         previously produced by a :class:`Dataset` over the same
         ``schema``; nothing is checked here.
+
+        Lazy store-backed sequences (:mod:`repro.core.colstore`) pass
+        through *without* being materialized into tuples - the borrowed
+        backing store keeps owning the bytes and rows page in on
+        access, which is what makes snapshot recovery O(WAL tail).
         """
         out = cls.__new__(cls)
         out._schema = schema
-        out._raw = tuple(raw)
-        out._canon = tuple(canon)
+        out._raw = _freeze_rows(raw)
+        out._canon = _freeze_rows(canon)
         out._counts = None
         out._columns = None
+        out._store = None
         return out
+
+    @classmethod
+    def from_store(cls, schema: Schema, store: ColumnStore) -> "Dataset":
+        """A dataset *borrowing* a read-only column store.
+
+        Both row encodings become lazy views over ``store`` (raw rows
+        decode through ``schema`` on access) and :attr:`columns` is the
+        store's own columnar view - nothing is copied at construction.
+        The dataset never closes the store; whoever created it owns the
+        file handle (see :mod:`repro.core.colstore`).
+        """
+        out = cls.__new__(cls)
+        out._schema = schema
+        out._raw = store.raw_rows(schema)
+        out._canon = store.canonical_rows()
+        out._counts = None
+        out._columns = None
+        out._store = store
+        return out
+
+    @property
+    def store(self) -> Optional[ColumnStore]:
+        """The borrowed backing store, when this dataset has one."""
+        return self._store
 
     def subset(self, point_ids: Iterable[int]) -> "Dataset":
         """A new dataset holding only the given points (ids re-assigned).
@@ -261,9 +328,23 @@ class Dataset:
         )
         return Dataset.from_encoded(
             self._schema,
-            self._raw + tuple(new_raw),
-            self._canon + tuple(new_canon),
+            _concat_rows(self._raw, new_raw),
+            _concat_rows(self._canon, new_canon),
         )
+
+
+def _concat_rows(existing: Sequence, appended: Sequence) -> Sequence:
+    """``existing`` followed by ``appended``, copying only owned storage.
+
+    Tuple storage concatenates as before; lazy store-backed storage is
+    extended by chaining an overlay tail over the (shared, immutable)
+    base instead of materializing the prefix.
+    """
+    if isinstance(existing, tuple):
+        return existing + tuple(appended)
+    if isinstance(existing, ChainRows):
+        return ChainRows(existing.base, list(existing._tail) + list(appended))
+    return ChainRows(existing, list(appended))
 
 
 def _encode_rows(

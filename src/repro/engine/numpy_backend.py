@@ -89,9 +89,15 @@ _SHRINK_MIN_REMAINING = 64
 class _NumpyContext:
     """Transposed ranks/values + scores for one (rows, table) pair."""
 
-    __slots__ = ("ranks", "ranks_t", "values_t", "scores", "nominal", "table", "np")
+    __slots__ = (
+        "ranks", "ranks_t", "values_t", "scores", "nominal", "table", "np",
+        "source",
+    )
 
-    def __init__(self, ranks, ranks_t, values_t, scores, nominal, table, np) -> None:
+    def __init__(
+        self, ranks, ranks_t, values_t, scores, nominal, table, np,
+        source=None,
+    ) -> None:
         self.ranks = ranks
         self.ranks_t = ranks_t
         self.values_t = values_t
@@ -99,6 +105,10 @@ class _NumpyContext:
         self.nominal = nominal  # per-dimension bool flags
         self.table = table
         self.np = np
+        #: Path of the ``.npy`` sidecar backing ``values_t``, when the
+        #: column store borrowed one; lets the process pool re-map the
+        #: values instead of copying them into shared memory.
+        self.source = source
 
 
 class _Cols:
@@ -284,7 +294,8 @@ class NumpyBackend(Backend):
         for dim in table.schema.nominal_indices:
             nominal[dim] = True
         return _NumpyContext(
-            ranks, ranks_t, store.matrix_t, scores, nominal, table, np
+            ranks, ranks_t, store.matrix_t, scores, nominal, table, np,
+            source=getattr(store, "source_path", None),
         )
 
     def _ids_array(self, ctx, ids):

@@ -50,7 +50,10 @@ Execution modes
   of the prepared float64 rank/value columns (one
   :class:`multiprocessing.shared_memory.SharedMemory` block per array,
   attached read-only in every worker - the 200k-row context is shipped
-  once, not per task).  A ``"bitset"`` inner backend additionally
+  once, not per task).  When the value columns borrow an mmap'd
+  snapshot sidecar, the workers re-map that file instead and only the
+  rank/score arrays travel through shared memory.  A ``"bitset"``
+  inner backend additionally
   shares its packed ``uint8`` bucket matrix, so both the local
   skylines and the merge membership sweeps run bit-parallel in the
   workers.  Requires a vectorized inner backend; falls back to threads
@@ -237,18 +240,22 @@ def fork_available() -> bool:
 def _shm_task(task):
     """Process-pool task over shared memory: local skyline or merge chunk.
 
-    ``task`` is ``(shm_names, backend_spec, num_dims, num_rows, nominal,
-    ids, against)`` where ``shm_names`` name the shared-memory blocks
-    holding the prepared context's transposed rank matrix, transposed
-    value matrix and score vector - plus, when ``backend_spec`` is
-    ``("bitset", kernel)``, a fourth block with the ``(d, n) uint8``
-    packed bucket matrix, so the worker runs the bit-parallel kernels
-    on the *packed* representation without re-quantizing.  The worker
-    attaches the blocks (no copy) and rebuilds the matching context
-    view; with ``against=None`` it runs the accept-then-sweep skyline
-    kernel over ``ids`` (phase 1), otherwise the ``dominated_any``
-    membership sweep of ``ids`` against the score-sorted union (phase
-    2, the parallel merge).
+    ``task`` is ``(shm_names, values_file, backend_spec, num_dims,
+    num_rows, nominal, ids, against)`` where ``shm_names`` name the
+    shared-memory blocks holding the prepared context's transposed rank
+    matrix, transposed value matrix and score vector - plus, when
+    ``backend_spec`` is ``("bitset", kernel)``, a final block with the
+    ``(d, n) uint8`` packed bucket matrix, so the worker runs the
+    bit-parallel kernels on the *packed* representation without
+    re-quantizing.  When ``values_file`` is set the value matrix was
+    never copied at all: the parent's context borrowed a column-major
+    ``.npy`` sidecar, so the worker re-maps that file read-only and
+    takes the zero-copy transpose view - the shm names then skip the
+    values block.  The worker attaches the blocks (no copy) and
+    rebuilds the matching context view; with ``against=None`` it runs
+    the accept-then-sweep skyline kernel over ``ids`` (phase 1),
+    otherwise the ``dominated_any`` membership sweep of ``ids`` against
+    the score-sorted union (phase 2, the parallel merge).
     """
     from multiprocessing import shared_memory
 
@@ -256,18 +263,35 @@ def _shm_task(task):
 
     from repro.engine.numpy_backend import NumpyBackend, _NumpyContext
 
-    shm_names, backend_spec, num_dims, num_rows, nominal, ids, against = task
+    (
+        shm_names, values_file, backend_spec,
+        num_dims, num_rows, nominal, ids, against,
+    ) = task
     blocks = [shared_memory.SharedMemory(name=name) for name in shm_names]
     try:
         ranks_t = np.ndarray(
             (num_dims, num_rows), dtype=np.float64, buffer=blocks[0].buf
         )
-        values_t = np.ndarray(
-            (num_dims, num_rows), dtype=np.float64, buffer=blocks[1].buf
-        )
-        scores = np.ndarray(
-            (num_rows,), dtype=np.float64, buffer=blocks[2].buf
-        )
+        if values_file is not None:
+            mapped = np.load(values_file, mmap_mode="r", allow_pickle=False)
+            values_t = mapped.T
+            if values_t.shape != (num_dims, num_rows):
+                raise EngineError(
+                    f"values sidecar {values_file} is {mapped.shape}, "
+                    f"expected {(num_rows, num_dims)}"
+                )
+            scores = np.ndarray(
+                (num_rows,), dtype=np.float64, buffer=blocks[1].buf
+            )
+            bucket_block = 2
+        else:
+            values_t = np.ndarray(
+                (num_dims, num_rows), dtype=np.float64, buffer=blocks[1].buf
+            )
+            scores = np.ndarray(
+                (num_rows,), dtype=np.float64, buffer=blocks[2].buf
+            )
+            bucket_block = 3
         inner_ctx = _NumpyContext(
             None, ranks_t, values_t, scores, list(nominal), None, np
         )
@@ -278,7 +302,9 @@ def _shm_task(task):
             )
 
             buckets_t = np.ndarray(
-                (num_dims, num_rows), dtype=np.uint8, buffer=blocks[3].buf
+                (num_dims, num_rows),
+                dtype=np.uint8,
+                buffer=blocks[bucket_block].buf,
             )
             ctx = _BitsetContext(inner_ctx, buckets_t, None)
             backend = BitsetBackend(packed="numpy", kernel=backend_spec[1])
@@ -337,13 +363,17 @@ class _SharedContext:
     """Shared-memory export of a prepared vectorized context.
 
     Copies the context arrays into named shared-memory blocks once;
-    every worker process then attaches them zero-copy.  A bitset inner
-    backend additionally ships its packed ``uint8`` bucket matrix (the
-    quantile cuts are a pure function of the rank columns, so the
-    workers reuse the parent's quantization verbatim) and the workers
-    run the bit-parallel kernels; any other vectorized inner backend
-    gets the plain numpy worker.  Use as a context manager so the
-    blocks are always unlinked.
+    every worker process then attaches them zero-copy.  A context whose
+    value matrix borrows a column-major ``.npy`` sidecar (mmap'd
+    recovery) is cheaper still: the values are never copied anywhere -
+    workers re-map the file themselves - and only the ranks and scores
+    travel through shared memory.  A bitset inner backend additionally
+    ships its packed ``uint8`` bucket matrix (the quantile cuts are a
+    pure function of the rank columns, so the workers reuse the
+    parent's quantization verbatim) and the workers run the
+    bit-parallel kernels; any other vectorized inner backend gets the
+    plain numpy worker.  Use as a context manager so the blocks are
+    always unlinked.
     """
 
     def __init__(self, inner_ctx, inner_backend=None) -> None:
@@ -351,11 +381,20 @@ class _SharedContext:
 
         np = inner_ctx.np
         self.backend_spec = ("numpy",)
+        source = getattr(inner_ctx, "source", None)
+        self.values_file = (
+            str(source)
+            if source is not None and os.path.exists(source)
+            else None
+        )
+        shipped = (
+            (inner_ctx.ranks_t, inner_ctx.scores)
+            if self.values_file is not None
+            else (inner_ctx.ranks_t, inner_ctx.values_t, inner_ctx.scores)
+        )
         arrays = [
             np.ascontiguousarray(array, dtype=np.float64)
-            for array in (
-                inner_ctx.ranks_t, inner_ctx.values_t, inner_ctx.scores
-            )
+            for array in shipped
         ]
         buckets_t = getattr(inner_ctx, "buckets_t", None)
         if buckets_t is not None and getattr(
@@ -390,6 +429,7 @@ class _SharedContext:
             ids = ids.tolist() if hasattr(ids, "tolist") else list(ids)
         return (
             self.names,
+            self.values_file,
             self.backend_spec,
             self.num_dims,
             self.num_rows,

@@ -25,6 +25,9 @@ site                      kinds
                           then the append fails), ``slow`` (sleep ``delay``)
 ``snapshot.rename``       ``error`` (``OSError`` before the atomic rename),
                           ``slow``
+``snapshot.sidecar``      ``error`` (``OSError`` before the fsync'd ``.npy``
+                          sidecar is renamed into place - the document
+                          referencing it is never written), ``slow``
 ``serve.execute``         ``abort`` (executor task raises), ``delay``
 ``net.send``              ``drop`` (close the socket without responding),
                           ``slow`` (sleep before writing the response)
@@ -57,6 +60,7 @@ from repro.exceptions import ReproError
 KNOWN_SITES = (
     "wal.append",
     "snapshot.rename",
+    "snapshot.sidecar",
     "serve.execute",
     "net.send",
     "net.dispatch",

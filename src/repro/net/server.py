@@ -705,6 +705,11 @@ class SkylineServer:
         }
         if self.follower is not None:
             payload["replication"] = self.follower.status()
+        elif getattr(service, "storage", None) is not None:
+            # Primary with a stream to ship: report base version and
+            # checkpoint lag from the snapshot *header* only (the
+            # payload is never loaded for status reporting).
+            payload["replication"] = service.replication_status()
         http_status = 503 if (self._draining or syncing) else 200
         return _json_response(http_status, payload)
 

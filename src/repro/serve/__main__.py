@@ -129,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recover the service from --storage-dir "
                         "(snapshot + WAL replay) instead of generating "
                         "a dataset")
+    parser.add_argument("--mmap", choices=["auto", "off", "require"],
+                        default=None,
+                        help="snapshot mapping mode for --recover: 'auto' "
+                        "borrows the column-major sidecar via mmap when "
+                        "present (cold start pays only the WAL tail), "
+                        "'off' decodes everything eagerly, 'require' "
+                        "fails rather than fall back (default: the "
+                        "REPRO_MMAP environment variable, else auto)")
     parser.add_argument("--checkpoint", action="store_true",
                         help="write a checkpoint to --storage-dir before "
                         "exiting")
@@ -168,6 +176,7 @@ def build_service(args) -> SkylineService:
             partition_strategy=args.strategy,
             checkpoint_every=args.checkpoint_every,
             checkpoint_wal_bytes=args.checkpoint_wal_bytes,
+            mmap=args.mmap,
         )
         print(
             f"recovered from {args.storage_dir}: data version "
@@ -380,6 +389,8 @@ def main(argv=None) -> int:
             "--recover/--checkpoint/--checkpoint-every/"
             "--checkpoint-wal-bytes require --storage-dir"
         )
+    if args.mmap is not None and not args.recover:
+        parser.error("--mmap requires --recover")
     if args.backend != "auto":
         set_default_backend(args.backend)
     print(f"backend: {get_backend().name}", file=sys.stderr)

@@ -427,6 +427,13 @@ class SkylineService:
 
         # Durability: attach the store last so the initial snapshot (or
         # the WAL-tail replay of a recovery) sees fully built structures.
+        # A recovered service may *borrow* its base rows from an mmap'd
+        # snapshot sidecar; the service owns that file handle and
+        # releases it in close() (compaction may drop the dataset's use
+        # of the store earlier, but the handle stays ours to close).
+        self._borrowed_store = (
+            _restore.dynamic.base_store if _restore is not None else None
+        )
         self.storage: Optional[DurableStore] = None
         self._replaying = False
         if _restore is not None:
@@ -866,11 +873,19 @@ class SkylineService:
         partition_strategy: str = "sorted",
         checkpoint_every: Optional[int] = None,
         checkpoint_wal_bytes: Optional[int] = None,
+        mmap: object = None,
     ) -> "SkylineService":
         """Rebuild a service from a storage directory after a crash.
 
         Loads the newest snapshot, restores the dataset **without
-        re-encoding any row**, re-attaches the maintained template and
+        re-encoding any row** - and, when the snapshot has a ``.npy``
+        sidecar and the mmap tier allows (``mmap=`` /
+        ``REPRO_MMAP=auto|off|require``), without *decoding* any row
+        either: the canonical matrix is mapped read-only and borrowed,
+        so cold start is O(WAL tail) and the matrix bytes are shared
+        with every other process mapping the same snapshot.  The
+        borrowed file handle is released by :meth:`close`.  It then
+        re-attaches the maintained template and
         base skylines from their persisted id lists, deserialises the
         IPO-tree (:mod:`repro.ipo.serialize`), and replays the
         committed WAL tail through the normal mutation path - so the
@@ -890,7 +905,7 @@ class SkylineService:
             storage_dir,
             CheckpointPolicy(checkpoint_every, checkpoint_wal_bytes),
         )
-        recovered = store.recover()
+        recovered = store.recover(mmap=mmap)
         return cls.from_snapshot(
             recovered.snapshot,
             tail=recovered.tail,
@@ -936,12 +951,10 @@ class SkylineService:
         # The service-facing dataset covers the *full slot space* so
         # slot positions coincide with dynamic ids; in mutable mode all
         # query paths select live ids through the dynamic dataset, so
-        # tombstoned slots are never served.
-        base = Dataset.from_encoded(
-            dyn.schema,
-            [tuple(row) for row in dyn.raw_rows],
-            [tuple(row) for row in dyn.canonical_rows],
-        )
+        # tombstoned slots are never served.  The dataset *shares* the
+        # restored storage - for an mmap'd snapshot that means zero
+        # rows are copied or decoded here.
+        base = dyn.base_dataset()
         template = preference_from_dict(document.get("template", {}))
         restore = _RestoreState(
             store=store,
@@ -1015,12 +1028,18 @@ class SkylineService:
         is fsync'd before its batch applies - but long-lived processes
         that construct many services (tests, benchmarks, the follower's
         re-sync loop) must not lean on ``__del__`` for descriptor
-        hygiene.  A closed service keeps answering queries; mutations
-        on a stored service raise :class:`StorageError` until the store
-        is reattached via :meth:`recover`.
+        hygiene.  Also releases the borrowed mmap store of a recovered
+        service (the whole object graph reading it is retired with the
+        service, so queries against a closed mmap-recovered service are
+        no longer supported).  A closed owned-storage service keeps
+        answering queries; mutations on a stored service raise
+        :class:`StorageError` until the store is reattached via
+        :meth:`recover`.
         """
         if self.storage is not None:
             self.storage.close()
+        if self._borrowed_store is not None:
+            self._borrowed_store.close()
 
     def __enter__(self) -> "SkylineService":
         return self
@@ -1050,6 +1069,36 @@ class SkylineService:
             "version": version,
             "document": document,
             "primary_version": self.version,
+        }
+
+    def replication_status(self) -> dict:
+        """Primary-side stream status, cheap enough to poll.
+
+        Reads only the newest snapshot's *header*
+        (:meth:`~repro.storage.store.DurableStore.newest_snapshot_header`)
+        - schema counters, never the payload - so reporting cost does
+        not scale with dataset size.  ``checkpoint_lag`` is how many
+        versions a freshly syncing follower would have to replay from
+        the WAL stream on top of the shipped snapshot.
+        """
+        if self.storage is None:
+            return {"stream": False, "primary_version": self.version}
+        try:
+            header, base_version = self.storage.newest_snapshot_header()
+        except StorageError as exc:
+            return {
+                "stream": False,
+                "primary_version": self.version,
+                "error": str(exc),
+            }
+        data = header.get("data", {})
+        return {
+            "stream": True,
+            "base_version": base_version,
+            "primary_version": self.version,
+            "checkpoint_lag": max(0, self.version - base_version),
+            "snapshot_slots": data.get("slots"),
+            "snapshot_dead": data.get("dead"),
         }
 
     def replication_window(

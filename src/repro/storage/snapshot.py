@@ -23,6 +23,24 @@ single-digits.  Small snapshots stay single-file and human-readable;
 either flavour reads back on any environment that can satisfy it (a
 ``.npy`` payload needs NumPy to load).
 
+Format **v2** makes the sidecar directly *mappable*: the matrix is
+written column-major (Fortran order), liveness is stored compactly as
+``slots`` + ``dead_ids`` instead of a per-slot ``alive`` list, and the
+payload reference carries the dtype/order/row-count header.  With
+NumPy present, :func:`read_snapshot` returns the payload as a
+*borrowed* :class:`~repro.core.colstore.BorrowedColumnStore` over
+``np.load(..., mmap_mode="r")`` - nothing is decoded at read time, so
+recovery costs O(WAL tail), and the column-major layout means the
+kernels' transposed view is a zero-copy reinterpretation of the same
+page-cached bytes.  The ``REPRO_MMAP`` environment variable (or the
+``mmap=`` argument) selects the tier: ``auto`` (map when possible),
+``off`` (legacy eager decode), ``require`` (error if a sidecar cannot
+be mapped).  v1 documents still load through a compat shim and are
+rewritten as v2 by the next checkpoint.  Without NumPy, inline
+payloads restore through a lazy per-row decoding view
+(:class:`~repro.core.colstore.JsonColumnStore`) rather than three
+eager O(n) passes.
+
 Every file is written **atomically**: serialise to a sibling ``*.tmp``
 file, ``fsync`` it, ``rename`` onto the final name and ``fsync`` the
 directory - the sidecar strictly *before* the document that references
@@ -47,13 +65,21 @@ from typing import Dict, List, Union
 
 from repro import faults
 from repro.core.attributes import AttributeKind, AttributeSpec, Schema
+from repro.core.colstore import (
+    BorrowedColumnStore,
+    ColumnStore,
+    JsonColumnStore,
+)
 from repro.engine.columnar import numpy_available
 from repro.exceptions import StorageError
 from repro.ipo.serialize import schema_fingerprint
 from repro.updates.dataset import DynamicDataset
 
 #: Bump when the snapshot document layout changes incompatibly.
-SNAPSHOT_FORMAT_VERSION = 1
+SNAPSHOT_FORMAT_VERSION = 2
+
+#: Older format versions :func:`read_snapshot` still understands.
+SUPPORTED_FORMAT_VERSIONS = (1, SNAPSHOT_FORMAT_VERSION)
 
 #: The ``kind`` marker distinguishing snapshots from other JSON files.
 SNAPSHOT_KIND = "repro-durable-snapshot"
@@ -61,6 +87,30 @@ SNAPSHOT_KIND = "repro-durable-snapshot"
 #: Slot count from which the canonical matrix is written as a ``.npy``
 #: sidecar instead of inline JSON (when NumPy is available).
 BINARY_PAYLOAD_THRESHOLD = 4096
+
+#: Environment switch for the mmap read tier (``auto``/``off``/``require``).
+MMAP_ENV = "REPRO_MMAP"
+
+
+def resolve_mmap_mode(mmap: object = None) -> str:
+    """Resolve the mmap tier from an argument or :data:`MMAP_ENV`.
+
+    ``True`` means ``require``, ``False`` means ``off``, a string names
+    the tier directly and ``None`` defers to the environment (default
+    ``auto``).
+    """
+    if mmap is True:
+        return "require"
+    if mmap is False:
+        return "off"
+    value = mmap if isinstance(mmap, str) else os.environ.get(MMAP_ENV, "auto")
+    value = value.strip().lower() or "auto"
+    if value not in ("auto", "off", "require"):
+        raise StorageError(
+            f"invalid mmap mode {value!r} (from {MMAP_ENV} or mmap=): "
+            f"expected auto, off or require"
+        )
+    return value
 
 
 def schema_from_fingerprint(fingerprint: List[List[object]]) -> Schema:
@@ -91,11 +141,31 @@ def schema_from_fingerprint(fingerprint: List[List[object]]) -> Schema:
 
 
 def dataset_state(data: DynamicDataset) -> Dict:
-    """The JSON-friendly full slot state of a dynamic dataset."""
+    """The JSON-friendly full slot state of a dynamic dataset (v2 layout).
+
+    Liveness is compact (``slots`` + ``dead_ids``); ``nominal_dims``
+    names the columns whose canonical values are integer value ids, so
+    a reader can assemble a column store from the payload without
+    re-deriving it from the schema.  The output is always directly
+    JSON-serialisable; a store-backed dataset exports its canonical
+    block through the vectorized ``matrix_block`` path instead of
+    walking n lazy rows.
+    """
+    rows = data.canonical_rows
+    block_of = getattr(rows, "matrix_block", None)
+    block = block_of(0, len(rows)) if block_of is not None else None
+    if block is not None:
+        canonical = block.tolist()
+    else:
+        canonical = [list(row) for row in rows]
     return {
         "schema": schema_fingerprint(data.schema),
-        "canonical": [list(row) for row in data.canonical_rows],
-        "alive": [1 if flag else 0 for flag in data.alive_flags],
+        "canonical": canonical,
+        "slots": data.num_slots,
+        "dead_ids": [
+            i for i, flag in enumerate(data.alive_flags) if not flag
+        ],
+        "nominal_dims": list(data.schema.nominal_indices),
         "data_version": data.version,
         "compactions": data.compactions,
     }
@@ -127,20 +197,51 @@ def decode_raw_rows(schema: Schema, canon: List[tuple]) -> List[tuple]:
 def restore_dataset(state: Dict) -> DynamicDataset:
     """Reassemble the dynamic dataset of a snapshot's ``data`` section.
 
-    No row is re-encoded: the canonical rows are taken verbatim from
-    the document (JSON and ``.npy`` both round-trip finite floats and
-    ints exactly); raw rows are *decoded* from them through the schema.
+    No row is re-encoded - and since format v2, no row is even
+    *decoded* up front: the canonical payload (a borrowed mmap store
+    when :func:`read_snapshot` could map it, the parsed JSON lists
+    otherwise) is wrapped in a :class:`~repro.core.colstore.ColumnStore`
+    and both row encodings become lazy views over it.  The returned
+    dataset is a borrowed immutable base plus a mutable overlay tail:
+    WAL replay appends land in the overlay, the base is never copied.
+    Handles both the v2 liveness layout (``slots`` + ``dead_ids``) and
+    the v1 per-slot ``alive`` list.
     """
     try:
         schema = schema_from_fingerprint(state["schema"])
-        canon = [tuple(row) for row in state["canonical"]]
+        payload = state["canonical"]
+        if isinstance(payload, ColumnStore):
+            store: ColumnStore = payload
+        else:
+            store = JsonColumnStore(
+                payload, schema.nominal_indices, len(schema)
+            )
+        if "alive" in state:  # v1 layout
+            alive = [bool(flag) for flag in state["alive"]]
+        else:
+            slots = int(state["slots"])
+            if slots != len(store):
+                raise StorageError(
+                    f"snapshot payload holds {len(store)} rows, the "
+                    f"document records {slots} slots"
+                )
+            alive = [True] * slots
+            for dead_id in state.get("dead_ids", ()):
+                try:
+                    alive[int(dead_id)] = False
+                except IndexError:
+                    raise StorageError(
+                        f"snapshot dead id {dead_id!r} is outside the "
+                        f"slot space of {slots}"
+                    ) from None
         return DynamicDataset.restore(
             schema,
-            decode_raw_rows(schema, canon),
-            canon,
-            [bool(flag) for flag in state["alive"]],
+            store.raw_rows(schema),
+            store.canonical_rows(),
+            alive,
             version=int(state["data_version"]),
             compactions=int(state.get("compactions", 0)),
+            store=store,
         )
     except KeyError as exc:
         raise StorageError(
@@ -173,15 +274,38 @@ def write_snapshot(path: Union[str, Path], document: Dict) -> Path:
         import numpy as np
 
         payload_path = path.with_suffix(".npy")
-        matrix = np.asarray(data["canonical"], dtype=np.float64)
+        # Column-major on disk: a later mmap's per-column slices are
+        # contiguous and its transposed kernel view is zero-copy.
+        matrix = np.asfortranarray(
+            np.asarray(data["canonical"], dtype=np.float64)
+        )
         tmp = payload_path.parent / (payload_path.name + ".tmp")
         with open(tmp, "wb") as handle:
             np.save(handle, matrix, allow_pickle=False)
             handle.flush()
             os.fsync(handle.fileno())
+        fault = faults.draw("snapshot.sidecar")
+        if fault is not None:
+            if fault.kind == "slow":
+                time.sleep(fault.delay)
+            else:
+                # The fsync'd sidecar never reaches its final name - the
+                # document referencing it must not be written either.
+                raise OSError(
+                    f"injected: cannot publish sidecar {payload_path}"
+                )
         os.replace(tmp, payload_path)
+        # Persist the sidecar's *directory entry* before the document
+        # that references it: without this fsync a crash could publish
+        # a document pointing at a file that never existed.
+        fsync_directory(payload_path.parent)
         data = dict(data)
-        data["canonical"] = {"npy": payload_path.name}
+        data["canonical"] = {
+            "npy": payload_path.name,
+            "dtype": "float64",
+            "order": "F",
+            "rows": int(matrix.shape[0]),
+        }
         document["data"] = data
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "w") as handle:
@@ -202,12 +326,88 @@ def write_snapshot(path: Union[str, Path], document: Dict) -> Path:
     return path
 
 
-def read_snapshot(path: Union[str, Path]) -> Dict:
+def read_snapshot(path: Union[str, Path], mmap: object = None) -> Dict:
     """Load and validate one snapshot document (resolving any sidecar).
 
-    A ``.npy`` canonical payload is loaded and decoded back into typed
-    rows (nominal value ids as ints, universal dimensions as floats),
-    so callers see the same ``data["canonical"]`` shape either way.
+    How a ``.npy`` canonical payload comes back depends on the mmap
+    tier (``mmap=`` argument, else :data:`MMAP_ENV`, default ``auto``):
+
+    * ``auto``/``require`` with NumPy - ``data["canonical"]`` is a
+      *borrowed* :class:`~repro.core.colstore.BorrowedColumnStore`
+      mapping the sidecar read-only; nothing is decoded.  The caller
+      (transitively, whoever keeps the restored dataset) owns the
+      store's file handle and must close it on retirement.
+    * ``off``, or ``auto`` without NumPy - the payload is eagerly
+      decoded back into typed row lists (nominal ids as ints), the
+      pre-v2 behaviour.
+    * ``require`` raises when a sidecar exists but cannot be mapped
+      (inline payloads always pass - there is nothing to map).
+    """
+    path = Path(path)
+    mode = resolve_mmap_mode(mmap)
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise StorageError(f"cannot read snapshot {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise StorageError(
+            f"snapshot {path} is not valid JSON: {exc}"
+        ) from None
+    _validate_header(document, path)
+    data = document.get("data")
+    if isinstance(data, dict) and isinstance(data.get("canonical"), dict):
+        ref = data["canonical"]
+        payload_path = path.parent / ref.get("npy", "")
+        schema = schema_from_fingerprint(data["schema"])
+        if mode != "off" and numpy_available():
+            expected = ref.get("rows", data.get("slots"))
+            try:
+                data["canonical"] = BorrowedColumnStore(
+                    payload_path,
+                    schema.nominal_indices,
+                    len(schema),
+                    expected_rows=(
+                        int(expected) if expected is not None else None
+                    ),
+                )
+            except StorageError:
+                if mode == "require":
+                    raise
+                # auto: some filesystems refuse mmap; the eager load
+                # below still works (or raises its own clear error).
+                data["canonical"] = _load_payload(payload_path, schema)
+        elif mode == "require":
+            raise StorageError(
+                f"mmap mode 'require' ({MMAP_ENV}) but snapshot payload "
+                f"{payload_path} cannot be mapped: NumPy is unavailable"
+            )
+        else:
+            data["canonical"] = _load_payload(payload_path, schema)
+    return document
+
+
+def _validate_header(document: object, path: Path) -> None:
+    """Reject non-snapshot documents and unknown format versions."""
+    if not isinstance(document, dict) or document.get("kind") != SNAPSHOT_KIND:
+        raise StorageError(f"{path} is not a repro snapshot document")
+    if document.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
+        raise StorageError(
+            f"unsupported snapshot format "
+            f"{document.get('format_version')!r} in {path} "
+            f"(expected one of {SUPPORTED_FORMAT_VERSIONS})"
+        )
+
+
+def read_snapshot_header(path: Union[str, Path]) -> Dict:
+    """Schema/version/counters of a snapshot *without* its payload.
+
+    Returns the document with ``data["canonical"]`` (and the liveness
+    detail) replaced by summary counters: ``slots`` and ``dead`` work
+    for both format versions.  A sidecar is never opened, so this is
+    safe (and cheap) for probing many generations - the
+    :class:`~repro.storage.store.DurableStore` recovery scan and
+    replication lag reporting use it instead of full loads.
     """
     path = Path(path)
     try:
@@ -219,20 +419,22 @@ def read_snapshot(path: Union[str, Path]) -> Dict:
         raise StorageError(
             f"snapshot {path} is not valid JSON: {exc}"
         ) from None
-    if not isinstance(document, dict) or document.get("kind") != SNAPSHOT_KIND:
-        raise StorageError(f"{path} is not a repro snapshot document")
-    if document.get("format_version") != SNAPSHOT_FORMAT_VERSION:
-        raise StorageError(
-            f"unsupported snapshot format "
-            f"{document.get('format_version')!r} in {path} "
-            f"(expected {SNAPSHOT_FORMAT_VERSION})"
-        )
+    _validate_header(document, path)
     data = document.get("data")
-    if isinstance(data, dict) and isinstance(data.get("canonical"), dict):
-        data["canonical"] = _load_payload(
-            path.parent / data["canonical"].get("npy", ""),
-            schema_from_fingerprint(data["schema"]),
-        )
+    if isinstance(data, dict):
+        summary = {
+            key: value
+            for key, value in data.items()
+            if key not in ("canonical", "alive", "dead_ids")
+        }
+        alive = data.get("alive")
+        if "slots" not in summary and isinstance(alive, list):  # v1
+            summary["slots"] = len(alive)
+            summary["dead"] = sum(1 for flag in alive if not flag)
+        else:
+            summary["dead"] = len(data.get("dead_ids", ()))
+        document = dict(document)
+        document["data"] = summary
     return document
 
 

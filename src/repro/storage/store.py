@@ -38,6 +38,7 @@ from repro.exceptions import StorageError
 from repro.storage.snapshot import (
     fsync_directory,
     read_snapshot,
+    read_snapshot_header,
     write_snapshot,
 )
 from repro.storage.wal import WalWindow, WriteAheadLog
@@ -269,19 +270,24 @@ class DurableStore:
     # ------------------------------------------------------------------
     # recovery
     # ------------------------------------------------------------------
-    def recover(self) -> RecoveredState:
+    def recover(self, mmap: object = None) -> RecoveredState:
         """Load the newest snapshot + committed WAL tail; resume logging.
 
         After this returns, the store appends to the recovered
         generation's WAL (the tail records stay in place - they are
         already durable; re-logging them would duplicate history).
+
+        ``mmap`` selects the snapshot read tier (see
+        :func:`repro.storage.snapshot.read_snapshot`): in the default
+        ``auto`` tier a ``.npy`` generation comes back as a borrowed
+        mmap store and recovery work is O(WAL tail), not O(slots).
         """
         snapshots = self._snapshots()
         if not snapshots:
             raise StorageError(
                 f"no snapshot found in {self.directory} - nothing to recover"
             )
-        document, version = self._newest_readable(snapshots)
+        document, version = self._newest_readable(snapshots, mmap=mmap)
         records, torn = WriteAheadLog.repair(self._wal_path(version))
         tail: List[Dict] = []
         expected = version
@@ -308,7 +314,9 @@ class DurableStore:
             torn_tail=torn,
         )
 
-    def _newest_readable(self, snapshots) -> Tuple[Dict, int]:
+    def _newest_readable(
+        self, snapshots, mmap: object = None
+    ) -> Tuple[Dict, int]:
         """The newest snapshot that loads cleanly; older ones fall back.
 
         A crash between a checkpoint's renames and its directory fsync
@@ -328,13 +336,18 @@ class DurableStore:
         for index in range(len(snapshots) - 1, -1, -1):
             version, path = snapshots[index]
             try:
-                document = read_snapshot(path)
-                stamped = document.get("data", {}).get("data_version")
+                # Probe with the header first: it validates kind,
+                # format and the version stamp without touching (or
+                # mapping) the payload, so scanning past a stale or
+                # broken generation never opens its sidecar.
+                header = read_snapshot_header(path)
+                stamped = header.get("data", {}).get("data_version")
                 if stamped != version:
                     raise StorageError(
                         f"stamped with data version {stamped!r}, "
                         f"expected {version}"
                     )
+                document = read_snapshot(path, mmap)
             except StorageError as exc:
                 newer_records, _torn = WriteAheadLog.read_records(
                     self._wal_path(version)
@@ -371,7 +384,37 @@ class DurableStore:
             raise StorageError(
                 f"no snapshot found in {self.directory} - nothing to ship"
             )
-        return self._newest_readable(snapshots)
+        # The document ships over the wire as JSON, so the payload must
+        # come back as inline typed rows, never as a borrowed mmap.
+        return self._newest_readable(snapshots, mmap=False)
+
+    def newest_snapshot_header(self) -> Tuple[Dict, int]:
+        """(header, version) of the newest readable snapshot on disk.
+
+        Schema/version/counters only - the payload is neither loaded
+        nor mapped (:func:`~repro.storage.snapshot.read_snapshot_header`),
+        so this is the cheap probe for replication status reporting.
+        Falls back past unreadable generations like recovery does, but
+        without the WAL cross-check: reporting must not raise where
+        shipping still could succeed.
+        """
+        snapshots = self._snapshots()
+        if not snapshots:
+            raise StorageError(
+                f"no snapshot found in {self.directory} - nothing to report"
+            )
+        errors = []
+        for version, path in reversed(snapshots):
+            try:
+                header = read_snapshot_header(path)
+            except StorageError as exc:
+                errors.append(f"{path.name}: {exc}")
+                continue
+            return header, version
+        raise StorageError(
+            f"no readable snapshot header in {self.directory}: "
+            + "; ".join(errors)
+        )
 
     def wal_window(
         self, base_version: int, offset: int, max_bytes: int

@@ -31,6 +31,7 @@ import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.attributes import Schema
+from repro.core.colstore import ColumnStore, growable_rows
 from repro.core.dataset import (
     CanonicalRow,
     Dataset,
@@ -62,8 +63,8 @@ class DynamicDataset:
     def __init__(self, schema: Schema, rows: Iterable[Sequence[object]] = ()) -> None:
         self._schema = schema
         self._encoders = _build_encoders(schema)
-        self._raw: List[Row] = []
-        self._canon: List[CanonicalRow] = []
+        self._raw: Sequence[Row] = []
+        self._canon: Sequence[CanonicalRow] = []
         self._alive: List[bool] = []
         self._dead = 0
         self._version = 0
@@ -72,17 +73,30 @@ class DynamicDataset:
         self._column_builder: Optional[_GrowableColumns] = None
         self._columns_lock = threading.Lock()
         self._compactions = 0
+        #: The borrowed read-only store backing the immutable base of
+        #: ``_raw``/``_canon`` (None when storage is owned).  Appends
+        #: and tombstones never touch it; :meth:`compact` is the one
+        #: operation that materializes and drops the reference (the
+        #: file handle stays with whoever opened the store).
+        self._base_store: Optional[ColumnStore] = None
         if rows:
             self.append(rows)
             self._version = 0  # seeding is not a mutation
 
     @classmethod
     def from_dataset(cls, dataset: Dataset) -> "DynamicDataset":
-        """Wrap an immutable dataset; its encodings are reused, not redone."""
+        """Wrap an immutable dataset; its encodings are reused, not redone.
+
+        A store-backed dataset stays borrowed: this wrapper chains a
+        private overlay tail over the same immutable base instead of
+        materializing n rows (appends/deletes only ever touch the
+        overlay and the liveness flags).
+        """
         out = cls(dataset.schema)
-        out._raw = list(dataset)
-        out._canon = list(dataset.canonical_rows)
+        out._raw = growable_rows(dataset.raw_rows)
+        out._canon = growable_rows(dataset.canonical_rows)
         out._alive = [True] * len(out._raw)
+        out._base_store = dataset.store
         return out
 
     @classmethod
@@ -95,6 +109,7 @@ class DynamicDataset:
         *,
         version: int,
         compactions: int = 0,
+        store: Optional[ColumnStore] = None,
     ) -> "DynamicDataset":
         """Reassemble a dataset from previously exported state.
 
@@ -107,6 +122,12 @@ class DynamicDataset:
         re-encoding any row**.  ``raw``, ``canon`` and ``alive`` must be
         position-aligned and previously produced by a dataset over an
         equal ``schema``; nothing is checked here.
+
+        Lazy store-backed sequences (:mod:`repro.core.colstore`) are
+        *borrowed*, not copied: they become the immutable base of a
+        base-plus-overlay chain, and later mutations touch only the
+        overlay.  Pass the backing ``store`` so the columnar view can
+        be served zero-copy; the dataset never closes it.
         """
         if not (len(raw) == len(canon) == len(alive)):
             raise DatasetError(
@@ -114,12 +135,19 @@ class DynamicDataset:
                 f"{len(canon)} canonical rows, {len(alive)} liveness flags"
             )
         out = cls(schema)
-        out._raw = [tuple(row) for row in raw]
-        out._canon = [tuple(row) for row in canon]
+        if isinstance(raw, (list, tuple)):
+            out._raw = [tuple(row) for row in raw]
+        else:
+            out._raw = growable_rows(raw)
+        if isinstance(canon, (list, tuple)):
+            out._canon = [tuple(row) for row in canon]
+        else:
+            out._canon = growable_rows(canon)
         out._alive = [bool(flag) for flag in alive]
         out._dead = sum(1 for flag in out._alive if not flag)
         out._version = int(version)
         out._compactions = int(compactions)
+        out._base_store = store
         return out
 
     # -- protocol ----------------------------------------------------------
@@ -231,9 +259,20 @@ class DynamicDataset:
             cached = self._columns_cache
             if cached is not None and cached[0] == key:
                 return cached[1]
-            if self._column_builder is None:
-                self._column_builder = _GrowableColumns(self._schema)
-            store = self._column_builder.store_for(self._canon)
+            base = self._base_store
+            if (
+                base is not None
+                and base.matrix is not None
+                and len(self._canon) == len(base)
+            ):
+                # No appends beyond the borrowed base yet (tombstones
+                # don't change the slot matrix): serve the store's own
+                # columnar view - zero copies, the mmap is the matrix.
+                store = base.columnar()
+            else:
+                if self._column_builder is None:
+                    self._column_builder = _GrowableColumns(self._schema)
+                store = self._column_builder.store_for(self._canon)
             self._columns_cache = (key, store)
             return store
 
@@ -318,6 +357,12 @@ class DynamicDataset:
         the remap or rebuild - the serving layer rebuilds, which is why
         compaction is *periodic*, not per-delete.  When nothing is dead
         this is a no-op returning the identity remap.
+
+        For a store-backed dataset this is the **one materialization
+        point**: live rows are rewritten into owned lists and the
+        borrowed base reference is dropped (the next checkpoint emits a
+        fresh base; the old store's file handle still belongs to
+        whoever opened it).
         """
         if not self._dead:
             return {i: i for i in range(len(self._raw))}
@@ -335,6 +380,7 @@ class DynamicDataset:
         self._alive = [True] * len(raw)
         self._dead = 0
         self._compactions += 1
+        self._base_store = None
         self._bump()
         return remap
 
@@ -363,6 +409,26 @@ class DynamicDataset:
         self.snapshot()
         assert self._snapshot_cache is not None
         return self._snapshot_cache[2]
+
+    @property
+    def base_store(self) -> Optional[ColumnStore]:
+        """The borrowed store backing the immutable base, if any."""
+        return self._base_store
+
+    def base_dataset(self) -> Dataset:
+        """An immutable :class:`Dataset` over **all current slots**.
+
+        Unlike :meth:`snapshot` (live rows only, materialized), this
+        keeps the id space intact and *shares* the row storage: a
+        store-backed base stays borrowed (zero copies - the serving
+        layer builds its post-recovery dataset this way), owned lists
+        are snapshotted into tuples.  Later mutations of this dynamic
+        dataset do not leak into the returned dataset.
+        """
+        store = self._base_store
+        if store is not None and len(self._canon) == len(store):
+            return Dataset.from_store(self._schema, store)
+        return Dataset.from_encoded(self._schema, self._raw, self._canon)
 
     # -- internals ---------------------------------------------------------
     def _bump(self) -> None:
@@ -438,7 +504,12 @@ class _GrowableColumns:
             np, self._matrix, self._keys, self._size, total
         )
         if total > self._size:
-            block = np.asarray(rows[self._size:total], dtype=np.float64)
+            block_of = getattr(rows, "matrix_block", None)
+            block = (
+                block_of(self._size, total) if block_of is not None else None
+            )
+            if block is None:
+                block = np.asarray(rows[self._size:total], dtype=np.float64)
             if block.ndim != 2:  # pragma: no cover - canonical rows are flat
                 raise DatasetError(
                     "canonical rows do not form a rectangular matrix"

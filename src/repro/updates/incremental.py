@@ -315,7 +315,12 @@ class _RankMatrix:
         if total - size >= self.BULK_SYNC_THRESHOLD:
             # Convert the tuple block once; rank_rows_matrix copies its
             # input (cheap from an ndarray) before remapping in place.
-            raw = np.asarray(rows[size:total], dtype=np.float64)
+            # A borrowed (mmap-backed) row sequence hands over a matrix
+            # slice directly, skipping tuple materialisation entirely.
+            block = getattr(rows, "matrix_block", None)
+            raw = block(size, total) if block is not None else None
+            if raw is None:
+                raw = np.asarray(rows[size:total], dtype=np.float64)
             self._ranks[size:total] = self._table.rank_rows_matrix(raw)
             for dim in self._nominal:
                 self._keys[size:total, dim] = raw[:, dim].astype(np.int32)
